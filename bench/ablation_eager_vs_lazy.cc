@@ -1,0 +1,43 @@
+// Ablation: LAZY release consistency vs EAGER release consistency — the
+// comparison that motivates the paper's whole substrate (§3.1). Under ERC a
+// releaser pushes write notices to every node and blocks for acks; under LRC
+// the notices ride on later synchronization messages to exactly the nodes
+// that synchronize. The race detector consumes identical interval metadata
+// either way.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace cvm;
+  std::printf("=== Ablation (§3.1): lazy vs eager release consistency ===\n");
+
+  TablePrinter table({"App", "Consistency", "Messages", "MBytes", "Slowdown", "Races"});
+  for (const bench::NamedApp& app : bench::PaperApps()) {
+    for (ProtocolKind protocol :
+         {ProtocolKind::kSingleWriterLrc, ProtocolKind::kEagerRcInvalidate}) {
+      DsmOptions options = bench::PaperOptions(8);
+      options.protocol = protocol;
+      WorkloadResult result = RunWorkloadMedian(app.factory, options, 3);
+      const bool lazy = protocol == ProtocolKind::kSingleWriterLrc;
+      uint64_t erc_msgs = 0;
+      auto it = result.detect.net.messages_by_kind.find("ErcUpdate");
+      if (it != result.detect.net.messages_by_kind.end()) {
+        erc_msgs = it->second;
+      }
+      table.AddRow({lazy ? result.app_name : "", lazy ? "lazy (LRC)" : "eager (ERC)",
+                    TablePrinter::WithThousands(result.detect.net.messages) +
+                        (erc_msgs ? " (" + TablePrinter::WithThousands(erc_msgs) + " pushes)"
+                                  : ""),
+                    TablePrinter::Fixed(static_cast<double>(result.detect.net.bytes) / 1e6, 1),
+                    TablePrinter::Fixed(result.Slowdown(), 2),
+                    std::to_string(result.detect.races.size())});
+    }
+  }
+  table.Print();
+  std::printf("\nERC multiplies synchronization-time messages (every dirty release fans\n"
+              "out to p-1 nodes and waits); LRC defers and piggybacks. Race detection\n"
+              "results are unaffected: the ordering metadata is identical.\n");
+  return 0;
+}

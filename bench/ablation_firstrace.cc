@@ -1,0 +1,36 @@
+// Ablation for §6.4: reporting all races vs only "first" races. Barrier
+// semantics order epochs totally, so every first race lives in the earliest
+// racy epoch; the filter is the trivial online extension the paper sketches.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace cvm;
+  std::printf("=== Ablation (§6.4): all races vs first races ===\n");
+
+  TablePrinter table({"App", "All races", "First races", "Earliest racy epoch", "Reduction"});
+  for (const bench::NamedApp& app : bench::PaperApps()) {
+    DsmOptions options = bench::PaperOptions(8);
+    WorkloadResult all = RunWorkloadDetectOnly(app.factory, options);
+    const std::vector<RaceReport> first = FilterFirstRaces(all.detect.races);
+    EpochId epoch = -1;
+    if (!first.empty()) {
+      epoch = first.front().epoch;
+    }
+    const double reduction =
+        all.detect.races.empty()
+            ? 0.0
+            : 1.0 - static_cast<double>(first.size()) /
+                        static_cast<double>(all.detect.races.size());
+    table.AddRow({all.app_name, std::to_string(all.detect.races.size()),
+                  std::to_string(first.size()),
+                  epoch < 0 ? "-" : std::to_string(epoch),
+                  TablePrinter::Percent(reduction, 1)});
+  }
+  table.Print();
+  std::printf("\nPaper: \"all first races must occur in the same barrier epoch. Modifying\n"
+              "our system to perform this check online is a trivial extension.\"\n");
+  return 0;
+}

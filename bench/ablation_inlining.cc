@@ -1,0 +1,48 @@
+// Ablation for §6.5's first enhancement: ATOM could not inline
+// instrumentation — only procedure calls can be inserted — and the paper
+// measures ~6.7% of total overhead going to the call itself, to disappear
+// with the promised inlining-capable ATOM (as Shasta demonstrated). We model
+// inlining by zeroing the per-access procedure-call cost.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace cvm;
+  std::printf("=== Ablation (§6.5): call-based vs inlined instrumentation ===\n");
+
+  TablePrinter table({"App", "Slowdown (call)", "Slowdown (inlined)", "Proc-call share",
+                      "Overhead eliminated"});
+  double share_sum = 0;
+  int apps = 0;
+  for (const bench::NamedApp& app : bench::PaperApps()) {
+    DsmOptions options = bench::PaperOptions(8);
+    WorkloadResult call = RunWorkloadMedian(app.factory, options, 3);
+
+    options.costs.proc_call_ns = 0;  // The inlined analysis body remains.
+    WorkloadResult inlined = RunWorkloadMedian(app.factory, options, 3);
+
+    const double share = call.TotalOverheadFraction() > 0
+                             ? call.OverheadFraction(Bucket::kProcCall) /
+                                   call.TotalOverheadFraction()
+                             : 0;
+    const double eliminated =
+        call.TotalOverheadFraction() > 0
+            ? 1.0 - inlined.TotalOverheadFraction() / call.TotalOverheadFraction()
+            : 0;
+    share_sum += share;
+    ++apps;
+    table.AddRow({call.app_name, TablePrinter::Fixed(call.Slowdown(), 2),
+                  TablePrinter::Fixed(inlined.Slowdown(), 2), TablePrinter::Percent(share, 1),
+                  TablePrinter::Percent(eliminated, 1)});
+  }
+  table.Print();
+  if (apps > 0) {
+    std::printf("\nAverage procedure-call share of overhead: %.1f%%. The paper reports the\n"
+                "call at 6.7%% of overhead on average — our modelled call is a larger share\n"
+                "because the Alpha-era analysis body was costlier relative to the call.\n",
+                100.0 * share_sum / apps);
+  }
+  return 0;
+}

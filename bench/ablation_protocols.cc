@@ -1,0 +1,36 @@
+// Ablation: single-writer LRC (the paper's prototype substrate) vs the
+// multi-writer home-based variant. §6.2 notes the large page size
+// exacerbates single-writer false-sharing ping-pong; the race-detection
+// algorithm "will work identically with CVM's multi-writer protocol".
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace cvm;
+  std::printf("=== Ablation: single-writer vs multi-writer (home-based) LRC ===\n");
+
+  TablePrinter table({"App", "Protocol", "Page faults", "Messages", "MBytes", "Slowdown",
+                      "Races"});
+  for (const bench::NamedApp& app : bench::PaperApps()) {
+    for (ProtocolKind protocol :
+         {ProtocolKind::kSingleWriterLrc, ProtocolKind::kMultiWriterHomeLrc}) {
+      DsmOptions options = bench::PaperOptions(8);
+      options.protocol = protocol;
+      WorkloadResult result = RunWorkloadMedian(app.factory, options, 3);
+      table.AddRow({protocol == ProtocolKind::kSingleWriterLrc ? result.app_name : "",
+                    protocol == ProtocolKind::kSingleWriterLrc ? "single-writer"
+                                                               : "multi-writer home",
+                    TablePrinter::WithThousands(result.detect.page_faults),
+                    TablePrinter::WithThousands(result.detect.net.messages),
+                    TablePrinter::Fixed(static_cast<double>(result.detect.net.bytes) / 1e6, 1),
+                    TablePrinter::Fixed(result.Slowdown(), 2),
+                    std::to_string(result.detect.races.size())});
+    }
+  }
+  table.Print();
+  std::printf("\nThe detector reports the same true races under either protocol; the\n"
+              "substrate changes only fault/traffic behaviour (§6.2, §6.5).\n");
+  return 0;
+}

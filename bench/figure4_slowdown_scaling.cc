@@ -1,0 +1,37 @@
+// Reproduces Figure 4 ("Slowdown Factor versus Number of Processors"):
+// slowdown for each application at 2, 4, and 8 processors. The paper's
+// seemingly anomalous shape — slowdown DECREASES with more processors —
+// comes from (i) interval/bitmap comparison being serialized at the master
+// (observable overhead constant in p) while (ii) instrumentation costs run
+// in parallel with the shared accesses, so per-process instrumentation
+// overhead shrinks as work spreads.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace cvm;
+  std::printf("=== Figure 4: Slowdown Factor vs Number of Processors ===\n");
+
+  const int procs[] = {2, 4, 8};
+  TablePrinter table({"App", "2 procs", "4 procs", "8 procs", "Monotone decreasing?"});
+  for (const bench::NamedApp& app : bench::PaperApps()) {
+    std::vector<std::string> row = {app.name};
+    std::vector<double> slowdowns;
+    for (int p : procs) {
+      WorkloadResult result = RunWorkloadMedian(app.factory, bench::PaperOptions(p), 5);
+      slowdowns.push_back(result.Slowdown());
+      row.push_back(TablePrinter::Fixed(result.Slowdown(), 2));
+    }
+    // Noise tolerance: treat within 10% as "not increasing".
+    const bool decreasing =
+        slowdowns[1] <= slowdowns[0] * 1.10 && slowdowns[2] <= slowdowns[1] * 1.10;
+    row.push_back(decreasing ? "yes" : "no");
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\nPaper: slowdown decreases toward ~2x at 8 processors for every app\n"
+              "(instrumentation parallelizes; master-side comparison stays constant).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Table 2 ("Instrumentation Statistics"): the static
+// classification of every load/store in each application binary into the
+// categories ATOM can eliminate (stack, statically-allocated, shared
+// library, CVM) and the remainder that must be instrumented.
+//
+// Paper values for reference:
+//   FFT   1285 / 1496 / 124716 / 3910 / 261
+//   SOR    342 / 1304 /  48717 / 3910 / 126
+//   TSP    244 / 1213 /  48717 / 3910 / 350
+//   Water  649 / 1919 / 124716 / 3910 / 528
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/instr/binary_image.h"
+
+int main() {
+  using namespace cvm;
+  std::printf("=== Table 2: Instrumentation Statistics ===\n");
+
+  TablePrinter table(
+      {"App", "Stack", "Static", "Library", "CVM", "Inst.", "Eliminated"});
+  for (const bench::NamedApp& named : bench::PaperApps()) {
+    std::unique_ptr<ParallelApp> app = named.factory();
+    const BinaryImage image = SynthesizeBinary(app->name(), app->instruction_mix(), 1996);
+    const ClassifyResult result = StaticClassifier().Classify(image);
+    table.AddRow({app->name(), std::to_string(result.stack), std::to_string(result.static_data),
+                  std::to_string(result.library), std::to_string(result.cvm),
+                  std::to_string(result.instrumented),
+                  TablePrinter::Percent(result.EliminatedFraction(), 2)});
+  }
+  table.Print();
+
+  std::printf("\n--- §6.5 extension: inter-procedural def-use analysis ---\n");
+  TablePrinter extension({"App", "Inst. (basic-block)", "Inst. (inter-procedural)", "Reduction"});
+  for (const bench::NamedApp& named : bench::PaperApps()) {
+    std::unique_ptr<ParallelApp> app = named.factory();
+    InstructionMix mix = app->instruction_mix();
+    // The intra-block analysis resolves nothing extra in these binaries;
+    // model the inter-procedural pass resolving its calibrated fraction of
+    // the remaining "false" candidates.
+    const BinaryImage image = SynthesizeBinary(app->name(), mix, 1996);
+    const ClassifyResult basic = StaticClassifier(false).Classify(image);
+    const ClassifyResult inter = StaticClassifier(true).Classify(image);
+    extension.AddRow({app->name(), std::to_string(basic.instrumented),
+                      std::to_string(inter.instrumented),
+                      TablePrinter::Percent(
+                          1.0 - static_cast<double>(inter.instrumented) /
+                                    static_cast<double>(basic.instrumented),
+                          1)});
+  }
+  extension.Print();
+  std::printf("\nPaper: over 99%% of all loads and stores are statically eliminated (§5.1);\n"
+              "inter-procedural analysis would remove many of the remaining \"false\"\n"
+              "instrumentations (§6.5).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Table 3 ("Dynamic Metrics"): the fraction of intervals involved
+// in concurrent overlapping pairs, the fraction of recorded bitmaps actually
+// fetched for comparison, the bandwidth overhead of read notices on
+// synchronization messages, and the instrumented access rates split into
+// shared and private.
+//
+// Paper values for reference:
+//         IntUsed Bitmaps MsgOhead  Shared/s  Private/s
+//   FFT     15%     1%     0.4%      311079    924226
+//   SOR      0%     0%     1.6%      483310    251200
+//   TSP     93%    13%     1.3%      737159   2195510
+//   Water   13%    11%    48.3%      145095    982965
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace cvm;
+  std::printf("=== Table 3: Dynamic Metrics (8 processors) ===\n");
+
+  TablePrinter table({"App", "Intervals Used", "Bitmaps Used", "Msg Ohead (all)",
+                      "Msg Ohead (sync)", "Shared Acc/s", "Private Acc/s"});
+  for (const bench::NamedApp& app : bench::PaperApps()) {
+    WorkloadResult result = RunWorkloadMedian(app.factory, bench::PaperOptions(8), 3);
+    table.AddRow({result.app_name, TablePrinter::Percent(result.IntervalsUsed(), 0),
+                  TablePrinter::Percent(result.BitmapsUsed(), 0),
+                  TablePrinter::Percent(result.MsgOverhead(), 1),
+                  TablePrinter::Percent(result.MsgOverheadSyncOnly(), 1),
+                  TablePrinter::WithThousands(static_cast<uint64_t>(result.SharedPerSecond())),
+                  TablePrinter::WithThousands(static_cast<uint64_t>(result.PrivatePerSecond()))});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shapes: SOR exhibits zero unsynchronized sharing; TSP's intervals are\n"
+      "almost all involved in concurrent overlapping pairs (93%%) yet only 13%% of\n"
+      "bitmaps are fetched; Water's fine-grained synchronization makes read notices\n"
+      "dominate synchronization bandwidth (48%%); private instrumented accesses\n"
+      "outnumber shared ones for all but SOR.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// §6.3: what happens when a program does not synchronize globally often
+// enough. A lock-only producer/consumer phase accumulates interval records
+// without bound; calling Consolidate() — CVM's "consolidate global state
+// between synchronizations" — runs the race check and garbage-collects,
+// keeping retained consistency data flat while still finding every race.
+#include <cstdio>
+
+#include "src/cvm.h"
+
+namespace {
+
+cvm::RunResult RunPhase(bool consolidate, int chunks, int ops_per_chunk) {
+  using namespace cvm;
+  DsmOptions options;
+  options.num_nodes = 4;
+  options.page_size = 1024;
+  options.max_shared_bytes = 1 << 20;
+  DsmSystem system(options);
+  auto queue = SharedArray<int32_t>::Alloc(system, "queue", 64);
+  auto head = SharedVar<int32_t>::Alloc(system, "head");
+  auto peek = SharedVar<int32_t>::Alloc(system, "peek");  // Racily probed.
+
+  return system.Run([&, consolidate, chunks, ops_per_chunk](NodeContext& ctx) {
+    if (ctx.id() == 0) {
+      head.Set(ctx, 0);
+    }
+    ctx.Barrier();
+    for (int chunk = 0; chunk < chunks; ++chunk) {
+      for (int i = 0; i < ops_per_chunk; ++i) {
+        ctx.Lock(1);
+        const int32_t at = head.Get(ctx);
+        queue.Set(ctx, at % 64, ctx.id());
+        head.Set(ctx, at + 1);
+        ctx.Unlock(1);
+        if (ctx.id() == 1) {
+          peek.Set(ctx, at);  // Unsynchronized "progress hint" — racy.
+        } else if (ctx.id() == 3) {
+          (void)peek.Get(ctx);
+        }
+      }
+      if (consolidate) {
+        ctx.Consolidate();
+      }
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  using namespace cvm;
+  constexpr int kChunks = 8;
+  constexpr int kOps = 25;
+
+  std::printf("lock-only phase: %d chunks x %d locked ops per node, 4 nodes\n\n", kChunks, kOps);
+
+  RunResult without = RunPhase(false, kChunks, kOps);
+  RunResult with = RunPhase(true, kChunks, kOps);
+
+  std::printf("%-34s %-18s %s\n", "", "no consolidation", "Consolidate() per chunk");
+  std::printf("%-34s %-18zu %zu\n", "max retained interval records",
+              without.max_interval_log_size, with.max_interval_log_size);
+  std::printf("%-34s %-18zu %zu\n", "max retained bitmap pairs",
+              without.max_retained_bitmap_pairs, with.max_retained_bitmap_pairs);
+  std::printf("%-34s %-18zu %zu\n", "races reported (racy 'peek' var)", without.races.size(),
+              with.races.size());
+
+  std::printf("\nWithout global synchronization the interval log grows with the phase;\n"
+              "periodic consolidation bounds it at roughly one chunk's worth while the\n"
+              "same races are still detected (\"we can exploit CVM routines that allow\n"
+              "global state to be consolidated between synchronizations\" — §6.3).\n");
+  return with.max_interval_log_size * 2 < without.max_interval_log_size ? 0 : 1;
+}

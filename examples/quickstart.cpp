@@ -1,0 +1,57 @@
+// Quickstart: build a 4-node DSM, write a tiny parallel program with one
+// intentional data race, and let the detector report it.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/dsm/dsm.h"
+#include "src/dsm/handles.h"
+
+int main() {
+  using namespace cvm;
+
+  // 1. Configure the DSM: 4 nodes, 4 KB pages, race detection on (default).
+  DsmOptions options;
+  options.num_nodes = 4;
+  options.page_size = 4096;
+  options.max_shared_bytes = 1 << 20;
+  DsmSystem system(options);
+
+  // 2. Allocate named shared data (names symbolize race reports).
+  auto counter = SharedVar<int32_t>::Alloc(system, "counter");
+  auto partials = SharedArray<int32_t>::Alloc(system, "partials", 16);
+
+  // 3. Run an SPMD program on every node.
+  RunResult result = system.Run([&](NodeContext& ctx) {
+    if (ctx.id() == 0) {
+      counter.Set(ctx, 0);
+    }
+    ctx.Barrier();
+
+    // Correct: lock-protected read-modify-write.
+    ctx.Lock(0);
+    counter.Set(ctx, counter.Get(ctx) + 1);
+    ctx.Unlock(0);
+
+    // Correct: each node writes its own slot (false sharing at worst).
+    partials.Set(ctx, ctx.id(), ctx.id() * 10);
+
+    // BUG: everyone also updates slot 15 with no synchronization.
+    partials.Set(ctx, 15, ctx.id());
+
+    ctx.Barrier();
+    if (ctx.id() == 0) {
+      std::printf("counter = %d (expected %d)\n", counter.Get(ctx), ctx.num_nodes());
+    }
+  });
+
+  // 4. Inspect the detector's findings.
+  std::printf("\n%zu data race(s) found:\n", result.races.size());
+  for (const RaceReport& race : result.races) {
+    std::printf("  %s\n", race.ToString().c_str());
+  }
+  std::printf("\nNote: the lock-protected counter and the per-node slots are clean;\n"
+              "only the unsynchronized writes to partials[15] race.\n");
+  return result.races.empty() ? 1 : 0;
+}

@@ -1,0 +1,50 @@
+// The paper's headline true positive: TSP deliberately reads the global tour
+// bound without synchronization (a stale bound only causes redundant work,
+// never a wrong answer). Run the real branch-and-bound solver under the
+// detector and inspect the reported races — all of them are on the bound.
+#include <cstdio>
+#include <map>
+
+#include "src/apps/tsp.h"
+#include "src/apps/workload.h"
+
+int main() {
+  using namespace cvm;
+
+  TspApp::Params params;
+  params.num_cities = 12;
+  params.prefix_depth = 3;
+
+  DsmOptions options;
+  options.num_nodes = 8;
+  options.page_size = 4096;
+  options.max_shared_bytes = 8 << 20;
+
+  auto app = std::make_unique<TspApp>(params);
+  DsmSystem system(options);
+  app->Setup(system);
+  std::printf("Solving %s with 8 workers (bound reads are unsynchronized)...\n",
+              app->input_description().c_str());
+  RunResult result = system.Run([&](NodeContext& ctx) { app->Run(ctx); });
+
+  std::printf("optimal tour %s (verified against serial branch-and-bound)\n",
+              app->Verify() ? "correct" : "WRONG");
+
+  std::map<std::string, std::map<const char*, int>> by_symbol;
+  for (const RaceReport& race : result.races) {
+    std::string symbol = race.symbol.substr(0, race.symbol.find('+'));
+    by_symbol[symbol][RaceKindName(race.kind)]++;
+  }
+  std::printf("\n%zu distinct races, grouped by variable:\n", result.races.size());
+  for (const auto& [symbol, kinds] : by_symbol) {
+    std::printf("  %-16s", symbol.c_str());
+    for (const auto& [kind, count] : kinds) {
+      std::printf("  %s x%d", kind, count);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nThe read-write races on tsp_min_tour are the benign-by-design bound\n"
+              "probes; the result above is still optimal. \"Out-of-date tour bounds may\n"
+              "cause redundant work to be performed, but do not violate correctness.\"\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Common interface for the four evaluation applications (FFT, SOR, TSP,
+// Water). An app describes itself (Table 1/2 metadata), allocates its shared
+// data in Setup, runs SPMD in Run, and self-verifies on node 0 before the
+// final barrier. One app object serves one DsmSystem run; the harness
+// constructs a fresh instance per run via a factory.
+#ifndef CVM_APPS_APP_H_
+#define CVM_APPS_APP_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/dsm/dsm.h"
+#include "src/dsm/handles.h"
+#include "src/instr/binary_image.h"
+
+namespace cvm {
+
+class ParallelApp {
+ public:
+  virtual ~ParallelApp() = default;
+
+  virtual std::string name() const = 0;
+  // Table 1 "Input Set" and "Synchronization" strings.
+  virtual std::string input_description() const = 0;
+  virtual std::string sync_description() const = 0;
+
+  // Instruction-mix model of the app's binary (Table 2), calibrated to the
+  // paper's reported per-binary counts; see DESIGN.md §1 for the ATOM
+  // substitution rationale.
+  virtual InstructionMix instruction_mix() const = 0;
+
+  // Allocates shared data; called once before Run, single-threaded.
+  virtual void Setup(DsmSystem& system) = 0;
+
+  // SPMD body, executed concurrently by every node.
+  virtual void Run(NodeContext& ctx) = 0;
+
+  // Called after the run completes; returns true if the computed result
+  // matches the serial reference (stored by node 0 during Run).
+  virtual bool Verify() const = 0;
+};
+
+using AppFactory = std::function<std::unique_ptr<ParallelApp>()>;
+
+}  // namespace cvm
+
+#endif  // CVM_APPS_APP_H_

@@ -1,0 +1,70 @@
+// FFT: a 2-D complex FFT over an R x C matrix, decomposed the way the
+// Splash2-style FFT kernels are — a row phase (each node transforms its own
+// row block), a barrier, and a column phase (each node transforms its own
+// column block, reading every other node's phase-1 output). Rows are packed,
+// not page-padded, so the column phase's strided writes put several writers
+// on the same pages: barrier-concurrent intervals with overlapping page sets
+// that turn out to be false sharing — the behaviour behind FFT's Table 3 row
+// (15% intervals used, only 1% of bitmaps fetched, no races).
+#ifndef CVM_APPS_FFT_H_
+#define CVM_APPS_FFT_H_
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+
+namespace cvm {
+
+// In-place radix-2 FFT shared by the parallel app and the serial reference.
+void Radix2Fft(std::vector<std::complex<float>>& data);
+
+// The same transform over instrumented private buffers: the butterfly
+// loads/stores are pointer-based accesses ATOM cannot statically prove
+// private, so they go through the analysis routine at run time — the bulk
+// of FFT's instrumented-private access rate (Table 3).
+void Radix2FftLocal(LocalArray<float>& re, LocalArray<float>& im);
+
+class FftApp : public ParallelApp {
+ public:
+  struct Params {
+    int rows = 64;  // Power of two.
+    int cols = 64;  // Power of two.
+  };
+
+  explicit FftApp(Params params) : params_(params) {}
+
+  std::string name() const override { return "FFT"; }
+  std::string input_description() const override {
+    return std::to_string(params_.rows) + "x" + std::to_string(params_.cols);
+  }
+  std::string sync_description() const override { return "barrier"; }
+  InstructionMix instruction_mix() const override;
+
+  void Setup(DsmSystem& system) override;
+  void Run(NodeContext& ctx) override;
+  bool Verify() const override { return verified_ok_; }
+
+ private:
+  size_t Index(int row, int col) const {
+    return static_cast<size_t>(row) * params_.cols + col;
+  }
+  // Index into the transposed (cols x rows) scratch matrix.
+  size_t TIndex(int trow, int tcol) const {
+    return static_cast<size_t>(trow) * params_.rows + tcol;
+  }
+  static float InitialRe(int row, int col);
+  static float InitialIm(int row, int col);
+
+  Params params_;
+  SharedArray<float> re_;
+  SharedArray<float> im_;
+  SharedArray<float> tre_;  // Transposed scratch.
+  SharedArray<float> tim_;
+  bool verified_ok_ = false;
+};
+
+}  // namespace cvm
+
+#endif  // CVM_APPS_FFT_H_

@@ -1,0 +1,54 @@
+// LU: Splash2-style blocked LU factorization (no pivoting, diagonally
+// dominant input), a fifth workload beyond the paper's four. Blocks are
+// distributed 2-D round-robin; each outer step factorizes the diagonal
+// block, updates the perimeter, then the interior, with barriers between
+// phases. Correct code: the detector must stay silent.
+#ifndef CVM_APPS_LU_H_
+#define CVM_APPS_LU_H_
+
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+
+namespace cvm {
+
+class LuApp : public ParallelApp {
+ public:
+  struct Params {
+    int n = 64;          // Matrix dimension.
+    int block = 8;       // Block dimension; must divide n.
+    uint64_t seed = 3;
+  };
+
+  explicit LuApp(Params params) : params_(params) {}
+
+  std::string name() const override { return "LU"; }
+  std::string input_description() const override {
+    return std::to_string(params_.n) + "x" + std::to_string(params_.n) + ", B=" +
+           std::to_string(params_.block);
+  }
+  std::string sync_description() const override { return "barrier"; }
+  InstructionMix instruction_mix() const override;
+
+  void Setup(DsmSystem& system) override;
+  void Run(NodeContext& ctx) override;
+  bool Verify() const override { return verified_ok_; }
+
+ private:
+  size_t Index(int row, int col) const { return static_cast<size_t>(row) * params_.n + col; }
+  // Owner of block (bi, bj) under 2-D round-robin distribution.
+  int OwnerOf(int bi, int bj, int num_nodes) const {
+    const int nb = params_.n / params_.block;
+    return (bi * nb + bj) % num_nodes;
+  }
+  float InitialValue(int row, int col) const;
+
+  Params params_;
+  SharedArray<float> a_;
+  bool verified_ok_ = false;
+};
+
+}  // namespace cvm
+
+#endif  // CVM_APPS_LU_H_

@@ -1,0 +1,269 @@
+#include "src/apps/tsp.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace cvm {
+namespace {
+
+// Expands all tour prefixes of the given depth starting at city 0.
+void EnumeratePrefixes(int num_cities, int depth, std::vector<int32_t>& prefix,
+                       std::vector<std::vector<int32_t>>& out) {
+  if (static_cast<int>(prefix.size()) == depth) {
+    out.push_back(prefix);
+    return;
+  }
+  for (int32_t city = 1; city < num_cities; ++city) {
+    if (std::find(prefix.begin(), prefix.end(), city) != prefix.end()) {
+      continue;
+    }
+    prefix.push_back(city);
+    EnumeratePrefixes(num_cities, depth, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+// Serial depth-first branch and bound continuing from `path`.
+void SerialSearch(const std::vector<int32_t>& dist, int n, std::vector<int32_t>& path,
+                  uint32_t visited, int32_t length, int32_t* best) {
+  if (static_cast<int>(path.size()) == n) {
+    const int32_t total = length + dist[path.back() * n + 0];
+    *best = std::min(*best, total);
+    return;
+  }
+  const int32_t last = path.back();
+  for (int32_t city = 1; city < n; ++city) {
+    if (visited & (1u << city)) {
+      continue;
+    }
+    const int32_t extended = length + dist[last * n + city];
+    if (extended >= *best) {
+      continue;
+    }
+    path.push_back(city);
+    SerialSearch(dist, n, path, visited | (1u << city), extended, best);
+    path.pop_back();
+  }
+}
+
+// Deterministic greedy nearest-neighbour tour: the standard initial bound.
+// Starting from a strong bound also shrinks the schedule-dependence of the
+// search (stale-bound pruning differences matter less), which is why real
+// branch-and-bound codes seed it.
+int32_t GreedyTour(const std::vector<int32_t>& dist, int n, std::vector<int32_t>* tour) {
+  std::vector<bool> used(n, false);
+  tour->assign(1, 0);
+  used[0] = true;
+  int32_t length = 0;
+  for (int step = 1; step < n; ++step) {
+    const int32_t last = tour->back();
+    int32_t best_city = -1;
+    int32_t best_d = 0;
+    for (int32_t c = 1; c < n; ++c) {
+      if (!used[c] && (best_city < 0 || dist[last * n + c] < best_d)) {
+        best_city = c;
+        best_d = dist[last * n + c];
+      }
+    }
+    tour->push_back(best_city);
+    used[best_city] = true;
+    length += best_d;
+  }
+  return length + dist[tour->back() * n + 0];
+}
+
+}  // namespace
+
+InstructionMix TspApp::instruction_mix() const {
+  // Calibrated to Table 2's TSP row: 244 stack, 1213 static, 48717 library,
+  // 3910 CVM, 350 instrumented candidates.
+  InstructionMix mix;
+  mix.stack = 244;
+  mix.static_data = 1213;
+  mix.library = 48717;
+  mix.cvm = 3910;
+  mix.candidate = 350;
+  mix.candidate_private_block = 0.0;
+  mix.candidate_private_interproc = 0.68;
+  return mix;
+}
+
+std::vector<int32_t> TspApp::MakeDistances() const {
+  Rng rng(params_.seed);
+  const int n = params_.num_cities;
+  std::vector<int32_t> dist(static_cast<size_t>(n) * n, 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const int32_t d = static_cast<int32_t>(rng.Range(10, 99));
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+    }
+  }
+  return dist;
+}
+
+int32_t TspApp::SolveSerial() const {
+  const std::vector<int32_t> dist = MakeDistances();
+  std::vector<int32_t> path = {0};
+  int32_t best = kInfinity;
+  SerialSearch(dist, params_.num_cities, path, 1u, 0, &best);
+  return best;
+}
+
+void TspApp::Setup(DsmSystem& system) {
+  const int n = params_.num_cities;
+  CVM_CHECK_LE(n, 20);
+  CVM_CHECK_GE(n, params_.prefix_depth + 2);
+
+  std::vector<std::vector<int32_t>> prefixes;
+  std::vector<int32_t> prefix = {0};
+  EnumeratePrefixes(n, params_.prefix_depth, prefix, prefixes);
+  num_tasks_ = static_cast<int>(prefixes.size());
+
+  // Distance rows are page-padded: DFS intervals read several benign pages,
+  // so most recorded bitmaps never join a check list (Table 3's low
+  // "Bitmaps Used" despite TSP's high "Intervals Used").
+  dist_stride_ = params_.page_size / kWordSize;
+  dist_ = SharedArray<int32_t>::Alloc(system, "tsp_dist", static_cast<size_t>(n) * dist_stride_);
+  queue_ = SharedArray<int32_t>::Alloc(
+      system, "tsp_queue", static_cast<size_t>(num_tasks_) * params_.prefix_depth);
+  queue_head_ = SharedVar<int32_t>::Alloc(system, "tsp_queue_head");
+  min_tour_ = SharedVar<int32_t>::Alloc(system, "tsp_min_tour");
+  best_tour_ = SharedArray<int32_t>::Alloc(system, "tsp_best_tour", n);
+}
+
+namespace {
+
+// Parallel worker's DFS. Reads the global bound WITHOUT the lock (the
+// intentional race); takes the bound lock only to improve it.
+struct ParallelSearch {
+  NodeContext& ctx;
+  const TspApp::Params& params;
+  LocalArray<int32_t>& local_dist;
+  LocalArray<int32_t>& path;
+  const SharedVar<int32_t>& min_tour;
+  const SharedArray<int32_t>& best_tour;
+  const SharedArray<int32_t>& dist_shared;
+  size_t dist_stride;
+  LockId bound_lock;
+  int n;
+
+  void Dfs(int depth, uint32_t visited, int32_t length) {
+    ctx.Compute(85);
+    // Touch the (page-padded, read-only) distance row of the current city:
+    // the shared read the original performs when it walks the matrix.
+    (void)dist_shared.Get(ctx, static_cast<size_t>(path.Get(depth - 1)) * dist_stride);
+    if (depth == n) {
+      const int32_t total = length + local_dist.Get(path.Get(n - 1) * n + 0);
+      ctx.SetSite("tsp.cc:bound_check_unlocked");
+      const int32_t bound = min_tour.Get(ctx);  // RACE: unsynchronized read.
+      ctx.SetSite("tsp.cc:search");
+      if (total < bound) {
+        ctx.Lock(bound_lock);
+        ctx.SetSite("tsp.cc:bound_update_locked");
+        if (total < min_tour.Get(ctx)) {
+          min_tour.Set(ctx, total);
+          for (int d = 0; d < n; ++d) {
+            best_tour.Set(ctx, d, path.Get(d));
+          }
+        }
+        ctx.SetSite("tsp.cc:search");
+        ctx.Unlock(bound_lock);
+      }
+      return;
+    }
+    const int32_t last = path.Get(depth - 1);
+    for (int32_t city = 1; city < n; ++city) {
+      if (visited & (1u << city)) {
+        continue;
+      }
+      const int32_t extended = length + local_dist.Get(last * n + city);
+      ctx.SetSite("tsp.cc:prune_check_unlocked");
+      const int32_t bound = min_tour.Get(ctx);  // RACE: unsynchronized read.
+      ctx.SetSite("tsp.cc:search");
+      if (extended >= bound) {
+        continue;  // Pruned, possibly against a stale bound — benign.
+      }
+      path.Set(depth, city);
+      Dfs(depth + 1, visited | (1u << city), extended);
+    }
+  }
+};
+
+}  // namespace
+
+void TspApp::Run(NodeContext& ctx) {
+  const int n = params_.num_cities;
+
+  if (ctx.id() == 0) {
+    const std::vector<int32_t> dist = MakeDistances();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        dist_.Set(ctx, static_cast<size_t>(i) * dist_stride_ + j, dist[i * n + j]);
+      }
+    }
+    std::vector<std::vector<int32_t>> prefixes;
+    std::vector<int32_t> prefix = {0};
+    EnumeratePrefixes(n, params_.prefix_depth, prefix, prefixes);
+    for (size_t t = 0; t < prefixes.size(); ++t) {
+      for (int d = 0; d < params_.prefix_depth; ++d) {
+        queue_.Set(ctx, t * params_.prefix_depth + d, prefixes[t][d]);
+      }
+    }
+    queue_head_.Set(ctx, 0);
+    std::vector<int32_t> greedy;
+    const int32_t greedy_len = GreedyTour(dist, n, &greedy);
+    min_tour_.Set(ctx, greedy_len);
+    for (int d = 0; d < n; ++d) {
+      best_tour_.Set(ctx, d, greedy[d]);
+    }
+  }
+  ctx.Barrier();
+
+  // Private copy of the distance matrix: pointer-chased reads ATOM cannot
+  // prove private, so they stay instrumented — the source of TSP's high
+  // private access rate (Table 3).
+  LocalArray<int32_t> local_dist(ctx, static_cast<size_t>(n) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      local_dist.Set(i * n + j, dist_.Get(ctx, static_cast<size_t>(i) * dist_stride_ + j));
+    }
+  }
+  LocalArray<int32_t> path(ctx, n);
+  ctx.SetSite("tsp.cc:search");
+
+  ParallelSearch search{ctx,        params_,    local_dist, path, min_tour_,
+                        best_tour_, dist_,      dist_stride_, kBoundLock, n};
+
+  while (true) {
+    ctx.Lock(kQueueLock);
+    const int32_t task = queue_head_.Get(ctx);
+    if (task < num_tasks_) {
+      queue_head_.Set(ctx, task + 1);
+    }
+    ctx.Unlock(kQueueLock);
+    if (task >= num_tasks_) {
+      break;
+    }
+
+    uint32_t visited = 1u;
+    int32_t length = 0;
+    path.Set(0, 0);
+    for (int d = 1; d < params_.prefix_depth; ++d) {
+      const int32_t city = queue_.Get(ctx, static_cast<size_t>(task) * params_.prefix_depth + d);
+      path.Set(d, city);
+      visited |= 1u << city;
+      length += local_dist.Get(path.Get(d - 1) * n + city);
+    }
+    search.Dfs(params_.prefix_depth, visited, length);
+  }
+
+  ctx.Barrier();
+  if (ctx.id() == 0) {
+    verified_ok_ = (min_tour_.Get(ctx) == SolveSerial());
+  }
+}
+
+}  // namespace cvm

@@ -1,0 +1,294 @@
+#include "src/apps/water.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace cvm {
+
+InstructionMix WaterApp::instruction_mix() const {
+  // Calibrated to Table 2's Water row: 649 stack, 1919 static, 124716
+  // library, 3910 CVM, 528 instrumented candidates.
+  InstructionMix mix;
+  mix.stack = 649;
+  mix.static_data = 1919;
+  mix.library = 124716;
+  mix.cvm = 3910;
+  mix.candidate = 528;
+  mix.candidate_private_block = 0.0;
+  mix.candidate_private_interproc = 0.62;
+  return mix;
+}
+
+WaterApp::Vec3 WaterApp::InitialPos(int m) const {
+  const int side = static_cast<int>(std::ceil(std::cbrt(static_cast<double>(params_.molecules))));
+  Vec3 p;
+  p.x = static_cast<float>(m % side) * 1.2f;
+  p.y = static_cast<float>((m / side) % side) * 1.2f;
+  p.z = static_cast<float>(m / (side * side)) * 1.2f;
+  return p;
+}
+
+WaterApp::Vec3 WaterApp::InitialVel(int m) const {
+  Rng rng(params_.seed + static_cast<uint64_t>(m) * 1315423911ull);
+  Vec3 v;
+  v.x = static_cast<float>(rng.NextDouble() - 0.5) * 0.1f;
+  v.y = static_cast<float>(rng.NextDouble() - 0.5) * 0.1f;
+  v.z = static_cast<float>(rng.NextDouble() - 0.5) * 0.1f;
+  return v;
+}
+
+const float WaterApp::kSiteOffsets[9] = {0.0f,   0.0f,  0.0f,  0.10f, 0.05f,
+                                         -0.03f, -0.08f, 0.06f, 0.04f};
+
+void WaterApp::MoleculeForce(const Vec3& d, const float* site_offsets, Vec3* force,
+                             float* potential) {
+  force->x = force->y = force->z = 0;
+  *potential = 0;
+  for (int s1 = 0; s1 < 3; ++s1) {
+    for (int s2 = 0; s2 < 3; ++s2) {
+      const Vec3 dd{d.x + site_offsets[s1 * 3 + 0] - site_offsets[s2 * 3 + 0],
+                    d.y + site_offsets[s1 * 3 + 1] - site_offsets[s2 * 3 + 1],
+                    d.z + site_offsets[s1 * 3 + 2] - site_offsets[s2 * 3 + 2]};
+      Vec3 f;
+      float pot;
+      PairForce(dd, &f, &pot);
+      force->x += f.x;
+      force->y += f.y;
+      force->z += f.z;
+      *potential += pot;
+    }
+  }
+}
+
+void WaterApp::PairForce(const Vec3& d, Vec3* force, float* potential) {
+  const float r2 = d.x * d.x + d.y * d.y + d.z * d.z;
+  if (r2 >= kCutoff * kCutoff || r2 < 1e-6f) {
+    force->x = force->y = force->z = 0;
+    *potential = 0;
+    return;
+  }
+  // Truncated, softened inverse-power interaction (LJ-like shape).
+  const float inv2 = 1.0f / (r2 + 0.5f);
+  const float inv6 = inv2 * inv2 * inv2;
+  const float magnitude = 24.0f * inv6 * inv2 * (2.0f * inv6 - 1.0f);
+  force->x = magnitude * d.x;
+  force->y = magnitude * d.y;
+  force->z = magnitude * d.z;
+  *potential = 4.0f * inv6 * (inv6 - 1.0f);
+}
+
+void WaterApp::Setup(DsmSystem& system) {
+  const size_t n = static_cast<size_t>(params_.molecules);
+  const char* axes[3] = {"x", "y", "z"};
+  for (int a = 0; a < 3; ++a) {
+    pos_[a] = SharedArray<float>::Alloc(system, std::string("water_pos_") + axes[a], n);
+    vel_[a] = SharedArray<float>::Alloc(system, std::string("water_vel_") + axes[a], n);
+  }
+  const size_t chunks =
+      (n + kMoleculesPerLock - 1) / kMoleculesPerLock;
+  force_ = SharedArray<float>::Alloc(system, "water_force",
+                                     chunks * (params_.page_size / kWordSize));
+  potential_ = SharedVar<float>::Alloc(system, "water_potential");
+  virial_ = SharedVar<float>::Alloc(system, "water_virial");
+}
+
+void WaterApp::Run(NodeContext& ctx) {
+  const int n = params_.molecules;
+  const int p = ctx.num_nodes();
+  const int per_node = (n + p - 1) / p;
+  const int first = ctx.id() * per_node;
+  const int last = std::min(n - 1, first + per_node - 1);
+
+  // Parallel initialization: each node places its own molecule block.
+  for (int m = first; m <= last; ++m) {
+    const Vec3 ipos = InitialPos(m);
+    const Vec3 ivel = InitialVel(m);
+    pos_[0].Set(ctx, m, ipos.x);
+    pos_[1].Set(ctx, m, ipos.y);
+    pos_[2].Set(ctx, m, ipos.z);
+    vel_[0].Set(ctx, m, ivel.x);
+    vel_[1].Set(ctx, m, ivel.y);
+    vel_[2].Set(ctx, m, ivel.z);
+  }
+  if (ctx.id() == 0) {
+    potential_.Set(ctx, 0.0f);
+    virial_.Set(ctx, 0.0f);
+  }
+  ctx.Barrier();
+
+  for (int iter = 0; iter < params_.iters; ++iter) {
+    // Phase A: zero own force block (barrier-separated from accumulation).
+    for (int m = first; m <= last; ++m) {
+      for (int a = 0; a < 3; ++a) {
+        force_.Set(ctx, ForceIndex(m, a), 0.0f);
+      }
+    }
+    ctx.Barrier();
+
+    // Phase B: pairwise forces. Each node handles pairs (i, j), i in its own
+    // block, j > i; contributions are buffered per molecule chunk and
+    // flushed under that chunk's lock — the fine-grained synchronization
+    // that gives Water its high interval count (Table 1: 46 per barrier).
+    const int chunks = (n + kMoleculesPerLock - 1) / kMoleculesPerLock;
+    const auto chunk_of = [](int m) { return m / kMoleculesPerLock; };
+    // Instrumented private accumulation buffers: pointer-chased stores ATOM
+    // keeps instrumented (the bulk of Water's private access rate, Table 3).
+    LocalArray<float> buffer(ctx, static_cast<size_t>(chunks) * kMoleculesPerLock * 3, 0.0f);
+    const auto slot = [](int chunk, int m, int a) {
+      return static_cast<size_t>(chunk) * kMoleculesPerLock * 3 +
+             static_cast<size_t>(m % kMoleculesPerLock) * 3 + static_cast<size_t>(a);
+    };
+    for (size_t s = 0; s < buffer.size(); ++s) {
+      buffer.Set(s, 0.0f);
+    }
+    // Intra-molecular site geometry, held in an instrumented private table
+    // (re-read per interaction, as the original walks its molecule structs).
+    LocalArray<float> sites(ctx, 9);
+    for (int s = 0; s < 9; ++s) {
+      sites.Set(s, kSiteOffsets[s]);
+    }
+    float my_potential = 0.0f;
+    float my_virial = 0.0f;
+    float site_buf[9];
+    for (int i = first; i <= last; ++i) {
+      const Vec3 pi{pos_[0].Get(ctx, i), pos_[1].Get(ctx, i), pos_[2].Get(ctx, i)};
+      for (int j = i + 1; j < n; ++j) {
+        const Vec3 pj{pos_[0].Get(ctx, j), pos_[1].Get(ctx, j), pos_[2].Get(ctx, j)};
+        const Vec3 d{pi.x - pj.x, pi.y - pj.y, pi.z - pj.z};
+        // Walk the 3x3 site-pair structure through the instrumented private
+        // table, as the original walks its molecule structs.
+        for (int s1 = 0; s1 < 3; ++s1) {
+          for (int s2 = 0; s2 < 3; ++s2) {
+            for (int a = 0; a < 3; ++a) {
+              site_buf[s1 * 3 + a] = sites.Get(s1 * 3 + a);
+            }
+            (void)sites.Get(s2 * 3);
+          }
+        }
+        Vec3 f;
+        float pot;
+        MoleculeForce(d, site_buf, &f, &pot);
+        ctx.Compute(9 * 18);
+        my_potential += pot;
+        my_virial += f.x * d.x + f.y * d.y + f.z * d.z;
+        const int ci = chunk_of(i);
+        buffer.Set(slot(ci, i, 0), buffer.Get(slot(ci, i, 0)) + f.x);
+        buffer.Set(slot(ci, i, 1), buffer.Get(slot(ci, i, 1)) + f.y);
+        buffer.Set(slot(ci, i, 2), buffer.Get(slot(ci, i, 2)) + f.z);
+        const int cj = chunk_of(j);
+        buffer.Set(slot(cj, j, 0), buffer.Get(slot(cj, j, 0)) - f.x);
+        buffer.Set(slot(cj, j, 1), buffer.Get(slot(cj, j, 1)) - f.y);
+        buffer.Set(slot(cj, j, 2), buffer.Get(slot(cj, j, 2)) - f.z);
+      }
+    }
+    for (int chunk = 0; chunk < chunks; ++chunk) {
+      const int chunk_first = chunk * kMoleculesPerLock;
+      const int chunk_last = std::min(n - 1, chunk_first + kMoleculesPerLock - 1);
+      bool any = false;
+      for (int m = chunk_first; m <= chunk_last && !any; ++m) {
+        for (int a = 0; a < 3; ++a) {
+          if (buffer.raw()[slot(chunk, m, a)] != 0.0f) {
+            any = true;
+            break;
+          }
+        }
+      }
+      if (!any) {
+        continue;
+      }
+      ctx.Lock(kForceLockBase + chunk);
+      for (int m = chunk_first; m <= chunk_last; ++m) {
+        for (int a = 0; a < 3; ++a) {
+          const float add = buffer.Get(slot(chunk, m, a));
+          if (add != 0.0f) {
+            const size_t fi = ForceIndex(m, a);
+            force_.Set(ctx, fi, force_.Get(ctx, fi) + add);
+          }
+        }
+      }
+      ctx.Unlock(kForceLockBase + chunk);
+    }
+
+    // Global accumulators. Potential is correctly locked; the virial update
+    // models the Splash2 Water bug: a read-modify-write of a shared global
+    // with no lock around it (write-write and read-write races).
+    ctx.Lock(kEnergyLock);
+    ctx.SetSite("water.cc:potential_locked");
+    potential_.Set(ctx, potential_.Get(ctx) + my_potential);
+    ctx.Unlock(kEnergyLock);
+    if (params_.fix_virial_bug) {
+      ctx.Lock(kVirialLock);
+      virial_.Set(ctx, virial_.Get(ctx) + my_virial);
+      ctx.Unlock(kVirialLock);
+    } else {
+      ctx.SetSite("water.cc:virial_unlocked_BUG");
+      virial_.Set(ctx, virial_.Get(ctx) + my_virial);  // RACE: missing lock.
+      ctx.SetSite("water.cc:run");
+    }
+    ctx.Barrier();
+
+    // Phase C: integrate own block.
+    for (int m = first; m <= last; ++m) {
+      for (int a = 0; a < 3; ++a) {
+        const float f = force_.Get(ctx, ForceIndex(m, a));
+        const float v = vel_[a].Get(ctx, m) + f * kDt;
+        vel_[a].Set(ctx, m, v);
+        pos_[a].Set(ctx, m, pos_[a].Get(ctx, m) + v * kDt);
+      }
+      ctx.Compute(9);
+    }
+    ctx.Barrier();
+  }
+
+  if (ctx.id() == 0) {
+    // Serial reference: same arithmetic, deterministic order. Force sums are
+    // order-sensitive in float, so compare with tolerance; the virial is
+    // intentionally corrupted by the race and is not verified.
+    std::vector<Vec3> spos(n), svel(n), sforce(n);
+    for (int m = 0; m < n; ++m) {
+      spos[m] = InitialPos(m);
+      svel[m] = InitialVel(m);
+    }
+    for (int iter = 0; iter < params_.iters; ++iter) {
+      for (int m = 0; m < n; ++m) {
+        sforce[m] = Vec3{};
+      }
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          const Vec3 d{spos[i].x - spos[j].x, spos[i].y - spos[j].y, spos[i].z - spos[j].z};
+          Vec3 f;
+          float pot;
+          MoleculeForce(d, kSiteOffsets, &f, &pot);
+          sforce[i].x += f.x;
+          sforce[i].y += f.y;
+          sforce[i].z += f.z;
+          sforce[j].x -= f.x;
+          sforce[j].y -= f.y;
+          sforce[j].z -= f.z;
+        }
+      }
+      for (int m = 0; m < n; ++m) {
+        svel[m].x += sforce[m].x * kDt;
+        svel[m].y += sforce[m].y * kDt;
+        svel[m].z += sforce[m].z * kDt;
+        spos[m].x += svel[m].x * kDt;
+        spos[m].y += svel[m].y * kDt;
+        spos[m].z += svel[m].z * kDt;
+      }
+    }
+    bool ok = true;
+    for (int m = 0; m < n && ok; ++m) {
+      const float gx = pos_[0].Get(ctx, m);
+      const float gy = pos_[1].Get(ctx, m);
+      const float gz = pos_[2].Get(ctx, m);
+      ok = std::fabs(gx - spos[m].x) < 1e-2f && std::fabs(gy - spos[m].y) < 1e-2f &&
+           std::fabs(gz - spos[m].z) < 1e-2f;
+    }
+    verified_ok_ = ok;
+  }
+}
+
+}  // namespace cvm

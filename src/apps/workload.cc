@@ -1,0 +1,133 @@
+#include "src/apps/workload.h"
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace cvm {
+namespace {
+
+RunResult RunOnce(const AppFactory& factory, const DsmOptions& options, std::string* name,
+                  std::string* input, std::string* sync, bool* verified) {
+  std::unique_ptr<ParallelApp> app = factory();
+  CVM_CHECK(app != nullptr);
+  if (name != nullptr) {
+    *name = app->name();
+    *input = app->input_description();
+    *sync = app->sync_description();
+  }
+  DsmSystem system(options);
+  app->Setup(system);
+  RunResult result = system.Run([&app](NodeContext& ctx) { app->Run(ctx); });
+  if (verified != nullptr) {
+    *verified = app->Verify();
+  }
+  return result;
+}
+
+}  // namespace
+
+double WorkloadResult::OverheadFraction(Bucket bucket) const {
+  double bucket_sum = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    bucket_sum += detect.overhead_ns[b];
+  }
+  if (bucket_sum <= 0 || base.sim_time_ns <= 0) {
+    return 0;
+  }
+  const double share = detect.overhead_ns[static_cast<int>(bucket)] / bucket_sum;
+  return share * TotalOverheadFraction();
+}
+
+double WorkloadResult::IntervalsUsed() const {
+  if (detect.detector.intervals_total == 0) {
+    return 0;
+  }
+  return static_cast<double>(detect.detector.intervals_in_overlap) /
+         static_cast<double>(detect.detector.intervals_total);
+}
+
+double WorkloadResult::BitmapsUsed() const {
+  if (detect.bitmap_pairs_recorded == 0) {
+    return 0;
+  }
+  return static_cast<double>(detect.detector.checklist_entries) /
+         static_cast<double>(detect.bitmap_pairs_recorded);
+}
+
+double WorkloadResult::MsgOverhead() const {
+  // Table 3 "Msg Ohead": the marginal bandwidth of read notices relative to
+  // everything else the DSM moves (page data included).
+  const uint64_t other = detect.net.bytes - detect.net.read_notice_bytes;
+  if (other == 0) {
+    return 0;
+  }
+  return static_cast<double>(detect.net.read_notice_bytes) / static_cast<double>(other);
+}
+
+double WorkloadResult::MsgOverheadSyncOnly() const {
+  // Alternative denominator: only the synchronization messages read notices
+  // actually ride on (§5.3 discusses notices inflating sync messages toward
+  // system maximums).
+  uint64_t sync_bytes = 0;
+  for (const char* kind : {"LockRequest", "LockGrant", "BarrierArrive", "BarrierRelease"}) {
+    auto it = detect.net.bytes_by_kind.find(kind);
+    if (it != detect.net.bytes_by_kind.end()) {
+      sync_bytes += it->second;
+    }
+  }
+  if (sync_bytes <= detect.net.read_notice_bytes) {
+    return 0;
+  }
+  return static_cast<double>(detect.net.read_notice_bytes) /
+         static_cast<double>(sync_bytes - detect.net.read_notice_bytes);
+}
+
+double WorkloadResult::SharedPerSecond() const {
+  if (detect.sim_time_ns <= 0) {
+    return 0;
+  }
+  return static_cast<double>(detect.access.shared_accesses) / (detect.sim_time_ns * 1e-9);
+}
+
+double WorkloadResult::PrivatePerSecond() const {
+  if (detect.sim_time_ns <= 0) {
+    return 0;
+  }
+  return static_cast<double>(detect.access.private_accesses) / (detect.sim_time_ns * 1e-9);
+}
+
+WorkloadResult RunWorkload(const AppFactory& factory, DsmOptions options) {
+  WorkloadResult result;
+  options.race_detection = true;
+  result.detect = RunOnce(factory, options, &result.app_name, &result.input, &result.sync,
+                          &result.verified);
+  options.race_detection = false;
+  result.base = RunOnce(factory, options, nullptr, nullptr, nullptr, nullptr);
+  return result;
+}
+
+WorkloadResult RunWorkloadMedian(const AppFactory& factory, const DsmOptions& options,
+                                 int repeats) {
+  CVM_CHECK_GT(repeats, 0);
+  std::vector<WorkloadResult> runs;
+  runs.reserve(repeats);
+  for (int i = 0; i < repeats; ++i) {
+    runs.push_back(RunWorkload(factory, options));
+  }
+  std::sort(runs.begin(), runs.end(), [](const WorkloadResult& a, const WorkloadResult& b) {
+    return a.Slowdown() < b.Slowdown();
+  });
+  return runs[runs.size() / 2];
+}
+
+WorkloadResult RunWorkloadDetectOnly(const AppFactory& factory, DsmOptions options) {
+  WorkloadResult result;
+  options.race_detection = true;
+  result.detect = RunOnce(factory, options, &result.app_name, &result.input, &result.sync,
+                          &result.verified);
+  result.base = result.detect;
+  return result;
+}
+
+}  // namespace cvm

@@ -1,0 +1,69 @@
+// Workload driver: runs an application twice — instrumented (race detection
+// on) and unaltered (detection off) — and derives every metric the paper's
+// evaluation reports: slowdown (Table 1, Figure 4), the Figure 3 overhead
+// breakdown, and the Table 3 dynamic metrics.
+#ifndef CVM_APPS_WORKLOAD_H_
+#define CVM_APPS_WORKLOAD_H_
+
+#include <string>
+
+#include "src/apps/app.h"
+#include "src/dsm/dsm.h"
+#include "src/dsm/options.h"
+
+namespace cvm {
+
+struct WorkloadResult {
+  std::string app_name;
+  std::string input;
+  std::string sync;
+  bool verified = false;
+
+  RunResult detect;  // Instrumented run (race detection on).
+  RunResult base;    // Unaltered run (race detection off).
+
+  // Table 1 "Slowdown": instrumented vs unaltered simulated runtime.
+  double Slowdown() const {
+    return base.sim_time_ns > 0 ? detect.sim_time_ns / base.sim_time_ns : 0.0;
+  }
+
+  // Figure 3: the share of the unaltered runtime added by `bucket`.
+  // The total added time (detect - base, on the critical path) is split
+  // across buckets in proportion to the per-node overhead sums.
+  double OverheadFraction(Bucket bucket) const;
+  double TotalOverheadFraction() const { return Slowdown() - 1.0; }
+
+  // Table 3 columns.
+  double IntervalsUsed() const;   // % intervals in >=1 concurrent overlapping pair.
+  double BitmapsUsed() const;     // % of recorded bitmaps fetched for checks.
+  double MsgOverhead() const;      // Read-notice bytes vs ALL other traffic.
+  double MsgOverheadSyncOnly() const;  // ...vs synchronization messages only.
+  double SharedPerSecond() const;
+  double PrivatePerSecond() const;
+
+  // Table 1 "Memory Size" in kbytes.
+  double MemoryKb() const { return static_cast<double>(detect.shared_bytes_used) / 1024.0; }
+  double IntervalsPerBarrier(int num_nodes) const {
+    return detect.IntervalsPerBarrier(num_nodes);
+  }
+};
+
+// Runs the app from `factory` under `options` twice (detection on and off)
+// and gathers the metrics. The options' race_detection flag is overridden
+// per run.
+WorkloadResult RunWorkload(const AppFactory& factory, DsmOptions options);
+
+// Runs only once with the given options (used by ablation benches that do
+// not need the base run).
+WorkloadResult RunWorkloadDetectOnly(const AppFactory& factory, DsmOptions options);
+
+// Runs the workload `repeats` times and returns the run with the median
+// slowdown. Lock-based applications (TSP above all) do schedule-dependent
+// amounts of work — a stale tour bound means extra search — so single-run
+// slowdowns are noisy; the paper's measurements face the same effect.
+WorkloadResult RunWorkloadMedian(const AppFactory& factory, const DsmOptions& options,
+                                 int repeats);
+
+}  // namespace cvm
+
+#endif  // CVM_APPS_WORKLOAD_H_

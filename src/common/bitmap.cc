@@ -1,0 +1,22 @@
+#include "src/common/bitmap.h"
+
+#include <sstream>
+
+namespace cvm {
+
+std::string Bitmap::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (uint32_t bit : SetBits()) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << bit;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace cvm

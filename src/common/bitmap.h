@@ -1,0 +1,134 @@
+// Fixed-size bitmaps used to record which words of a page were accessed
+// during one interval (the paper's per-page access bitmaps) and, more
+// generally, as dense page sets for the O(pages) overlap variant of §6.2.
+#ifndef CVM_COMMON_BITMAP_H_
+#define CVM_COMMON_BITMAP_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace cvm {
+
+// A dynamically-sized bitmap with word-parallel intersection tests.
+// Bit i corresponds to word i of a page (or page i of the segment).
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(uint32_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0ull) {}
+
+  uint32_t size() const { return num_bits_; }
+  bool empty() const { return popcount() == 0; }
+
+  void Set(uint32_t bit) {
+    CVM_CHECK_LT(bit, num_bits_);
+    words_[bit >> 6] |= 1ull << (bit & 63);
+  }
+
+  void Clear(uint32_t bit) {
+    CVM_CHECK_LT(bit, num_bits_);
+    words_[bit >> 6] &= ~(1ull << (bit & 63));
+  }
+
+  bool Test(uint32_t bit) const {
+    CVM_CHECK_LT(bit, num_bits_);
+    return (words_[bit >> 6] >> (bit & 63)) & 1ull;
+  }
+
+  void Reset() { std::fill(words_.begin(), words_.end(), 0ull); }
+
+  // Number of set bits.
+  uint32_t popcount() const {
+    uint32_t n = 0;
+    for (uint64_t w : words_) {
+      n += static_cast<uint32_t>(__builtin_popcountll(w));
+    }
+    return n;
+  }
+
+  // True iff this and other share at least one set bit. This is the paper's
+  // constant-time (per page) bitmap comparison of §4 step 5.
+  bool Intersects(const Bitmap& other) const {
+    CVM_CHECK_EQ(num_bits_, other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & other.words_[i]) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Bit indices present in both maps — the racing words.
+  std::vector<uint32_t> IntersectionBits(const Bitmap& other) const {
+    CVM_CHECK_EQ(num_bits_, other.num_bits_);
+    std::vector<uint32_t> bits;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      uint64_t w = words_[i] & other.words_[i];
+      while (w != 0) {
+        uint32_t b = static_cast<uint32_t>(__builtin_ctzll(w));
+        bits.push_back(static_cast<uint32_t>(i * 64 + b));
+        w &= w - 1;
+      }
+    }
+    return bits;
+  }
+
+  // All set bit indices.
+  std::vector<uint32_t> SetBits() const {
+    std::vector<uint32_t> bits;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      uint64_t w = words_[i];
+      while (w != 0) {
+        uint32_t b = static_cast<uint32_t>(__builtin_ctzll(w));
+        bits.push_back(static_cast<uint32_t>(i * 64 + b));
+        w &= w - 1;
+      }
+    }
+    return bits;
+  }
+
+  void UnionWith(const Bitmap& other) {
+    CVM_CHECK_EQ(num_bits_, other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+  }
+
+  void IntersectWith(const Bitmap& other) {
+    CVM_CHECK_EQ(num_bits_, other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= other.words_[i];
+    }
+  }
+
+  bool operator==(const Bitmap& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+  // Wire form: raw 64-bit words (little-endian host order; the simulated
+  // network never crosses machines).
+  const std::vector<uint64_t>& words() const { return words_; }
+  size_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
+
+  static Bitmap FromWords(uint32_t num_bits, std::vector<uint64_t> words) {
+    Bitmap bm;
+    bm.num_bits_ = num_bits;
+    bm.words_ = std::move(words);
+    CVM_CHECK_EQ(bm.words_.size(), (num_bits + 63) / 64);
+    return bm;
+  }
+
+  std::string ToString() const;
+
+ private:
+  uint32_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace cvm
+
+#endif  // CVM_COMMON_BITMAP_H_

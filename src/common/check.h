@@ -1,0 +1,61 @@
+// Fatal-check macros. The DSM is a runtime library: internal invariant
+// violations abort with a message rather than throwing, following the
+// surrounding project style (no exceptions across the public API).
+#ifndef CVM_COMMON_CHECK_H_
+#define CVM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cvm {
+namespace internal {
+
+// Streams an optional message, then aborts in its destructor. Used only via
+// the CVM_CHECK* macros below.
+class Failer {
+ public:
+  Failer(const char* file, int line, const char* expr) : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~Failer() {
+    std::fprintf(stderr, "CVM CHECK failed at %s:%d: %s %s\n", file_, line_, expr_,
+                 msg_.str().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  template <typename T>
+  Failer& operator<<(const T& value) {
+    msg_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream msg_;
+};
+
+}  // namespace internal
+}  // namespace cvm
+
+// gtest-style dangling-else-safe conditional abort with streamed detail:
+//   CVM_CHECK(ptr != nullptr) << "page " << id;
+#define CVM_CHECK(expr)     \
+  switch (0)                \
+  case 0:                   \
+  default:                  \
+    if (expr) {             \
+    } else /* NOLINT */     \
+      ::cvm::internal::Failer(__FILE__, __LINE__, #expr)
+
+#define CVM_CHECK_EQ(a, b) CVM_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CVM_CHECK_NE(a, b) CVM_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CVM_CHECK_LT(a, b) CVM_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CVM_CHECK_LE(a, b) CVM_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CVM_CHECK_GT(a, b) CVM_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CVM_CHECK_GE(a, b) CVM_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // CVM_COMMON_CHECK_H_

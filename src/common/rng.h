@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation. Every stochastic choice in
+// the repository (synthetic workloads, property-test case generation, the
+// BinaryImage generator) draws from one of these so runs are reproducible.
+#ifndef CVM_COMMON_RNG_H_
+#define CVM_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "src/common/check.h"
+
+namespace cvm {
+
+// SplitMix64: tiny, fast, and good enough for workload generation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound).
+  uint64_t Below(uint64_t bound) {
+    CVM_CHECK_GT(bound, 0u);
+    return Next() % bound;
+  }
+
+  // Uniform in [lo, hi].
+  int64_t Range(int64_t lo, int64_t hi) {
+    CVM_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace cvm
+
+#endif  // CVM_COMMON_RNG_H_

@@ -1,0 +1,35 @@
+// Minimal aligned-table printer used by the benchmark harnesses to emit the
+// paper's tables (Table 1–3) and figure series in a readable text form.
+#ifndef CVM_COMMON_TABLE_H_
+#define CVM_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace cvm {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds one row; cells beyond the header count are dropped, missing cells
+  // render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with a header rule, columns padded to the widest cell.
+  std::string ToString() const;
+  void Print() const;
+
+  // Formatting helpers for cells.
+  static std::string Fixed(double value, int decimals);
+  static std::string Percent(double fraction, int decimals);
+  static std::string WithThousands(uint64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cvm
+
+#endif  // CVM_COMMON_TABLE_H_

@@ -1,0 +1,45 @@
+// Core typed identifiers and size constants shared by every cvm module.
+#ifndef CVM_COMMON_TYPES_H_
+#define CVM_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace cvm {
+
+// Identifies one DSM node (a simulated processor). Nodes are numbered 0..p-1.
+using NodeId = int32_t;
+
+// Identifies one page of the global shared segment.
+using PageId = int32_t;
+
+// Identifies a lock managed by the distributed lock manager.
+using LockId = int32_t;
+
+// Byte offset into the global shared segment. The segment is a single flat
+// address space common to all nodes; each node holds private copies of its
+// pages, kept consistent by the LRC protocol.
+using GlobalAddr = uint64_t;
+
+// Index of one interval within a node's totally-ordered interval sequence.
+// Interval 0 is the node's first interval.
+using IntervalIndex = int32_t;
+
+// Logical barrier-epoch number. Epoch e covers everything between barrier
+// e-1's release and barrier e's arrival.
+using EpochId = int32_t;
+
+// Granularity at which accesses are tracked ("typically a single word").
+inline constexpr uint64_t kWordSize = 4;
+
+inline constexpr NodeId kNoNode = -1;
+inline constexpr GlobalAddr kNullAddr = ~0ull;
+
+// Word index within a page for a byte offset.
+inline constexpr uint32_t WordInPage(uint64_t offset_in_page) {
+  return static_cast<uint32_t>(offset_in_page / kWordSize);
+}
+
+}  // namespace cvm
+
+#endif  // CVM_COMMON_TYPES_H_

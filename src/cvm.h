@@ -1,0 +1,21 @@
+// Umbrella header: everything a library user needs to build and run DSM
+// applications with online race detection.
+//
+//   #include "src/cvm.h"
+//
+//   cvm::DsmOptions options;
+//   cvm::DsmSystem system(options);
+//   auto data = cvm::SharedArray<int32_t>::Alloc(system, "data", 1024);
+//   cvm::RunResult result = system.Run([&](cvm::NodeContext& ctx) { ... });
+#ifndef CVM_CVM_H_
+#define CVM_CVM_H_
+
+#include "src/dsm/dsm.h"       // DsmSystem, DsmOptions, RunResult
+#include "src/dsm/handles.h"   // SharedArray, SharedVar, LocalArray
+#include "src/dsm/node.h"      // NodeContext API
+#include "src/race/postmortem.h"
+#include "src/race/race_report.h"
+#include "src/race/replay.h"
+#include "src/race/trace_io.h"
+
+#endif  // CVM_CVM_H_

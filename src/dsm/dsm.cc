@@ -1,0 +1,150 @@
+#include "src/dsm/dsm.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/check.h"
+
+namespace cvm {
+
+DsmSystem::DsmSystem(DsmOptions options) : options_(std::move(options)) {
+  CVM_CHECK_GT(options_.num_nodes, 0);
+  CVM_CHECK_GT(options_.num_locks, 0);
+  if (options_.write_detection == WriteDetection::kDiffs) {
+    CVM_CHECK(options_.protocol == ProtocolKind::kMultiWriterHomeLrc)
+        << "diff-based write detection requires the multi-writer protocol (§6.5)";
+  }
+  segment_ = std::make_unique<SharedSegment>(options_.page_size, options_.max_shared_bytes);
+  network_ = std::make_unique<Network>(options_.num_nodes);
+  detector_ =
+      std::make_unique<RaceDetector>(segment_->num_pages(), options_.overlap_method);
+}
+
+DsmSystem::~DsmSystem() {
+  network_->Close();
+  for (auto& node : nodes_) {
+    if (node != nullptr) {
+      node->JoinService();
+    }
+  }
+}
+
+GlobalAddr DsmSystem::Alloc(const std::string& name, uint64_t bytes, bool page_align) {
+  CVM_CHECK(!ran_) << "allocate shared data before Run()";
+  return segment_->Alloc(name, bytes, page_align);
+}
+
+Node& DsmSystem::node(NodeId id) {
+  CVM_CHECK_GE(id, 0);
+  CVM_CHECK_LT(id, static_cast<NodeId>(nodes_.size()));
+  return *nodes_[id];
+}
+
+void DsmSystem::AddReports(std::vector<RaceReport> reports) {
+  std::lock_guard<std::mutex> guard(results_mu_);
+  for (RaceReport& report : reports) {
+    reports_.push_back(std::move(report));
+  }
+}
+
+void DsmSystem::AddWatchHit(WatchHit hit) {
+  std::lock_guard<std::mutex> guard(results_mu_);
+  watch_hits_.push_back(std::move(hit));
+}
+
+RunResult DsmSystem::Run(const std::function<void(NodeContext&)>& app) {
+  CVM_CHECK(!ran_) << "DsmSystem is one-shot; construct a fresh one per run";
+  ran_ = true;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  nodes_.reserve(options_.num_nodes);
+  for (NodeId id = 0; id < options_.num_nodes; ++id) {
+    nodes_.push_back(std::make_unique<Node>(id, this));
+  }
+  for (auto& node : nodes_) {
+    node->StartService();
+  }
+
+  std::vector<std::thread> app_threads;
+  app_threads.reserve(options_.num_nodes);
+  for (NodeId id = 0; id < options_.num_nodes; ++id) {
+    app_threads.emplace_back([this, id, &app] {
+      Node& node = *nodes_[id];
+      app(node);
+      // Implicit final barrier: the last epoch's accesses get race-checked
+      // (the system only discards trace data after checking it).
+      node.Barrier();
+    });
+  }
+  for (std::thread& t : app_threads) {
+    t.join();
+  }
+
+  network_->Close();
+  for (auto& node : nodes_) {
+    node->JoinService();
+  }
+  if (options_.race_detection && options_.postmortem_trace) {
+    for (const auto& node : nodes_) {
+      node->DumpTraceBitmaps(trace_);
+    }
+  }
+
+  RunResult result;
+  {
+    std::lock_guard<std::mutex> guard(results_mu_);
+    // Deduplicate identical (kind, word, pair) reports; the same race can be
+    // observed from several overlapping check-list entries.
+    for (const RaceReport& report : reports_) {
+      bool duplicate = false;
+      for (const RaceReport& kept : result.races) {
+        if (kept.SameRace(report)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        result.races.push_back(report);
+      }
+    }
+    if (options_.first_races_only) {
+      result.races = FilterFirstRaces(result.races);
+    }
+    result.watch_hits = watch_hits_;
+    result.recorded_schedule = recorded_schedule_;
+  }
+
+  result.net = network_->stats();
+  result.detector = detector_->stats();
+  result.shared_bytes_used = segment_->used_bytes();
+  for (const auto& node : nodes_) {
+    result.access.Accumulate(node->access_counters());
+    result.intervals_total += node->intervals_created();
+    result.page_faults += node->page_faults();
+    result.bitmap_pairs_recorded += node->bitmap_pairs_recorded();
+    result.max_interval_log_size =
+        std::max(result.max_interval_log_size, node->max_interval_log_size());
+    result.max_retained_bitmap_pairs =
+        std::max(result.max_retained_bitmap_pairs, node->max_retained_bitmap_pairs());
+    result.sim_time_ns = std::max(result.sim_time_ns, node->timing().now_ns());
+    for (int b = 0; b < kNumBuckets; ++b) {
+      result.overhead_ns[b] += node->timing().overhead_ns(static_cast<Bucket>(b));
+    }
+  }
+  result.barriers = nodes_.empty() ? 0 : nodes_[0]->barriers();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return result;
+}
+
+RunResult RunDsmApp(const DsmOptions& options, const std::function<void(DsmSystem&)>& setup,
+                    const std::function<void(NodeContext&)>& app) {
+  DsmSystem system(options);
+  if (setup) {
+    setup(system);
+  }
+  return system.Run(app);
+}
+
+}  // namespace cvm

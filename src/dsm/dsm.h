@@ -1,0 +1,118 @@
+// DsmSystem: owns the shared segment, the network fabric, the nodes, the
+// race detector, and the run results. One DsmSystem performs one run:
+// construct, allocate shared data, Run(app), inspect the RunResult.
+#ifndef CVM_DSM_DSM_H_
+#define CVM_DSM_DSM_H_
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/dsm/node.h"
+#include "src/dsm/options.h"
+#include "src/instr/counters.h"
+#include "src/mem/shared_segment.h"
+#include "src/net/network.h"
+#include "src/race/detector.h"
+#include "src/race/postmortem.h"
+#include "src/race/race_report.h"
+#include "src/race/replay.h"
+#include "src/sim/cost_model.h"
+
+namespace cvm {
+
+// Everything the evaluation harness needs from one run.
+struct RunResult {
+  // Race detection output (deduplicated; symbolized).
+  std::vector<RaceReport> races;
+
+  // Dynamic metrics.
+  NetworkStats net;
+  DetectorStats detector;
+  AccessCounters access;
+  uint64_t intervals_total = 0;
+  uint64_t barriers = 0;                 // Per node (all nodes see the same count).
+  uint64_t page_faults = 0;
+  uint64_t bitmap_pairs_recorded = 0;    // Denominator of "Bitmaps Used".
+  uint64_t shared_bytes_used = 0;
+  // Storage high-water marks across nodes: retained interval records and
+  // bitmap pairs. Bounded by one barrier epoch in the online system; grows
+  // with the run under postmortem tracing.
+  size_t max_interval_log_size = 0;
+  size_t max_retained_bitmap_pairs = 0;
+
+  // Simulated time: critical path (max node clock) and per-bucket overhead
+  // sums across nodes (Figure 3 attribution).
+  double sim_time_ns = 0;
+  std::array<double, kNumBuckets> overhead_ns = {};
+  double wall_seconds = 0;
+
+  // §6.1 artifacts.
+  SyncSchedule recorded_schedule;
+  std::vector<WatchHit> watch_hits;
+
+  double IntervalsPerBarrier(int num_nodes) const {
+    if (barriers == 0 || num_nodes == 0) {
+      return 0;
+    }
+    return static_cast<double>(intervals_total) /
+           (static_cast<double>(barriers) * static_cast<double>(num_nodes));
+  }
+};
+
+class DsmSystem {
+ public:
+  explicit DsmSystem(DsmOptions options);
+  ~DsmSystem();
+
+  DsmSystem(const DsmSystem&) = delete;
+  DsmSystem& operator=(const DsmSystem&) = delete;
+
+  const DsmOptions& options() const { return options_; }
+  SharedSegment& segment() { return *segment_; }
+  Network& network() { return *network_; }
+
+  // Pre-run shared allocation (single-threaded, before Run).
+  GlobalAddr Alloc(const std::string& name, uint64_t bytes, bool page_align = true);
+
+  // Runs `app` on every node (the classic SPMD model all four benchmark
+  // applications use), appends an implicit final barrier so the last epoch
+  // is race-checked, and returns the collected results. Call once.
+  RunResult Run(const std::function<void(NodeContext&)>& app);
+
+  // ---- Internal, used by Node ----
+  Node& node(NodeId id);
+  RaceDetector& detector() { return *detector_; }  // Master-only, barrier-serialized.
+  PostMortemTrace& trace() { return trace_; }      // §7 post-mortem baseline.
+  void AddReports(std::vector<RaceReport> reports);
+  void AddWatchHit(WatchHit hit);
+  SyncSchedule& recorded_schedule() { return recorded_schedule_; }
+
+ private:
+  DsmOptions options_;
+  std::unique_ptr<SharedSegment> segment_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<RaceDetector> detector_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+
+  PostMortemTrace trace_;
+
+  std::mutex results_mu_;
+  std::vector<RaceReport> reports_;
+  std::vector<WatchHit> watch_hits_;
+  SyncSchedule recorded_schedule_;
+  bool ran_ = false;
+};
+
+// Convenience: run `app` under the given options with a fresh system and an
+// allocation callback. Returns the result.
+RunResult RunDsmApp(const DsmOptions& options,
+                    const std::function<void(DsmSystem&)>& setup,
+                    const std::function<void(NodeContext&)>& app);
+
+}  // namespace cvm
+
+#endif  // CVM_DSM_DSM_H_

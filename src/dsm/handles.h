@@ -1,0 +1,105 @@
+// Typed application-facing views of shared and instrumented-private memory.
+//
+//   SharedArray<T> / SharedVar<T>  — word-sized elements in the DSM's shared
+//     segment; every access goes through the node's instrumented accessors
+//     (the ATOM-inserted analysis calls).
+//   LocalArray<T> — per-node private storage whose accesses still pay the
+//     instrumentation cost: they model the loads/stores ATOM could not prove
+//     private at rewrite time, which at run time turn out to miss the shared
+//     segment (the dominant case, §5.1).
+#ifndef CVM_DSM_HANDLES_H_
+#define CVM_DSM_HANDLES_H_
+
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/dsm/dsm.h"
+#include "src/dsm/node.h"
+
+namespace cvm {
+
+template <typename T>
+concept WordSized = sizeof(T) == kWordSize && std::is_trivially_copyable_v<T>;
+
+template <WordSized T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+  SharedArray(GlobalAddr base, size_t count) : base_(base), count_(count) {}
+
+  // Allocates a named array in the system's shared segment; page-aligned by
+  // default (pass page_align=false to pack arrays and study false sharing).
+  static SharedArray Alloc(DsmSystem& system, const std::string& name, size_t count,
+                           bool page_align = true) {
+    return SharedArray(system.Alloc(name, count * kWordSize, page_align), count);
+  }
+
+  size_t size() const { return count_; }
+  GlobalAddr addr(size_t index) const {
+    CVM_CHECK_LT(index, count_);
+    return base_ + index * kWordSize;
+  }
+
+  T Get(NodeContext& ctx, size_t index) const { return ctx.Read<T>(addr(index)); }
+  void Set(NodeContext& ctx, size_t index, T value) const { ctx.Write<T>(addr(index), value); }
+
+ private:
+  GlobalAddr base_ = kNullAddr;
+  size_t count_ = 0;
+};
+
+template <WordSized T>
+class SharedVar {
+ public:
+  SharedVar() = default;
+  explicit SharedVar(GlobalAddr addr) : addr_(addr) {}
+
+  static SharedVar Alloc(DsmSystem& system, const std::string& name) {
+    // Scalars are word-aligned but not page-padded: distinct scalars share
+    // pages, exactly the layout that makes false sharing (and the bitmap
+    // comparison that filters it) interesting.
+    return SharedVar(system.Alloc(name, kWordSize, /*page_align=*/false));
+  }
+
+  GlobalAddr addr() const { return addr_; }
+  T Get(NodeContext& ctx) const { return ctx.Read<T>(addr_); }
+  void Set(NodeContext& ctx, T value) const { ctx.Write<T>(addr_, value); }
+
+ private:
+  GlobalAddr addr_ = kNullAddr;
+};
+
+template <WordSized T>
+class LocalArray {
+ public:
+  LocalArray(NodeContext& ctx, size_t count, T init = T{})
+      : ctx_(&ctx), va_(ctx.AllocPrivateVa(count * kWordSize)), data_(count, init) {}
+
+  size_t size() const { return data_.size(); }
+
+  T Get(size_t index) const {
+    CVM_CHECK_LT(index, data_.size());
+    ctx_->PrivateAccess(va_ + index * kWordSize, /*is_write=*/false);
+    return data_[index];
+  }
+  void Set(size_t index, T value) {
+    CVM_CHECK_LT(index, data_.size());
+    ctx_->PrivateAccess(va_ + index * kWordSize, /*is_write=*/true);
+    data_[index] = value;
+  }
+
+  // Uninstrumented raw view, for verification code that must not perturb
+  // the instrumentation counters.
+  const std::vector<T>& raw() const { return data_; }
+
+ private:
+  NodeContext* ctx_;
+  uint64_t va_;
+  std::vector<T> data_;
+};
+
+}  // namespace cvm
+
+#endif  // CVM_DSM_HANDLES_H_

@@ -1,0 +1,1046 @@
+#include "src/dsm/node.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/dsm/dsm.h"
+#include "src/mem/diff.h"
+
+namespace cvm {
+
+Node::Node(NodeId id, DsmSystem* system)
+    : system_(system),
+      id_(id),
+      opts_(system->options()),
+      pages_(system->segment().num_pages(), opts_.page_size),
+      am_owner_(system->segment().num_pages(), false),
+      home_materialized_(system->segment().num_pages(), false),
+      vc_(opts_.num_nodes),
+      log_(opts_.num_nodes),
+      bitmaps_(static_cast<uint32_t>(opts_.page_size / kWordSize)),
+      filter_(opts_.page_size, system->segment().size_bytes()),
+      locks_(opts_.num_locks),
+      manager_last_requester_(opts_.num_locks, kNoNode) {
+  home_owner_.assign(pages_.num_pages(), kNoNode);
+  for (PageId p = 0; p < pages_.num_pages(); ++p) {
+    const NodeId home = HomeOf(p);
+    am_owner_[p] = (home == id_);
+    if (home == id_) {
+      home_owner_[p] = id_;
+    }
+    pages_.entry(p).probable_owner = home;
+  }
+  for (LockId l = 0; l < opts_.num_locks; ++l) {
+    locks_[l].token = (ManagerOf(l) == id_);
+    locks_[l].release_vc = VectorClock(opts_.num_nodes);  // Nothing precedes it yet.
+    manager_last_requester_[l] = ManagerOf(l);
+  }
+  BeginIntervalLocked();  // Interval 0. Single-threaded here; no lock needed.
+}
+
+Node::~Node() = default;
+
+int Node::num_nodes() const { return opts_.num_nodes; }
+
+NodeId Node::HomeOf(PageId page) const { return page % opts_.num_nodes; }
+
+NodeId Node::ManagerOf(LockId lock) const { return lock % opts_.num_nodes; }
+
+void Node::Send(NodeId to, Payload payload) {
+  Message msg;
+  msg.from = id_;
+  msg.to = to;
+  msg.payload = std::move(payload);
+  system_->network().Send(std::move(msg));
+}
+
+void Node::StartService() {
+  service_thread_ = std::thread([this] { ServiceLoop(); });
+}
+
+void Node::JoinService() {
+  if (service_thread_.joinable()) {
+    service_thread_.join();
+  }
+}
+
+void Node::ServiceLoop() {
+  while (true) {
+    std::optional<Message> msg = system_->network().Recv(id_);
+    if (!msg.has_value()) {
+      return;  // Network closed.
+    }
+    if (std::get_if<PageRequestMsg>(&msg->payload) != nullptr) {
+      OnPageRequest(*msg);
+    } else if (std::get_if<PageReplyMsg>(&msg->payload) != nullptr) {
+      OnPageReply(*msg);
+    } else if (std::get_if<DiffFlushMsg>(&msg->payload) != nullptr) {
+      OnDiffFlush(*msg);
+    } else if (std::get_if<DiffFlushAckMsg>(&msg->payload) != nullptr) {
+      OnDiffFlushAck(*msg);
+    } else if (std::get_if<LockRequestMsg>(&msg->payload) != nullptr) {
+      OnLockRequest(*msg);
+    } else if (std::get_if<LockGrantMsg>(&msg->payload) != nullptr) {
+      OnLockGrant(*msg);
+    } else if (std::get_if<BarrierArriveMsg>(&msg->payload) != nullptr) {
+      OnBarrierArrive(*msg);
+    } else if (std::get_if<BitmapRequestMsg>(&msg->payload) != nullptr) {
+      OnBitmapRequest(*msg);
+    } else if (std::get_if<BitmapReplyMsg>(&msg->payload) != nullptr) {
+      OnBitmapReply(*msg);
+    } else if (std::get_if<BarrierReleaseMsg>(&msg->payload) != nullptr) {
+      OnBarrierRelease(*msg);
+    } else if (std::get_if<ErcUpdateMsg>(&msg->payload) != nullptr) {
+      OnErcUpdate(*msg);
+    } else if (std::get_if<ErcAckMsg>(&msg->payload) != nullptr) {
+      OnErcAck(*msg);
+    } else {
+      // ShutdownMsg: nothing to do; the Recv loop exits on network close.
+    }
+  }
+}
+
+// ---------------- Cost helpers ----------------
+
+void Node::ChargeInstrumentationLocked() {
+  timing_.Charge(Bucket::kProcCall, opts_.costs.proc_call_ns);
+  timing_.Charge(Bucket::kAccessCheck, opts_.costs.access_check_ns);
+}
+
+void Node::ChargeMessageLocked(size_t bytes, size_t read_notice_bytes) {
+  CVM_CHECK_GE(bytes, read_notice_bytes);
+  timing_.Charge(Bucket::kNone, opts_.costs.MessageCost(bytes - read_notice_bytes));
+  if (read_notice_bytes > 0) {
+    timing_.Charge(Bucket::kCvmMods,
+                   opts_.costs.per_byte_ns * static_cast<double>(read_notice_bytes));
+  }
+}
+
+// ---------------- Shared accesses ----------------
+
+void Node::Compute(uint64_t units) {
+  std::lock_guard<std::mutex> guard(mu_);
+  timing_.Charge(Bucket::kNone, opts_.costs.compute_unit_ns * static_cast<double>(units));
+}
+
+void Node::PrivateAccess(uint64_t va, bool is_write) {
+  std::lock_guard<std::mutex> guard(mu_);
+  timing_.Charge(Bucket::kNone, opts_.costs.base_access_ns);
+  if (opts_.race_detection) {
+    ChargeInstrumentationLocked();
+    AccessFilter::Result result = filter_.OnAccess(va, is_write);
+    CVM_CHECK(!result.shared) << "private VA resolved as shared";
+  }
+}
+
+uint64_t Node::AllocPrivateVa(uint64_t bytes) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const uint64_t va = private_va_next_;
+  private_va_next_ += (bytes + kWordSize - 1) / kWordSize * kWordSize;
+  return va;
+}
+
+uint32_t Node::ReadWord(GlobalAddr addr) {
+  std::unique_lock<std::mutex> lk(mu_);
+  timing_.Charge(Bucket::kNone, opts_.costs.base_access_ns);
+  const PageId page = static_cast<PageId>(addr / opts_.page_size);
+  const uint32_t word = WordInPage(addr % opts_.page_size);
+  if (opts_.race_detection) {
+    ChargeInstrumentationLocked();
+    AccessFilter::Result result = filter_.OnAccess(SharedVa(addr), /*is_write=*/false);
+    CVM_CHECK(result.shared);
+    bitmaps_.RecordRead(cur_interval_, page, word);
+    if (cur_reads_.insert(page).second) {
+      timing_.Charge(Bucket::kCvmMods, opts_.costs.notice_setup_ns);
+    }
+    if (opts_.watch.has_value()) {
+      const Watchpoint& w = *opts_.watch;
+      if (addr >= w.addr && addr < w.addr + w.bytes && (w.epoch == -1 || epoch_ == w.epoch)) {
+        system_->AddWatchHit(
+            WatchHit{id_, IntervalId{id_, cur_interval_}, epoch_, addr, false, site_});
+      }
+    }
+  }
+  if (!pages_.Readable(page)) {
+    ReadFaultLocked(lk, page);
+  }
+  const uint32_t value = pages_.ReadWord(page, word);
+  if (!pending_serves_.empty()) {
+    DrainPendingServesLocked(page);
+  }
+  return value;
+}
+
+void Node::WriteWord(GlobalAddr addr, uint32_t value) {
+  std::unique_lock<std::mutex> lk(mu_);
+  timing_.Charge(Bucket::kNone, opts_.costs.base_access_ns);
+  const PageId page = static_cast<PageId>(addr / opts_.page_size);
+  const uint32_t word = WordInPage(addr % opts_.page_size);
+  // §6.5: under diff-derived write detection, store instructions are not
+  // instrumented at all — writes are mined from diffs at release time.
+  if (opts_.race_detection && opts_.write_detection == WriteDetection::kInstrumentation) {
+    ChargeInstrumentationLocked();
+    AccessFilter::Result result = filter_.OnAccess(SharedVa(addr), /*is_write=*/true);
+    CVM_CHECK(result.shared);
+    bitmaps_.RecordWrite(cur_interval_, page, word);
+    if (opts_.watch.has_value()) {
+      const Watchpoint& w = *opts_.watch;
+      if (addr >= w.addr && addr < w.addr + w.bytes && (w.epoch == -1 || epoch_ == w.epoch)) {
+        system_->AddWatchHit(
+            WatchHit{id_, IntervalId{id_, cur_interval_}, epoch_, addr, true, site_});
+      }
+    }
+  }
+  if (!pages_.Writable(page)) {
+    WriteFaultLocked(lk, page);
+  }
+  pages_.WriteWord(page, word, value);
+  if (!pending_serves_.empty()) {
+    DrainPendingServesLocked(page);
+  }
+}
+
+void Node::RecordWriteNoticeLocked(PageId page) { cur_writes_.insert(page); }
+
+void Node::MaterializeHomeLocked(PageId page) {
+  PageEntry& entry = pages_.entry(page);
+  if (!home_materialized_[page]) {
+    CVM_CHECK_EQ(HomeOf(page), id_);
+    pages_.Install(page, system_->segment().InitialPage(page), PageState::kReadOnly);
+    home_materialized_[page] = true;
+  } else if (entry.state == PageState::kInvalid) {
+    // Home bytes are always current w.r.t. causally-required (flushed)
+    // modifications under the home-based protocol, so revalidation is local.
+    entry.state = PageState::kReadOnly;
+  }
+}
+
+void Node::ReadFaultLocked(std::unique_lock<std::mutex>& lk, PageId page) {
+  ++page_faults_;
+  timing_.Charge(Bucket::kNone, opts_.costs.page_fault_ns);
+  if (SingleWriterData()) {
+    if (am_owner_[page]) {
+      MaterializeHomeLocked(page);
+      return;
+    }
+    FetchPageLocked(lk, page, /*want_write=*/false);
+  } else {
+    if (HomeOf(page) == id_) {
+      MaterializeHomeLocked(page);
+      return;
+    }
+    FetchPageLocked(lk, page, /*want_write=*/false);
+  }
+}
+
+void Node::WriteFaultLocked(std::unique_lock<std::mutex>& lk, PageId page) {
+  ++page_faults_;
+  timing_.Charge(Bucket::kNone, opts_.costs.page_fault_ns);
+  if (SingleWriterData()) {
+    if (am_owner_[page]) {
+      if (!pages_.Readable(page)) {
+        MaterializeHomeLocked(page);
+      }
+      pages_.entry(page).state = PageState::kReadWrite;
+    } else {
+      FetchPageLocked(lk, page, /*want_write=*/true);
+    }
+    RecordWriteNoticeLocked(page);
+    return;
+  }
+  // Multi-writer (home-based): any node may write after twinning its copy.
+  if (!pages_.Readable(page)) {
+    if (HomeOf(page) == id_) {
+      MaterializeHomeLocked(page);
+    } else {
+      FetchPageLocked(lk, page, /*want_write=*/false);
+    }
+  }
+  PageEntry& entry = pages_.entry(page);
+  if (!entry.twin.has_value()) {
+    pages_.MakeTwin(page);
+    twinned_.insert(page);
+  }
+  entry.state = PageState::kReadWrite;
+  if (opts_.write_detection == WriteDetection::kInstrumentation) {
+    RecordWriteNoticeLocked(page);
+  }
+}
+
+void Node::FetchPageLocked(std::unique_lock<std::mutex>& lk, PageId page, bool want_write) {
+  CVM_CHECK(!page_reply_.has_value());
+  PageRequestMsg request;
+  request.page = page;
+  request.want_write = want_write;
+  request.requester = id_;
+  // All requests route through the page's home: the multi-writer home owns
+  // the data; the single-writer home is the manager that serializes
+  // ownership transfers (two hops worst case).
+  Send(HomeOf(page), request);
+  cv_.wait(lk, [this] { return page_reply_.has_value(); });
+  PageReplyMsg reply = std::move(*page_reply_);
+  page_reply_.reset();
+  CVM_CHECK_EQ(reply.page, page);
+
+  // Round-trip cost: request out, page back.
+  ChargeMessageLocked(PayloadByteSize(Payload(request)), 0);
+  ChargeMessageLocked(PayloadByteSize(Payload(PageReplyMsg{page, {}, false})) + reply.data.size(),
+                      0);
+
+  const PageState state =
+      (want_write && SingleWriterData()) ? PageState::kReadWrite : PageState::kReadOnly;
+  const bool ownership = reply.grants_ownership;
+  pages_.Install(page, std::move(reply.data), state);
+  if (ownership) {
+    am_owner_[page] = true;
+    pages_.entry(page).probable_owner = id_;
+  }
+  // Requests that chased the in-flight ownership are served by the caller
+  // once its own access has completed (DrainPendingServesLocked).
+}
+
+// ---------------- Intervals ----------------
+
+void Node::BeginIntervalLocked() {
+  cur_interval_ = vc_.Tick(id_);
+  cur_reads_.clear();
+  cur_writes_.clear();
+}
+
+void Node::EndIntervalLocked(std::unique_lock<std::mutex>& lk) {
+  if (opts_.protocol == ProtocolKind::kMultiWriterHomeLrc) {
+    FlushDiffsLocked(lk);
+  } else {
+    // Downgrade pages written this interval so the next interval's first
+    // write faults again and generates a fresh write notice.
+    for (PageId page : cur_writes_) {
+      PageEntry& entry = pages_.entry(page);
+      if (entry.state == PageState::kReadWrite) {
+        entry.state = PageState::kReadOnly;
+      }
+    }
+  }
+
+  IntervalRecord record;
+  record.id = IntervalId{id_, cur_interval_};
+  record.vc = vc_;
+  record.epoch = epoch_;
+  record.write_pages.assign(cur_writes_.begin(), cur_writes_.end());
+  record.read_pages.assign(cur_reads_.begin(), cur_reads_.end());
+  log_.Insert(record);
+  if (opts_.race_detection && opts_.postmortem_trace) {
+    system_->trace().AddRecord(record);
+  }
+  max_log_size_ = std::max(max_log_size_, log_.size());
+  max_retained_pairs_ = std::max(max_retained_pairs_, bitmaps_.RetainedPairs());
+  ++intervals_created_;
+  timing_.Charge(Bucket::kNone, opts_.costs.interval_setup_ns);
+  if (opts_.race_detection) {
+    // The race-detection additions to the interval structure (read-notice
+    // list wiring) are CVM-modification overhead.
+    timing_.Charge(Bucket::kCvmMods, opts_.costs.notice_setup_ns);
+  }
+  cur_reads_.clear();
+  cur_writes_.clear();
+
+  // Eager RC: push the notices to every node NOW and block for acks — the
+  // cost LRC's central intuition avoids ("competing accesses in correct
+  // programs will be separated by synchronization", so notices can ride on
+  // later synchronization messages instead).
+  if (opts_.protocol == ProtocolKind::kEagerRcInvalidate && !record.write_pages.empty() &&
+      opts_.num_nodes > 1) {
+    CVM_CHECK_EQ(erc_acks_pending_, 0u);
+    erc_acks_pending_ = static_cast<uint64_t>(opts_.num_nodes - 1);
+    for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+      if (n == id_) {
+        continue;
+      }
+      ErcUpdateMsg update;
+      update.record = record;
+      update.token = flush_token_next_++;
+      const size_t bytes = PayloadByteSize(Payload(update));
+      const size_t rn_bytes = PayloadReadNoticeBytes(Payload(update));
+      ChargeMessageLocked(bytes, rn_bytes);
+      Send(n, std::move(update));
+    }
+    timing_.Charge(Bucket::kNone, opts_.costs.MessageCost(kMessageHeaderBytes + 8));
+    cv_.wait(lk, [this] { return erc_acks_pending_ == 0; });
+  }
+}
+
+void Node::FlushDiffsLocked(std::unique_lock<std::mutex>& lk) {
+  if (twinned_.empty()) {
+    return;
+  }
+  std::map<NodeId, std::vector<Diff>> by_home;
+  for (PageId page : twinned_) {
+    PageEntry& entry = pages_.entry(page);
+    CVM_CHECK(entry.twin.has_value());
+    Diff diff = MakeDiff(page, IntervalId{id_, cur_interval_}, *entry.twin, entry.data);
+    timing_.Charge(Bucket::kNone,
+                   opts_.costs.diff_word_ns * static_cast<double>(opts_.page_size / kWordSize));
+    pages_.DropTwin(page);
+    entry.state = PageState::kReadOnly;
+    if (opts_.write_detection == WriteDetection::kDiffs) {
+      // §6.5: write accesses mined from the diff. Same-value overwrites are
+      // invisible here — the weaker guarantee the paper describes.
+      if (!diff.words.empty()) {
+        cur_writes_.insert(page);
+        for (const DiffWord& dw : diff.words) {
+          bitmaps_.RecordWrite(cur_interval_, page, dw.word);
+        }
+      }
+    }
+    if (HomeOf(page) == id_) {
+      continue;  // Home's frame already holds the writes.
+    }
+    if (!diff.words.empty()) {
+      by_home[HomeOf(page)].push_back(std::move(diff));
+    }
+  }
+  twinned_.clear();
+
+  CVM_CHECK_EQ(flush_acks_pending_, 0u);
+  flush_acks_pending_ = by_home.size();
+  for (auto& [home, diffs] : by_home) {
+    DiffFlushMsg flush;
+    flush.diffs = std::move(diffs);
+    flush.token = flush_token_next_++;
+    ChargeMessageLocked(PayloadByteSize(Payload(flush)), 0);
+    Send(home, std::move(flush));
+  }
+  if (flush_acks_pending_ > 0) {
+    // One ack round-trip of latency (flushes proceed in parallel).
+    timing_.Charge(Bucket::kNone, opts_.costs.MessageCost(kMessageHeaderBytes + 8));
+    cv_.wait(lk, [this] { return flush_acks_pending_ == 0; });
+  }
+}
+
+void Node::ApplyIntervalRecordsLocked(const std::vector<IntervalRecord>& records) {
+  for (const IntervalRecord& record : records) {
+    if (log_.Contains(record.id)) {
+      // Already applied — unless it only arrived via an eager push, whose
+      // invalidation may have been overtaken by an in-flight fetch install.
+      // This acquire covers the record, so apply the notices here, once.
+      auto eager = erc_eager_only_.find(record.id);
+      if (eager == erc_eager_only_.end()) {
+        continue;
+      }
+      erc_eager_only_.erase(eager);
+      for (PageId page : record.write_pages) {
+        if (!am_owner_[page]) {
+          pages_.Invalidate(page);
+        }
+      }
+      continue;
+    }
+    log_.Insert(record);
+    if (record.id.node == id_) {
+      continue;
+    }
+    for (PageId page : record.write_pages) {
+      if (SingleWriterData()) {
+        // The owner's copy reflects the whole serialized page history.
+        if (am_owner_[page]) {
+          continue;
+        }
+        pages_.Invalidate(page);
+      } else {
+        // Home bytes always include causally-flushed diffs.
+        if (HomeOf(page) == id_) {
+          continue;
+        }
+        CVM_CHECK(!pages_.entry(page).twin.has_value())
+            << "write notice applied while twin outstanding";
+        pages_.Invalidate(page);
+      }
+    }
+  }
+}
+
+void Node::GarbageCollectLocked() {
+  log_.DiscardDominatedBy(vc_);
+  for (auto it = erc_eager_only_.begin(); it != erc_eager_only_.end();) {
+    it = (it->index <= vc_.At(it->node)) ? erc_eager_only_.erase(it) : std::next(it);
+  }
+  if (!opts_.postmortem_trace) {
+    bitmaps_.DiscardThrough(cur_interval_);  // Epoch checked; trace data can go.
+  }
+}
+
+// ---------------- Locks ----------------
+
+bool Node::ReplayAllowsLocked(LockId lock, NodeId grantee) const {
+  if (opts_.replay_schedule == nullptr) {
+    return true;
+  }
+  const NodeId next = opts_.replay_schedule->NextGrantee(lock);
+  return next == kNoNode || next == grantee;
+}
+
+void Node::GrantLocked(LockId lock, NodeId requester, const VectorClock& requester_vc) {
+  LockState& ls = locks_[lock];
+  CVM_CHECK(ls.token);
+  CVM_CHECK(!ls.held);
+  if (opts_.record_sync_order) {
+    system_->recorded_schedule().RecordGrant(lock, requester);
+  }
+  if (opts_.replay_schedule != nullptr &&
+      opts_.replay_schedule->NextGrantee(lock) == requester) {
+    // Advance the replay cursor; past the schedule's end any order goes.
+    const_cast<SyncSchedule*>(opts_.replay_schedule)->ConsumeGrant(lock, requester);
+  }
+  if (requester == id_) {
+    ls.held = true;
+    lock_granted_self_ = true;
+    cv_.notify_all();
+    return;
+  }
+  ls.token = false;
+  ls.successor = requester;
+  LockGrantMsg grant;
+  grant.lock = lock;
+  if (opts_.replay_schedule != nullptr) {
+    grant.handoff = std::move(ls.pending);  // Queued requests follow the token.
+    ls.pending.clear();
+  }
+  // Only intervals preceding the release travel with the grant; newer local
+  // intervals are concurrent with the acquirer and must stay that way.
+  for (IntervalRecord& record : log_.UnseenBy(requester_vc)) {
+    if (record.id.index <= ls.release_vc.At(record.id.node)) {
+      grant.intervals.push_back(std::move(record));
+    }
+  }
+  grant.releaser_vc = ls.release_vc;
+  grant.releaser_time_ns = static_cast<uint64_t>(ls.release_time_ns);
+  Send(requester, std::move(grant));
+}
+
+void Node::TryGrantPendingLocked(LockId lock) {
+  LockState& ls = locks_[lock];
+  if (!ls.token || ls.held || ls.pending.empty()) {
+    return;
+  }
+  size_t pick = ls.pending.size();
+  if (opts_.replay_schedule != nullptr) {
+    const NodeId next = opts_.replay_schedule->NextGrantee(lock);
+    if (next == kNoNode) {
+      pick = 0;
+    } else {
+      for (size_t i = 0; i < ls.pending.size(); ++i) {
+        if (ls.pending[i].requester == next) {
+          pick = i;
+          break;
+        }
+      }
+      if (pick == ls.pending.size()) {
+        return;  // Hold the token until the scheduled requester asks.
+      }
+    }
+  } else {
+    pick = 0;
+  }
+  LockRequestMsg request = ls.pending[pick];
+  ls.pending.erase(ls.pending.begin() + static_cast<int64_t>(pick));
+  GrantLocked(lock, request.requester, request.requester_vc);
+}
+
+void Node::Lock(LockId lock) {
+  CVM_CHECK_GE(lock, 0);
+  CVM_CHECK_LT(lock, opts_.num_locks);
+  std::unique_lock<std::mutex> lk(mu_);
+  timing_.Charge(Bucket::kNone, opts_.costs.lock_op_ns);
+  EndIntervalLocked(lk);
+  LockState& ls = locks_[lock];
+  const bool fast_path =
+      ls.token && !ls.held &&
+      (opts_.replay_schedule != nullptr
+           ? opts_.replay_schedule->NextGrantee(lock) == id_ ||
+                 (opts_.replay_schedule->NextGrantee(lock) == kNoNode && ls.pending.empty())
+           : ls.pending.empty());
+  if (fast_path) {
+    GrantLocked(lock, id_, vc_);
+    lock_granted_self_ = false;
+  } else {
+    CVM_CHECK_EQ(waiting_lock_, -1);
+    waiting_lock_ = lock;
+    lock_granted_self_ = false;
+    lock_grant_.reset();
+    LockRequestMsg request;
+    request.lock = lock;
+    request.requester = id_;
+    request.requester_vc = vc_;
+    ChargeMessageLocked(PayloadByteSize(Payload(request)), 0);
+    Send(ManagerOf(lock), request);
+    cv_.wait(lk, [this] { return lock_granted_self_ || lock_grant_.has_value(); });
+    waiting_lock_ = -1;
+    if (lock_grant_.has_value()) {
+      LockGrantMsg grant = std::move(*lock_grant_);
+      lock_grant_.reset();
+      const size_t bytes = PayloadByteSize(Payload(grant));
+      const size_t rn_bytes = PayloadReadNoticeBytes(Payload(grant));
+      timing_.ObserveAtLeast(static_cast<double>(grant.releaser_time_ns) +
+                             opts_.costs.MessageCost(bytes - rn_bytes));
+      if (rn_bytes > 0) {
+        timing_.Charge(Bucket::kCvmMods,
+                       opts_.costs.per_byte_ns * static_cast<double>(rn_bytes));
+      }
+      ApplyIntervalRecordsLocked(grant.intervals);
+      vc_.MergeWith(grant.releaser_vc);
+      LockState& state = locks_[lock];
+      state.token = true;
+      state.held = true;
+      for (LockRequestMsg& queued : grant.handoff) {
+        state.pending.push_back(std::move(queued));
+      }
+    }
+    lock_granted_self_ = false;
+  }
+  BeginIntervalLocked();
+}
+
+void Node::Unlock(LockId lock) {
+  CVM_CHECK_GE(lock, 0);
+  CVM_CHECK_LT(lock, opts_.num_locks);
+  std::unique_lock<std::mutex> lk(mu_);
+  timing_.Charge(Bucket::kNone, opts_.costs.lock_op_ns);
+  LockState& ls = locks_[lock];
+  CVM_CHECK(ls.held) << "unlock of lock " << lock << " not held by node " << id_;
+  EndIntervalLocked(lk);
+  ls.held = false;
+  ls.release_vc = vc_;  // The just-ended interval is the last one the
+  ls.release_time_ns = timing_.now_ns();  // acquirer is ordered after.
+  TryGrantPendingLocked(lock);
+  BeginIntervalLocked();
+}
+
+void Node::HandleForwardedLockRequestLocked(const LockRequestMsg& request) {
+  locks_[request.lock].pending.push_back(request);
+  TryGrantPendingLocked(request.lock);
+}
+
+void Node::OnLockRequest(const Message& msg) {
+  const auto& request = std::get<LockRequestMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  if (opts_.replay_schedule != nullptr) {
+    // Replay routing: out-of-schedule grants break the last-requester chain
+    // invariant, so requests instead chase the token along successor links
+    // until they reach the current holder, and queue there.
+    LockState& ls = locks_[request.lock];
+    if (ls.token) {
+      LockRequestMsg queued = request;
+      queued.forwarded = true;
+      HandleForwardedLockRequestLocked(queued);
+      return;
+    }
+    NodeId target = ls.successor;
+    if (target == kNoNode || target == id_) {
+      target = ManagerOf(request.lock);
+    }
+    CVM_CHECK_NE(target, id_) << "token successor chain broken for lock " << request.lock;
+    LockRequestMsg forwarded = request;
+    forwarded.forwarded = true;
+    Send(target, forwarded);
+    return;
+  }
+  if (!request.forwarded) {
+    CVM_CHECK_EQ(ManagerOf(request.lock), id_);
+    const NodeId target = manager_last_requester_[request.lock];
+    manager_last_requester_[request.lock] = request.requester;
+    LockRequestMsg forwarded = request;
+    forwarded.forwarded = true;
+    if (target == id_) {
+      HandleForwardedLockRequestLocked(forwarded);
+    } else {
+      Send(target, forwarded);
+    }
+  } else {
+    HandleForwardedLockRequestLocked(request);
+  }
+}
+
+void Node::OnLockGrant(const Message& msg) {
+  const auto& grant = std::get<LockGrantMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  CVM_CHECK_EQ(waiting_lock_, grant.lock);
+  lock_grant_ = grant;
+  cv_.notify_all();
+}
+
+// ---------------- Page service ----------------
+
+void Node::ServePageLocked(const PageRequestMsg& request) {
+  CVM_CHECK(am_owner_[request.page]);
+  if (!pages_.Readable(request.page)) {
+    MaterializeHomeLocked(request.page);
+  }
+  PageEntry& entry = pages_.entry(request.page);
+  PageReplyMsg reply;
+  reply.page = request.page;
+  reply.data = entry.data;
+  if (request.want_write) {
+    reply.grants_ownership = true;
+    am_owner_[request.page] = false;
+    entry.state = PageState::kReadOnly;  // Keep a (stale-able) read copy.
+    entry.probable_owner = request.requester;
+  }
+  Send(request.requester, std::move(reply));
+}
+
+void Node::HandleForwardedPageRequestLocked(const PageRequestMsg& request) {
+  if (am_owner_[request.page]) {
+    ServePageLocked(request);
+    return;
+  }
+  // Ownership is in flight to this node (the home serialized the transfer
+  // order); serve once the granting reply is installed.
+  pending_serves_[request.page].push_back(request);
+}
+
+void Node::DrainPendingServesLocked(PageId page) {
+  auto it = pending_serves_.find(page);
+  if (it == pending_serves_.end() || !am_owner_[page]) {
+    return;
+  }
+  std::vector<PageRequestMsg> queued = std::move(it->second);
+  pending_serves_.erase(it);
+  // Read requests belong to this node's tenure and go first; the single
+  // write request (if any) carries ownership to the next tenure.
+  for (const PageRequestMsg& request : queued) {
+    if (!request.want_write) {
+      ServePageLocked(request);
+    }
+  }
+  for (const PageRequestMsg& request : queued) {
+    if (request.want_write) {
+      ServePageLocked(request);
+    }
+  }
+}
+
+void Node::OnPageRequest(const Message& msg) {
+  const auto request = std::get<PageRequestMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  if (opts_.protocol == ProtocolKind::kMultiWriterHomeLrc) {
+    CVM_CHECK_EQ(HomeOf(request.page), id_);
+    MaterializeHomeLocked(request.page);
+    PageReplyMsg reply;
+    reply.page = request.page;
+    reply.data = pages_.entry(request.page).data;
+    Send(request.requester, std::move(reply));
+    return;
+  }
+  // Single-writer: the home is the manager and serializes transfers.
+  if (!request.forwarded) {
+    CVM_CHECK_EQ(HomeOf(request.page), id_);
+    const NodeId target = home_owner_[request.page];
+    CVM_CHECK_NE(target, kNoNode);
+    CVM_CHECK_NE(target, request.requester)
+        << "owner re-requested page " << request.page << " it already owns";
+    if (request.want_write) {
+      home_owner_[request.page] = request.requester;
+    }
+    PageRequestMsg forwarded = request;
+    forwarded.forwarded = true;
+    if (target == id_) {
+      HandleForwardedPageRequestLocked(forwarded);
+    } else {
+      Send(target, forwarded);
+    }
+    return;
+  }
+  HandleForwardedPageRequestLocked(request);
+}
+
+void Node::OnPageReply(const Message& msg) {
+  const auto& reply = std::get<PageReplyMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  CVM_CHECK(!page_reply_.has_value());
+  page_reply_ = reply;
+  cv_.notify_all();
+}
+
+void Node::OnDiffFlush(const Message& msg) {
+  const auto& flush = std::get<DiffFlushMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  for (const Diff& diff : flush.diffs) {
+    CVM_CHECK_EQ(HomeOf(diff.page), id_);
+    MaterializeHomeLocked(diff.page);
+    PageEntry& entry = pages_.entry(diff.page);
+    // Apply to the frame; mirror into the twin for words the local writer
+    // has not touched, so the home's own later diff does not claim remote
+    // writes as its own.
+    for (const DiffWord& dw : diff.words) {
+      const uint64_t offset = static_cast<uint64_t>(dw.word) * kWordSize;
+      CVM_CHECK_LE(offset + kWordSize, entry.data.size());
+      if (entry.twin.has_value()) {
+        uint32_t frame_value;
+        uint32_t twin_value;
+        std::memcpy(&frame_value, entry.data.data() + offset, kWordSize);
+        std::memcpy(&twin_value, (*entry.twin).data() + offset, kWordSize);
+        if (frame_value == twin_value) {
+          std::memcpy((*entry.twin).data() + offset, &dw.value, kWordSize);
+        }
+      }
+      std::memcpy(entry.data.data() + offset, &dw.value, kWordSize);
+    }
+  }
+  Send(msg.from, DiffFlushAckMsg{flush.token});
+}
+
+void Node::OnDiffFlushAck(const Message& msg) {
+  (void)std::get<DiffFlushAckMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  CVM_CHECK_GT(flush_acks_pending_, 0u);
+  --flush_acks_pending_;
+  if (flush_acks_pending_ == 0) {
+    cv_.notify_all();
+  }
+}
+
+// ---------------- Barriers & race detection ----------------
+
+void Node::Barrier() {
+  std::unique_lock<std::mutex> lk(mu_);
+  timing_.Charge(Bucket::kNone, opts_.costs.barrier_op_ns);
+  EndIntervalLocked(lk);   // Epoch-body interval.
+  BeginIntervalLocked();   // In-barrier interval (paper: barrier = release+acquire).
+  EndIntervalLocked(lk);   // Published empty; keeps "2 intervals per barrier".
+  const EpochId epoch = epoch_;
+
+  if (id_ == 0) {
+    cv_.wait(lk, [this, epoch] {
+      return arrivals_[epoch].size() == static_cast<size_t>(opts_.num_nodes - 1);
+    });
+    MasterRunBarrierLocked(lk, epoch);
+  } else {
+    BarrierArriveMsg arrive;
+    arrive.epoch = epoch;
+    arrive.node = id_;
+    arrive.intervals = log_.All();
+    arrive.vc = vc_;
+    arrive.arrive_time_ns = static_cast<uint64_t>(timing_.now_ns());
+    Send(0, std::move(arrive));
+    cv_.wait(lk, [this, epoch] {
+      return barrier_release_.has_value() && barrier_release_->epoch == epoch;
+    });
+    BarrierReleaseMsg release = std::move(*barrier_release_);
+    barrier_release_.reset();
+    const size_t bytes = PayloadByteSize(Payload(release));
+    const size_t rn_bytes = PayloadReadNoticeBytes(Payload(release));
+    timing_.ObserveAtLeast(static_cast<double>(release.release_time_ns) +
+                           opts_.costs.MessageCost(bytes - rn_bytes));
+    if (rn_bytes > 0) {
+      timing_.Charge(Bucket::kCvmMods, opts_.costs.per_byte_ns * static_cast<double>(rn_bytes));
+    }
+    ApplyIntervalRecordsLocked(release.intervals);
+    vc_.MergeWith(release.merged_vc);
+    GarbageCollectLocked();
+  }
+
+  if (opts_.race_detection) {
+    // Reset of the statically-allocated access bitmaps for the new epoch —
+    // part of the paper's "CVM Mods" overhead, proportional to the shared
+    // segment size.
+    const double used_pages = static_cast<double>(
+        (system_->segment().used_bytes() + opts_.page_size - 1) / opts_.page_size);
+    timing_.Charge(Bucket::kCvmMods, opts_.costs.bitmap_clear_page_ns * used_pages);
+  }
+  ++epoch_;
+  ++barriers_;
+  BeginIntervalLocked();  // New epoch-body interval.
+}
+
+void Node::OnBarrierArrive(const Message& msg) {
+  const auto& arrive = std::get<BarrierArriveMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  CVM_CHECK_EQ(id_, 0);
+  ArrivalInfo info;
+  info.records = arrive.intervals;
+  info.vc = arrive.vc;
+  info.time_ns = static_cast<double>(arrive.arrive_time_ns);
+  info.wire_bytes = msg.wire_bytes;
+  info.read_notice_bytes = PayloadReadNoticeBytes(msg.payload);
+  arrivals_[arrive.epoch][arrive.node] = std::move(info);
+  cv_.notify_all();
+}
+
+void Node::MasterRunBarrierLocked(std::unique_lock<std::mutex>& lk, EpochId epoch) {
+  std::map<NodeId, ArrivalInfo> arrivals = std::move(arrivals_[epoch]);
+  arrivals_.erase(epoch);
+
+  for (auto& [node, info] : arrivals) {
+    timing_.ObserveAtLeast(info.time_ns +
+                           opts_.costs.MessageCost(info.wire_bytes - info.read_notice_bytes));
+    if (info.read_notice_bytes > 0) {
+      timing_.Charge(Bucket::kCvmMods,
+                     opts_.costs.per_byte_ns * static_cast<double>(info.read_notice_bytes));
+    }
+    ApplyIntervalRecordsLocked(info.records);
+    vc_.MergeWith(info.vc);
+  }
+
+  if (opts_.race_detection && opts_.online_detection) {
+    RunRaceDetectionLocked(lk, epoch, log_.All());
+  }
+
+  for (NodeId node = 1; node < opts_.num_nodes; ++node) {
+    BarrierReleaseMsg release;
+    release.epoch = epoch;
+    release.intervals = log_.UnseenBy(arrivals[node].vc);
+    release.merged_vc = vc_;
+    release.release_time_ns = static_cast<uint64_t>(timing_.now_ns());
+    Send(node, std::move(release));
+  }
+  GarbageCollectLocked();
+}
+
+void Node::RunRaceDetectionLocked(std::unique_lock<std::mutex>& lk, EpochId epoch,
+                                  const std::vector<IntervalRecord>& epoch_intervals) {
+  RaceDetector& detector = system_->detector();
+  const DetectorStats before = detector.stats();
+  std::vector<CheckPair> pairs = detector.BuildCheckList(epoch_intervals);
+  {
+    const DetectorStats& after = detector.stats();
+    timing_.Charge(
+        Bucket::kIntervals,
+        opts_.costs.interval_cmp_ns *
+                static_cast<double>(after.interval_comparisons - before.interval_comparisons) +
+            opts_.costs.page_overlap_ns *
+                static_cast<double>(after.page_overlap_probes - before.page_overlap_probes));
+  }
+  if (pairs.empty()) {
+    return;
+  }
+
+  // Bitmap-retrieval round (§4 step 4): ask each constituent node for the
+  // word bitmaps of its listed intervals; the master's own resolve locally.
+  const auto needed = RaceDetector::BitmapsNeeded(pairs);
+  collected_bitmaps_.clear();
+  std::map<NodeId, std::vector<CheckEntry>> by_node;
+  for (const auto& [interval, page] : needed) {
+    if (interval.node == id_) {
+      const PageAccessBitmaps* local = bitmaps_.Find(interval.index, page);
+      if (local != nullptr) {
+        collected_bitmaps_.emplace(std::make_pair(interval, page), *local);
+      }
+    } else {
+      by_node[interval.node].push_back(CheckEntry{interval, page});
+    }
+  }
+  CVM_CHECK_EQ(bitmap_replies_pending_, 0);
+  bitmap_replies_pending_ = static_cast<int>(by_node.size());
+  bitmap_round_bytes_ = 0;
+  for (auto& [node, entries] : by_node) {
+    BitmapRequestMsg request;
+    request.epoch = epoch;
+    request.entries = std::move(entries);
+    Send(node, std::move(request));
+  }
+  if (bitmap_replies_pending_ > 0) {
+    timing_.Charge(Bucket::kBitmaps, 2 * opts_.costs.msg_latency_ns);
+    cv_.wait(lk, [this] { return bitmap_replies_pending_ == 0; });
+    timing_.Charge(Bucket::kBitmaps,
+                   opts_.costs.per_byte_ns * static_cast<double>(bitmap_round_bytes_));
+  }
+
+  const uint64_t compared_before = detector.stats().bitmap_pairs_compared;
+  BitmapLookup lookup = [this](const IntervalId& interval, PageId page) {
+    auto it = collected_bitmaps_.find(std::make_pair(interval, page));
+    return it == collected_bitmaps_.end() ? nullptr : &it->second;
+  };
+  std::vector<RaceReport> reports = detector.CompareBitmaps(pairs, lookup, epoch);
+  const uint64_t compared = detector.stats().bitmap_pairs_compared - compared_before;
+  const double chunks = static_cast<double>((opts_.page_size / kWordSize + 63) / 64);
+  timing_.Charge(Bucket::kBitmaps,
+                 opts_.costs.bitmap_cmp_word_ns * chunks * static_cast<double>(compared));
+
+  for (RaceReport& report : reports) {
+    report.addr = static_cast<GlobalAddr>(report.page) * opts_.page_size +
+                  static_cast<GlobalAddr>(report.word) * kWordSize;
+    report.symbol = system_->segment().Symbolize(report.addr);
+  }
+  system_->AddReports(std::move(reports));
+  collected_bitmaps_.clear();
+}
+
+void Node::OnBitmapRequest(const Message& msg) {
+  const auto& request = std::get<BitmapRequestMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  BitmapReplyMsg reply;
+  reply.epoch = request.epoch;
+  for (const CheckEntry& entry : request.entries) {
+    CVM_CHECK_EQ(entry.interval.node, id_);
+    const PageAccessBitmaps* bitmaps = bitmaps_.Find(entry.interval.index, entry.page);
+    if (bitmaps == nullptr) {
+      continue;
+    }
+    reply.entries.push_back(
+        BitmapReplyEntry{entry.interval, entry.page, bitmaps->read, bitmaps->write});
+  }
+  Send(msg.from, std::move(reply));
+}
+
+void Node::OnBitmapReply(const Message& msg) {
+  const auto& reply = std::get<BitmapReplyMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  for (const BitmapReplyEntry& entry : reply.entries) {
+    collected_bitmaps_.emplace(std::make_pair(entry.interval, entry.page),
+                               PageAccessBitmaps{entry.read, entry.write});
+  }
+  bitmap_round_bytes_ += msg.wire_bytes;
+  CVM_CHECK_GT(bitmap_replies_pending_, 0);
+  --bitmap_replies_pending_;
+  if (bitmap_replies_pending_ == 0) {
+    cv_.notify_all();
+  }
+}
+
+void Node::DumpTraceBitmaps(PostMortemTrace& trace) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  bitmaps_.ForEachPair(id_, [&trace](const IntervalId& interval, PageId page,
+                                     const PageAccessBitmaps& pair) {
+    trace.AddBitmaps(interval, page, pair);
+  });
+}
+
+void Node::OnErcUpdate(const Message& msg) {
+  const auto& update = std::get<ErcUpdateMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!log_.Contains(update.record.id)) {
+    log_.Insert(update.record);
+    if (update.record.id.node != id_) {
+      erc_eager_only_.insert(update.record.id);
+      for (PageId page : update.record.write_pages) {
+        if (!am_owner_[page]) {
+          pages_.Invalidate(page);
+        }
+      }
+    }
+  }
+  // No vector-clock merge: ERC moves data eagerly, but synchronization
+  // ordering — what the race detector consumes — still comes only from
+  // lock grants and barriers.
+  Send(msg.from, ErcAckMsg{update.token});
+}
+
+void Node::OnErcAck(const Message& msg) {
+  (void)std::get<ErcAckMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  CVM_CHECK_GT(erc_acks_pending_, 0u);
+  --erc_acks_pending_;
+  if (erc_acks_pending_ == 0) {
+    cv_.notify_all();
+  }
+}
+
+void Node::OnBarrierRelease(const Message& msg) {
+  const auto& release = std::get<BarrierReleaseMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  CVM_CHECK(!barrier_release_.has_value());
+  barrier_release_ = release;
+  cv_.notify_all();
+}
+
+}  // namespace cvm

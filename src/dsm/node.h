@@ -1,0 +1,274 @@
+// One DSM node: a simulated processor with a private view of the shared
+// segment. Each node runs two OS threads — the application thread executing
+// user code against the public API below, and a service thread draining the
+// node's network inbox (page serving, lock forwarding/granting, barrier
+// bookkeeping), standing in for CVM's interrupt-driven message handlers.
+//
+// All node state is guarded by mu_; blocking operations park the app thread
+// on cv_ while the service thread fills the corresponding reply slot.
+// Service handlers never block on the network, which makes the node graph
+// deadlock-free by construction.
+#ifndef CVM_DSM_NODE_H_
+#define CVM_DSM_NODE_H_
+
+#include <bit>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/dsm/options.h"
+#include "src/instr/access_filter.h"
+#include "src/mem/page_table.h"
+#include "src/net/message.h"
+#include "src/protocol/interval.h"
+#include "src/sim/cost_model.h"
+#include "src/vc/vector_clock.h"
+
+namespace cvm {
+
+class DsmSystem;
+
+class Node {
+ public:
+  Node(NodeId id, DsmSystem* system);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // ---------------- Application API ----------------
+
+  NodeId id() const { return id_; }
+  int num_nodes() const;
+
+  // Instrumented shared accesses at word granularity. Addresses are offsets
+  // into the global shared segment.
+  uint32_t ReadWord(GlobalAddr addr);
+  void WriteWord(GlobalAddr addr, uint32_t value);
+
+  template <typename T>
+  T Read(GlobalAddr addr) {
+    static_assert(sizeof(T) == kWordSize);
+    return std::bit_cast<T>(ReadWord(addr));
+  }
+  template <typename T>
+  void Write(GlobalAddr addr, T value) {
+    static_assert(sizeof(T) == kWordSize);
+    WriteWord(addr, std::bit_cast<uint32_t>(value));
+  }
+
+  // System-visible synchronization (the only kind the detector understands —
+  // roll-your-own synchronization over shared memory yields spurious races,
+  // exactly as §2 warns).
+  void Lock(LockId lock);
+  void Unlock(LockId lock);
+  void Barrier();
+
+  // §6.3: global consolidation of consistency data for barrier-free phases.
+  // Runs the race check and garbage-collects interval logs; semantically a
+  // collective operation like a barrier.
+  void Consolidate() { Barrier(); }
+
+  // Models `units` of uninstrumented computation (advances simulated time).
+  void Compute(uint64_t units);
+
+  // An instrumented access that ATOM could not prove private but that turns
+  // out, at run time, to miss the shared segment (§5.1: the majority of
+  // runtime calls to the analysis routine are for private data).
+  void PrivateAccess(uint64_t va, bool is_write);
+
+  // Simulated-VA allocator for private (LocalArray) data.
+  uint64_t AllocPrivateVa(uint64_t bytes);
+
+  // Tags subsequent accesses with a source site, consumed by the §6.1
+  // watchpoint machinery during replay runs.
+  void SetSite(const char* site) { site_ = site; }
+
+  // ---------------- Lifecycle (DsmSystem only) ----------------
+
+  void StartService();
+  void JoinService();
+
+  // ---------------- Post-run metric snapshots ----------------
+
+  // Post-mortem support: dumps every retained bitmap pair into the trace.
+  void DumpTraceBitmaps(class PostMortemTrace& trace) const;
+
+  const AccessCounters& access_counters() const { return filter_.counters(); }
+  const NodeTiming& timing() const { return timing_; }
+  uint64_t intervals_created() const { return intervals_created_; }
+  uint64_t barriers() const { return barriers_; }
+  uint64_t page_faults() const { return page_faults_; }
+  uint64_t bitmap_pairs_recorded() const { return bitmaps_.TotalPairsRecorded(); }
+  // High-water marks of retained consistency data — the paper's storage
+  // story (§6.3 consolidation, §6.4: discard only after checking).
+  size_t max_interval_log_size() const { return max_log_size_; }
+  size_t max_retained_bitmap_pairs() const { return max_retained_pairs_; }
+
+ private:
+  friend class DsmSystem;
+
+  // ---- Service thread ----
+  void ServiceLoop();
+  void OnPageRequest(const Message& msg);
+  void OnPageReply(const Message& msg);
+  void OnDiffFlush(const Message& msg);
+  void OnDiffFlushAck(const Message& msg);
+  void OnLockRequest(const Message& msg);
+  void OnLockGrant(const Message& msg);
+  void OnBarrierArrive(const Message& msg);
+  void OnBitmapRequest(const Message& msg);
+  void OnBitmapReply(const Message& msg);
+  void OnBarrierRelease(const Message& msg);
+  void OnErcUpdate(const Message& msg);
+  void OnErcAck(const Message& msg);
+
+  // True for protocols using single-writer data movement (LRC-lazy or ERC).
+  bool SingleWriterData() const {
+    return opts_.protocol != ProtocolKind::kMultiWriterHomeLrc;
+  }
+
+  // ---- Shared-access internals (mu_ held) ----
+  void InstrumentAccess(std::unique_lock<std::mutex>& lk, uint64_t va, bool is_write);
+  void ReadFaultLocked(std::unique_lock<std::mutex>& lk, PageId page);
+  void WriteFaultLocked(std::unique_lock<std::mutex>& lk, PageId page);
+  void FetchPageLocked(std::unique_lock<std::mutex>& lk, PageId page, bool want_write);
+  void HandleForwardedPageRequestLocked(const PageRequestMsg& request);
+  void ServePageLocked(const PageRequestMsg& request);
+  void DrainPendingServesLocked(PageId page);
+  void MaterializeHomeLocked(PageId page);
+  void RecordWriteNoticeLocked(PageId page);
+
+  // ---- Interval machinery (mu_ held) ----
+  void EndIntervalLocked(std::unique_lock<std::mutex>& lk);
+  void BeginIntervalLocked();
+  void FlushDiffsLocked(std::unique_lock<std::mutex>& lk);
+  void ApplyIntervalRecordsLocked(const std::vector<IntervalRecord>& records);
+  void GarbageCollectLocked();
+
+  // ---- Locks (mu_ held) ----
+  void HandleForwardedLockRequestLocked(const LockRequestMsg& req);
+  void TryGrantPendingLocked(LockId lock);
+  void GrantLocked(LockId lock, NodeId requester, const VectorClock& requester_vc);
+  bool ReplayAllowsLocked(LockId lock, NodeId grantee) const;
+
+  // ---- Barrier master (app thread, mu_ held via lk) ----
+  void MasterRunBarrierLocked(std::unique_lock<std::mutex>& lk, EpochId epoch);
+  void RunRaceDetectionLocked(std::unique_lock<std::mutex>& lk, EpochId epoch,
+                              const std::vector<IntervalRecord>& epoch_intervals);
+
+  // ---- Cost helpers (mu_ held) ----
+  void ChargeMessageLocked(size_t bytes, size_t read_notice_bytes);
+  void ChargeInstrumentationLocked();
+
+  NodeId HomeOf(PageId page) const;
+  NodeId ManagerOf(LockId lock) const;
+  void Send(NodeId to, Payload payload);
+
+  // ---------------- State ----------------
+
+  DsmSystem* const system_;
+  const NodeId id_;
+  const DsmOptions& opts_;
+
+  std::thread service_thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+
+  // Memory.
+  PageTable pages_;
+  std::vector<bool> am_owner_;          // Single-writer ownership.
+  // Single-writer manager state (meaningful on each page's home): the
+  // authoritative current owner. The home serializes every transfer, so
+  // requests take at most two hops (home, owner) — no ownership chasing.
+  std::vector<NodeId> home_owner_;
+  // Forwarded requests for pages whose ownership is still in flight to this
+  // node; served once the ownership-granting reply is installed.
+  std::map<PageId, std::vector<PageRequestMsg>> pending_serves_;
+  std::vector<bool> home_materialized_; // Home frames lazily initialized.
+  std::set<PageId> twinned_;            // Pages twinned this interval (multi-writer).
+
+  // Consistency metadata.
+  VectorClock vc_;
+  IntervalIndex cur_interval_ = 0;
+  EpochId epoch_ = 0;
+  IntervalLog log_;
+  BitmapStore bitmaps_;
+  std::set<PageId> cur_reads_;
+  std::set<PageId> cur_writes_;
+
+  // Instrumentation and timing.
+  AccessFilter filter_;
+  NodeTiming timing_;
+  const char* site_ = "?";
+  uint64_t private_va_next_ = kPrivateHeapBase;
+  uint64_t intervals_created_ = 0;
+  uint64_t barriers_ = 0;
+  uint64_t page_faults_ = 0;
+  size_t max_log_size_ = 0;
+  size_t max_retained_pairs_ = 0;
+
+  // Reply slots (single outstanding request per kind; the app thread is the
+  // only requester).
+  std::optional<PageReplyMsg> page_reply_;
+  std::optional<LockGrantMsg> lock_grant_;
+  bool lock_granted_self_ = false;  // Token granted locally (no payload).
+  LockId waiting_lock_ = -1;
+  std::optional<BarrierReleaseMsg> barrier_release_;
+  uint64_t flush_acks_pending_ = 0;
+  uint64_t flush_token_next_ = 1;
+  uint64_t erc_acks_pending_ = 0;
+  // Records whose write notices were applied ONLY eagerly (ERC push). An
+  // eager invalidation can race with an in-flight page fetch — the install
+  // revalidates the copy after the invalidation landed — so the notice must
+  // be re-applied at the next acquire that covers the record.
+  std::set<IntervalId> erc_eager_only_;
+
+  // Lock state.
+  struct LockState {
+    bool token = false;  // This node holds the lock token.
+    bool held = false;   // The app currently holds the lock.
+    std::vector<LockRequestMsg> pending;  // Forwarded, ungranted requests.
+    // Replay routing: the node this one last granted the token to. Requests
+    // follow successor links to the current holder in replay mode.
+    NodeId successor = kNoNode;
+    // Snapshot taken at the most recent release. A grant must carry only
+    // intervals that precede the RELEASE — happens-before-1 orders the
+    // acquirer after the release, not after whatever the releaser did next.
+    // Granting from live state would falsely order post-release intervals
+    // and mask races (e.g. an unlocked write right after an unlock).
+    VectorClock release_vc;
+    double release_time_ns = 0;
+  };
+  std::vector<LockState> locks_;
+  std::vector<NodeId> manager_last_requester_;  // Valid where this node manages.
+
+  // Barrier master state.
+  struct ArrivalInfo {
+    std::vector<IntervalRecord> records;
+    VectorClock vc;
+    double time_ns = 0;
+    size_t wire_bytes = 0;
+    size_t read_notice_bytes = 0;
+  };
+  std::map<EpochId, std::map<NodeId, ArrivalInfo>> arrivals_;
+
+  // Master-side bitmap collection for the current detection round.
+  std::map<std::pair<IntervalId, PageId>, PageAccessBitmaps> collected_bitmaps_;
+  int bitmap_replies_pending_ = 0;
+  uint64_t bitmap_round_bytes_ = 0;
+};
+
+// The application-facing name for a node handle.
+using NodeContext = Node;
+
+}  // namespace cvm
+
+#endif  // CVM_DSM_NODE_H_

@@ -1,0 +1,69 @@
+// Configuration for one DSM run.
+#ifndef CVM_DSM_OPTIONS_H_
+#define CVM_DSM_OPTIONS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/types.h"
+#include "src/race/detector.h"
+#include "src/sim/cost_model.h"
+
+namespace cvm {
+
+// Which coherence protocol backs the shared segment.
+enum class ProtocolKind : uint8_t {
+  kSingleWriterLrc,    // The paper's prototype: ownership transfer, no diffs.
+  kMultiWriterHomeLrc, // Home-based multi-writer LRC with twins/diffs (§6.5).
+  // Eager release consistency (§3.1's ERC): write notices are pushed to every
+  // node at each release and the releaser blocks for acknowledgements, instead
+  // of piggybacking consistency data on later synchronization. Same
+  // single-writer data movement; the ablation that motivates LRC.
+  kEagerRcInvalidate,
+};
+
+// How write accesses are discovered for race detection (§6.5).
+enum class WriteDetection : uint8_t {
+  kInstrumentation,  // Store instructions instrumented (word-exact).
+  kDiffs,            // Mined from diffs; misses same-value overwrites.
+                     // Only meaningful with kMultiWriterHomeLrc.
+};
+
+// A watched location for the two-run reference-identification scheme (§6.1):
+// during a replay run, accesses to [addr, addr+bytes) in `epoch` record the
+// application-provided source site.
+struct Watchpoint {
+  GlobalAddr addr = 0;
+  uint64_t bytes = kWordSize;
+  EpochId epoch = -1;  // -1 = any epoch.
+};
+
+struct DsmOptions {
+  int num_nodes = 8;
+  uint64_t page_size = 4096;
+  uint64_t max_shared_bytes = 16ull << 20;
+  int num_locks = 64;
+
+  ProtocolKind protocol = ProtocolKind::kSingleWriterLrc;
+  bool race_detection = true;   // Master switch: access instrumentation.
+  bool online_detection = true; // Barrier-time checking (the paper's scheme).
+  // §7 baseline: keep instrumentation on but skip the online barrier-time
+  // checks; instead log every interval record and bitmap to a trace that is
+  // analyzed post-mortem (Adve et al.'s scheme). Storage grows with the run.
+  bool postmortem_trace = false;
+  WriteDetection write_detection = WriteDetection::kInstrumentation;
+  OverlapMethod overlap_method = OverlapMethod::kPageLists;
+  // §6.4: report only races from the earliest racy epoch.
+  bool first_races_only = false;
+
+  CostParams costs;
+
+  // Synchronization-order record/replay (§6.1).
+  bool record_sync_order = false;
+  const class SyncSchedule* replay_schedule = nullptr;  // Non-null = replay run.
+  std::optional<Watchpoint> watch;
+};
+
+}  // namespace cvm
+
+#endif  // CVM_DSM_OPTIONS_H_

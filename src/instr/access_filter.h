@@ -1,0 +1,74 @@
+// The runtime half of the ATOM instrumentation (§4): the analysis routine
+// that every instrumented load/store calls. It decides — by comparing the
+// access address against the shared data segment bounds — whether the access
+// touches shared memory, and if so which page/word, so the caller can set
+// the per-interval access bitmap.
+//
+// The simulated process address space places the shared segment and private
+// (but not statically provable private) data at disjoint ranges, so the
+// check is the same bounds comparison the paper performs.
+#ifndef CVM_INSTR_ACCESS_FILTER_H_
+#define CVM_INSTR_ACCESS_FILTER_H_
+
+#include <cstdint>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/instr/counters.h"
+
+namespace cvm {
+
+// Simulated virtual-address layout.
+inline constexpr uint64_t kSharedSegmentBase = 0x4000'0000ull;
+inline constexpr uint64_t kPrivateHeapBase = 0x8000'0000'0000ull;
+
+inline constexpr uint64_t SharedVa(GlobalAddr addr) { return kSharedSegmentBase + addr; }
+
+class AccessFilter {
+ public:
+  AccessFilter(uint64_t page_size, uint64_t shared_bytes)
+      : page_size_(page_size), shared_limit_(kSharedSegmentBase + shared_bytes) {
+    CVM_CHECK_GT(page_size, 0u);
+  }
+
+  struct Result {
+    bool shared = false;
+    PageId page = -1;
+    uint32_t word = 0;
+  };
+
+  // The analysis routine body: bounds check + page/word decomposition.
+  // Counters record the call either way (the majority of runtime calls are
+  // for private data — §5.1).
+  Result OnAccess(uint64_t va, bool is_write) {
+    ++counters_.instrumented_calls;
+    Result result;
+    if (va < kSharedSegmentBase || va >= shared_limit_) {
+      ++counters_.private_accesses;
+      return result;
+    }
+    ++counters_.shared_accesses;
+    if (is_write) {
+      ++counters_.shared_writes;
+    } else {
+      ++counters_.shared_reads;
+    }
+    const uint64_t offset = va - kSharedSegmentBase;
+    result.shared = true;
+    result.page = static_cast<PageId>(offset / page_size_);
+    result.word = WordInPage(offset % page_size_);
+    return result;
+  }
+
+  const AccessCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = AccessCounters{}; }
+
+ private:
+  uint64_t page_size_;
+  uint64_t shared_limit_;
+  AccessCounters counters_;
+};
+
+}  // namespace cvm
+
+#endif  // CVM_INSTR_ACCESS_FILTER_H_

@@ -1,0 +1,87 @@
+#include "src/instr/binary_image.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace cvm {
+
+BinaryImage SynthesizeBinary(const std::string& name, const InstructionMix& mix, uint64_t seed) {
+  Rng rng(seed);
+  BinaryImage image;
+  image.name = name;
+  image.instructions.reserve(mix.stack + mix.static_data + mix.library + mix.cvm + mix.candidate);
+
+  auto emit = [&](uint64_t count, CodeRegion region, BaseRegister base) {
+    for (uint64_t i = 0; i < count; ++i) {
+      InstrDesc d;
+      d.is_load = rng.Chance(0.75);  // ~25% of data accesses are stores (§6.5).
+      d.region = region;
+      d.base = base;
+      image.instructions.push_back(d);
+    }
+  };
+
+  emit(mix.stack, CodeRegion::kApplication, BaseRegister::kFramePointer);
+  emit(mix.static_data, CodeRegion::kApplication, BaseRegister::kStaticBase);
+  emit(mix.library, CodeRegion::kSharedLibrary, BaseRegister::kGeneralPurpose);
+  emit(mix.cvm, CodeRegion::kCvmRuntime, BaseRegister::kGeneralPurpose);
+  for (uint64_t i = 0; i < mix.candidate; ++i) {
+    InstrDesc d;
+    d.is_load = rng.Chance(0.75);
+    d.region = CodeRegion::kApplication;
+    d.base = BaseRegister::kGeneralPurpose;
+    d.provably_private_in_block = rng.Chance(mix.candidate_private_block);
+    d.provably_private_interproc =
+        d.provably_private_in_block || rng.Chance(mix.candidate_private_interproc);
+    image.instructions.push_back(d);
+  }
+
+  // Interleave deterministically so region boundaries are not contiguous
+  // (ATOM classifies per instruction, so order is irrelevant to results, but
+  // a shuffled image keeps tests honest about per-instruction decisions).
+  for (size_t i = image.instructions.size(); i > 1; --i) {
+    std::swap(image.instructions[i - 1], image.instructions[rng.Below(i)]);
+  }
+  return image;
+}
+
+ClassifyResult StaticClassifier::Classify(const BinaryImage& image) const {
+  ClassifyResult result;
+  for (const InstrDesc& d : image.instructions) {
+    // Library and CVM code first: never instrumented (code-range check).
+    if (d.region == CodeRegion::kSharedLibrary) {
+      ++result.library;
+      continue;
+    }
+    if (d.region == CodeRegion::kCvmRuntime) {
+      ++result.cvm;
+      continue;
+    }
+    // Frame-pointer base -> stack data.
+    if (d.base == BaseRegister::kFramePointer) {
+      ++result.stack;
+      continue;
+    }
+    // Static-base-register -> statically allocated (private: CVM allocates
+    // all shared memory dynamically).
+    if (d.base == BaseRegister::kStaticBase) {
+      ++result.static_data;
+      continue;
+    }
+    // General-purpose base: eliminate only if def-use tracking proves the
+    // pointer private within the analysis scope.
+    const bool provable =
+        interprocedural_ ? d.provably_private_interproc : d.provably_private_in_block;
+    if (provable) {
+      ++result.static_data;
+      continue;
+    }
+    ++result.instrumented;
+  }
+  CVM_CHECK_EQ(result.Total(), image.instructions.size());
+  return result;
+}
+
+}  // namespace cvm

@@ -1,0 +1,102 @@
+// The static half of the ATOM instrumentation (§5.1, Table 2). ATOM walks a
+// binary's load/store instructions and eliminates, as possible data-race
+// participants, every access it can prove private:
+//   - frame-pointer-based accesses (stack data),
+//   - accesses through the static-data base register (CVM allocates all
+//     shared memory dynamically, so statically-allocated data is private),
+//   - instructions inside shared libraries and inside CVM itself.
+// Everything else is instrumented with a call to the analysis routine.
+//
+// We cannot rewrite Alpha binaries, so the classifier runs over a synthetic
+// BinaryImage: a stream of instruction descriptors carrying the same
+// features ATOM inspects. The classifier logic is the paper's; the image is
+// generated from per-application instruction-mix specs.
+#ifndef CVM_INSTR_BINARY_IMAGE_H_
+#define CVM_INSTR_BINARY_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cvm {
+
+// Which code region an instruction lives in.
+enum class CodeRegion : uint8_t {
+  kApplication,
+  kSharedLibrary,  // libc, libm, ... (never instrumented: no segment pointers
+                   // are passed to libraries in these applications).
+  kCvmRuntime,     // The DSM library itself.
+};
+
+// What ATOM can see about the instruction's base register.
+enum class BaseRegister : uint8_t {
+  kFramePointer,   // Stack access.
+  kStaticBase,     // Global-pointer-relative: statically allocated data.
+  kGeneralPurpose, // Unknown pointer: conservatively a shared-memory candidate.
+};
+
+struct InstrDesc {
+  bool is_load = true;
+  CodeRegion region = CodeRegion::kApplication;
+  BaseRegister base = BaseRegister::kGeneralPurpose;
+  // True if intra-basic-block def-use tracking can prove the pointer is
+  // derived from a private allocation. §6.5: the current analysis only
+  // tracks within a basic block; inter-procedural analysis would resolve
+  // more of these.
+  bool provably_private_in_block = false;
+  bool provably_private_interproc = false;
+};
+
+struct BinaryImage {
+  std::string name;
+  std::vector<InstrDesc> instructions;
+
+  size_t TotalLoadsStores() const { return instructions.size(); }
+};
+
+// Per-category instruction counts for one application binary (Table 2's
+// columns). Generation is deterministic in the seed.
+struct InstructionMix {
+  uint64_t stack = 0;
+  uint64_t static_data = 0;
+  uint64_t library = 0;
+  uint64_t cvm = 0;
+  uint64_t candidate = 0;              // General-register app accesses.
+  double candidate_private_block = 0;  // Fraction of candidates provable in-block.
+  double candidate_private_interproc = 0;  // Additional fraction inter-procedurally.
+};
+
+BinaryImage SynthesizeBinary(const std::string& name, const InstructionMix& mix, uint64_t seed);
+
+// Result of the static pass: how many loads/stores were eliminated per
+// category, and how many remain to be instrumented.
+struct ClassifyResult {
+  uint64_t stack = 0;
+  uint64_t static_data = 0;
+  uint64_t library = 0;
+  uint64_t cvm = 0;
+  uint64_t instrumented = 0;
+
+  uint64_t Total() const { return stack + static_data + library + cvm + instrumented; }
+  double EliminatedFraction() const {
+    const uint64_t total = Total();
+    return total == 0 ? 0.0 : 1.0 - static_cast<double>(instrumented) / static_cast<double>(total);
+  }
+};
+
+class StaticClassifier {
+ public:
+  // `interprocedural` enables the §6.5 extension: def-use tracking across
+  // procedure boundaries, eliminating more provably-private candidates.
+  explicit StaticClassifier(bool interprocedural = false)
+      : interprocedural_(interprocedural) {}
+
+  ClassifyResult Classify(const BinaryImage& image) const;
+
+ private:
+  bool interprocedural_;
+};
+
+}  // namespace cvm
+
+#endif  // CVM_INSTR_BINARY_IMAGE_H_

@@ -1,0 +1,28 @@
+// Runtime instrumentation counters, one set per node (Table 3's dynamic
+// metrics: instrumented accesses per second, split shared vs private).
+#ifndef CVM_INSTR_COUNTERS_H_
+#define CVM_INSTR_COUNTERS_H_
+
+#include <cstdint>
+
+namespace cvm {
+
+struct AccessCounters {
+  uint64_t instrumented_calls = 0;  // Calls into the analysis routine.
+  uint64_t shared_accesses = 0;     // ...that hit the shared segment.
+  uint64_t private_accesses = 0;    // ...that were private after all.
+  uint64_t shared_reads = 0;
+  uint64_t shared_writes = 0;
+
+  void Accumulate(const AccessCounters& other) {
+    instrumented_calls += other.instrumented_calls;
+    shared_accesses += other.shared_accesses;
+    private_accesses += other.private_accesses;
+    shared_reads += other.shared_reads;
+    shared_writes += other.shared_writes;
+  }
+};
+
+}  // namespace cvm
+
+#endif  // CVM_INSTR_COUNTERS_H_

@@ -1,0 +1,36 @@
+#include "src/mem/diff.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace cvm {
+
+Diff MakeDiff(PageId page, IntervalId interval, const std::vector<uint8_t>& twin,
+              const std::vector<uint8_t>& current) {
+  CVM_CHECK_EQ(twin.size(), current.size());
+  CVM_CHECK_EQ(twin.size() % kWordSize, 0u);
+  Diff diff;
+  diff.page = page;
+  diff.interval = interval;
+  const uint32_t num_words = static_cast<uint32_t>(twin.size() / kWordSize);
+  for (uint32_t w = 0; w < num_words; ++w) {
+    uint32_t old_value;
+    uint32_t new_value;
+    std::memcpy(&old_value, twin.data() + w * kWordSize, kWordSize);
+    std::memcpy(&new_value, current.data() + w * kWordSize, kWordSize);
+    if (old_value != new_value) {
+      diff.words.push_back(DiffWord{w, new_value});
+    }
+  }
+  return diff;
+}
+
+void ApplyDiff(const Diff& diff, std::vector<uint8_t>& frame) {
+  for (const DiffWord& dw : diff.words) {
+    CVM_CHECK_LT(static_cast<uint64_t>(dw.word) * kWordSize + kWordSize, frame.size() + 1);
+    std::memcpy(frame.data() + dw.word * kWordSize, &dw.value, kWordSize);
+  }
+}
+
+}  // namespace cvm

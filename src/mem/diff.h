@@ -1,0 +1,45 @@
+// Twins and diffs, the multi-writer machinery of TreadMarks-style LRC
+// (§6.5). A twin is a pristine copy of a page taken at the first write after
+// a fault; a diff is the word-granular delta between the twin and the page's
+// current contents at release time.
+#ifndef CVM_MEM_DIFF_H_
+#define CVM_MEM_DIFF_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/vc/vector_clock.h"
+
+namespace cvm {
+
+// One modified word: (word index within page, new 32-bit value).
+struct DiffWord {
+  uint32_t word = 0;
+  uint32_t value = 0;
+  bool operator==(const DiffWord& other) const {
+    return word == other.word && value == other.value;
+  }
+};
+
+struct Diff {
+  PageId page = -1;
+  IntervalId interval;  // The interval whose writes this diff summarizes.
+  std::vector<DiffWord> words;
+
+  size_t ByteSize() const { return sizeof(PageId) + sizeof(IntervalId) + words.size() * 8; }
+};
+
+// Computes the word-granular delta twin -> current. Both spans must be one
+// page long. Note §6.5's caveat: a word overwritten with its existing value
+// produces no diff entry, so diff-derived write detection can miss races.
+Diff MakeDiff(PageId page, IntervalId interval, const std::vector<uint8_t>& twin,
+              const std::vector<uint8_t>& current);
+
+// Applies the diff's words onto the frame.
+void ApplyDiff(const Diff& diff, std::vector<uint8_t>& frame);
+
+}  // namespace cvm
+
+#endif  // CVM_MEM_DIFF_H_

@@ -1,0 +1,56 @@
+#include "src/mem/page_table.h"
+
+#include <cstring>
+
+namespace cvm {
+
+const char* PageStateName(PageState state) {
+  switch (state) {
+    case PageState::kInvalid:
+      return "invalid";
+    case PageState::kReadOnly:
+      return "read-only";
+    case PageState::kReadWrite:
+      return "read-write";
+  }
+  return "?";
+}
+
+PageTable::PageTable(int num_pages, uint64_t page_size) : page_size_(page_size) {
+  CVM_CHECK_GT(num_pages, 0);
+  entries_.resize(num_pages);
+}
+
+uint32_t PageTable::ReadWord(PageId page, uint32_t word) const {
+  const PageEntry& e = entry(page);
+  CVM_CHECK(e.state != PageState::kInvalid) << "read of invalid page " << page;
+  CVM_CHECK_EQ(e.data.size(), page_size_);
+  CVM_CHECK_LT(static_cast<uint64_t>(word) * kWordSize, page_size_);
+  uint32_t value;
+  std::memcpy(&value, e.data.data() + word * kWordSize, kWordSize);
+  return value;
+}
+
+void PageTable::WriteWord(PageId page, uint32_t word, uint32_t value) {
+  PageEntry& e = entry(page);
+  CVM_CHECK(e.state == PageState::kReadWrite) << "write to non-writable page " << page;
+  CVM_CHECK_EQ(e.data.size(), page_size_);
+  CVM_CHECK_LT(static_cast<uint64_t>(word) * kWordSize, page_size_);
+  std::memcpy(e.data.data() + word * kWordSize, &value, kWordSize);
+}
+
+void PageTable::Install(PageId page, std::vector<uint8_t> data, PageState state) {
+  CVM_CHECK_EQ(data.size(), page_size_);
+  PageEntry& e = entry(page);
+  e.data = std::move(data);
+  e.state = state;
+}
+
+void PageTable::MakeTwin(PageId page) {
+  PageEntry& e = entry(page);
+  CVM_CHECK(e.state != PageState::kInvalid);
+  CVM_CHECK(!e.twin.has_value()) << "twin already exists for page " << page;
+  e.twin = e.data;
+}
+
+}  // namespace cvm

@@ -1,0 +1,79 @@
+// Per-node view of the shared segment: one PageEntry per page, holding the
+// node's private copy (if any), its protection state, the single-writer
+// ownership hint, and the multi-writer twin.
+#ifndef CVM_MEM_PAGE_TABLE_H_
+#define CVM_MEM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace cvm {
+
+// Protection state of a node's copy of one page. Transitions mirror the
+// page-fault behaviour of a mprotect-based DSM:
+//   kInvalid -> (read fault, fetch) -> kReadOnly -> (write fault) -> kReadWrite
+// and write notices received at acquires knock pages back to kInvalid.
+enum class PageState : uint8_t {
+  kInvalid,    // No usable copy; any access faults.
+  kReadOnly,   // Valid copy; writes fault.
+  kReadWrite,  // Valid, locally writable copy.
+};
+
+const char* PageStateName(PageState state);
+
+struct PageEntry {
+  PageState state = PageState::kInvalid;
+  std::vector<uint8_t> data;            // Empty until first fetched.
+  NodeId probable_owner = kNoNode;      // Single-writer ownership hint.
+  std::optional<std::vector<uint8_t>> twin;  // Multi-writer twin, if write-faulted.
+};
+
+class PageTable {
+ public:
+  PageTable(int num_pages, uint64_t page_size);
+
+  int num_pages() const { return static_cast<int>(entries_.size()); }
+  uint64_t page_size() const { return page_size_; }
+
+  PageEntry& entry(PageId page) {
+    CVM_CHECK_GE(page, 0);
+    CVM_CHECK_LT(page, num_pages());
+    return entries_[page];
+  }
+  const PageEntry& entry(PageId page) const {
+    CVM_CHECK_GE(page, 0);
+    CVM_CHECK_LT(page, num_pages());
+    return entries_[page];
+  }
+
+  bool Readable(PageId page) const { return entry(page).state != PageState::kInvalid; }
+  bool Writable(PageId page) const { return entry(page).state == PageState::kReadWrite; }
+
+  // Reads/writes one aligned word of the node's copy. The page must be in a
+  // state permitting the access (the caller handles faults first).
+  uint32_t ReadWord(PageId page, uint32_t word) const;
+  void WriteWord(PageId page, uint32_t word, uint32_t value);
+
+  // Installs fetched contents and sets the state.
+  void Install(PageId page, std::vector<uint8_t> data, PageState state);
+
+  // Invalidate per an incoming write notice. Keeps the (stale) data so tests
+  // can observe weak-memory staleness, but faults will refetch.
+  void Invalidate(PageId page) { entry(page).state = PageState::kInvalid; }
+
+  // Multi-writer helpers.
+  void MakeTwin(PageId page);
+  void DropTwin(PageId page) { entry(page).twin.reset(); }
+
+ private:
+  uint64_t page_size_;
+  std::vector<PageEntry> entries_;
+};
+
+}  // namespace cvm
+
+#endif  // CVM_MEM_PAGE_TABLE_H_

@@ -1,0 +1,61 @@
+#include "src/mem/shared_segment.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace cvm {
+
+SharedSegment::SharedSegment(uint64_t page_size, uint64_t max_bytes) : page_size_(page_size) {
+  CVM_CHECK_GT(page_size, 0u);
+  CVM_CHECK_EQ(page_size % kWordSize, 0u);
+  num_pages_ = (max_bytes + page_size - 1) / page_size;
+  CVM_CHECK_GT(num_pages_, 0u);
+  initial_.assign(num_pages_ * page_size_, 0);
+}
+
+GlobalAddr SharedSegment::Alloc(const std::string& name, uint64_t bytes, bool page_align) {
+  CVM_CHECK_GT(bytes, 0u);
+  uint64_t base = next_free_;
+  if (page_align && base % page_size_ != 0) {
+    base += page_size_ - base % page_size_;
+  }
+  // Keep scalar allocations word-aligned so bitmap bits map 1:1 to variables.
+  if (base % kWordSize != 0) {
+    base += kWordSize - base % kWordSize;
+  }
+  CVM_CHECK_LE(base + bytes, size_bytes())
+      << "shared segment exhausted allocating " << name << " (" << bytes << " bytes)";
+  next_free_ = base + bytes;
+  symbols_.push_back(Symbol{name, base, bytes});
+  return base;
+}
+
+std::string SharedSegment::Symbolize(GlobalAddr addr) const {
+  for (const Symbol& sym : symbols_) {
+    if (addr >= sym.base && addr < sym.base + sym.size) {
+      std::ostringstream out;
+      out << sym.name;
+      if (addr != sym.base) {
+        out << "+" << (addr - sym.base);
+      }
+      return out.str();
+    }
+  }
+  std::ostringstream out;
+  out << "0x" << std::hex << addr;
+  return out.str();
+}
+
+std::vector<uint8_t> SharedSegment::InitialPage(PageId page) const {
+  CVM_CHECK_GE(page, 0);
+  CVM_CHECK_LT(static_cast<uint64_t>(page), num_pages_);
+  auto begin = initial_.begin() + static_cast<int64_t>(page * page_size_);
+  return std::vector<uint8_t>(begin, begin + static_cast<int64_t>(page_size_));
+}
+
+void SharedSegment::PokeInitial(GlobalAddr addr, const void* data, uint64_t bytes) {
+  CVM_CHECK_LE(addr + bytes, size_bytes());
+  std::memcpy(initial_.data() + addr, data, bytes);
+}
+
+}  // namespace cvm

@@ -1,0 +1,105 @@
+#include "src/net/message.h"
+
+namespace cvm {
+namespace {
+
+size_t IntervalsByteSize(const std::vector<IntervalRecord>& records) {
+  size_t n = sizeof(uint32_t);
+  for (const IntervalRecord& r : records) {
+    n += r.ByteSize();
+  }
+  return n;
+}
+
+size_t IntervalsReadNoticeBytes(const std::vector<IntervalRecord>& records) {
+  size_t n = 0;
+  for (const IntervalRecord& r : records) {
+    n += r.ReadNoticeByteSize();
+  }
+  return n;
+}
+
+struct SizeVisitor {
+  size_t operator()(const PageRequestMsg&) const { return 13; }
+  size_t operator()(const PageReplyMsg& m) const { return 8 + m.data.size(); }
+  size_t operator()(const DiffFlushMsg& m) const {
+    size_t n = 8;
+    for (const Diff& d : m.diffs) {
+      n += d.ByteSize();
+    }
+    return n;
+  }
+  size_t operator()(const DiffFlushAckMsg&) const { return 8; }
+  size_t operator()(const LockRequestMsg& m) const { return 8 + m.requester_vc.ByteSize(); }
+  size_t operator()(const LockGrantMsg& m) const {
+    size_t n = 8 + m.releaser_vc.ByteSize() + IntervalsByteSize(m.intervals);
+    for (const LockRequestMsg& r : m.handoff) {
+      n += 9 + r.requester_vc.ByteSize();
+    }
+    return n;
+  }
+  size_t operator()(const BarrierArriveMsg& m) const {
+    return 16 + m.vc.ByteSize() + IntervalsByteSize(m.intervals);
+  }
+  size_t operator()(const BitmapRequestMsg& m) const {
+    return 8 + m.entries.size() * (sizeof(IntervalId) + sizeof(PageId));
+  }
+  size_t operator()(const BitmapReplyMsg& m) const {
+    size_t n = 8;
+    for (const BitmapReplyEntry& e : m.entries) {
+      n += sizeof(IntervalId) + sizeof(PageId) + e.read.ByteSize() + e.write.ByteSize();
+    }
+    return n;
+  }
+  size_t operator()(const BarrierReleaseMsg& m) const {
+    return 16 + m.merged_vc.ByteSize() + IntervalsByteSize(m.intervals);
+  }
+  size_t operator()(const ErcUpdateMsg& m) const { return 8 + m.record.ByteSize(); }
+  size_t operator()(const ErcAckMsg&) const { return 8; }
+  size_t operator()(const ShutdownMsg&) const { return 0; }
+};
+
+struct ReadNoticeVisitor {
+  size_t operator()(const ErcUpdateMsg& m) const { return m.record.ReadNoticeByteSize(); }
+  size_t operator()(const LockGrantMsg& m) const { return IntervalsReadNoticeBytes(m.intervals); }
+  size_t operator()(const BarrierArriveMsg& m) const {
+    return IntervalsReadNoticeBytes(m.intervals);
+  }
+  size_t operator()(const BarrierReleaseMsg& m) const {
+    return IntervalsReadNoticeBytes(m.intervals);
+  }
+  template <typename T>
+  size_t operator()(const T&) const {
+    return 0;
+  }
+};
+
+struct KindNameVisitor {
+  const char* operator()(const PageRequestMsg&) const { return "PageRequest"; }
+  const char* operator()(const PageReplyMsg&) const { return "PageReply"; }
+  const char* operator()(const DiffFlushMsg&) const { return "DiffFlush"; }
+  const char* operator()(const DiffFlushAckMsg&) const { return "DiffFlushAck"; }
+  const char* operator()(const LockRequestMsg&) const { return "LockRequest"; }
+  const char* operator()(const LockGrantMsg&) const { return "LockGrant"; }
+  const char* operator()(const BarrierArriveMsg&) const { return "BarrierArrive"; }
+  const char* operator()(const BitmapRequestMsg&) const { return "BitmapRequest"; }
+  const char* operator()(const BitmapReplyMsg&) const { return "BitmapReply"; }
+  const char* operator()(const BarrierReleaseMsg&) const { return "BarrierRelease"; }
+  const char* operator()(const ErcUpdateMsg&) const { return "ErcUpdate"; }
+  const char* operator()(const ErcAckMsg&) const { return "ErcAck"; }
+  const char* operator()(const ShutdownMsg&) const { return "Shutdown"; }
+};
+
+}  // namespace
+
+size_t PayloadByteSize(const Payload& payload) {
+  return kMessageHeaderBytes + std::visit(SizeVisitor{}, payload);
+}
+
+size_t PayloadReadNoticeBytes(const Payload& payload) {
+  return std::visit(ReadNoticeVisitor{}, payload);
+}
+
+const char* Message::KindName() const { return std::visit(KindNameVisitor{}, payload); }
+
+}  // namespace cvm

@@ -1,0 +1,146 @@
+// Message types exchanged by DSM nodes. The fabric is in-process, but every
+// payload has a byte-accurate wire size so bandwidth overheads (e.g. the
+// marginal cost of read notices, Table 3) can be measured exactly.
+#ifndef CVM_NET_MESSAGE_H_
+#define CVM_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/bitmap.h"
+#include "src/common/types.h"
+#include "src/mem/diff.h"
+#include "src/protocol/interval.h"
+#include "src/vc/vector_clock.h"
+
+namespace cvm {
+
+// ---- Page traffic (single-writer protocol + HLRC base copies) ----
+
+struct PageRequestMsg {
+  PageId page = -1;
+  bool want_write = false;
+  NodeId requester = kNoNode;  // Final reply destination (requests are forwarded).
+  bool forwarded = false;      // Set once the home/manager has routed it.
+};
+
+struct PageReplyMsg {
+  PageId page = -1;
+  std::vector<uint8_t> data;
+  bool grants_ownership = false;
+};
+
+// ---- Multi-writer (home-based) diff traffic ----
+
+struct DiffFlushMsg {
+  std::vector<Diff> diffs;
+  uint64_t token = 0;  // Matches the ack.
+};
+
+struct DiffFlushAckMsg {
+  uint64_t token = 0;
+};
+
+// ---- Lock traffic (TreadMarks-style distributed queue) ----
+
+struct LockRequestMsg {
+  LockId lock = -1;
+  NodeId requester = kNoNode;
+  VectorClock requester_vc;  // Lets the releaser send only unseen intervals.
+  bool forwarded = false;    // Set once the manager has routed the request.
+};
+
+struct LockGrantMsg {
+  LockId lock = -1;
+  std::vector<IntervalRecord> intervals;  // Unseen by the requester.
+  VectorClock releaser_vc;
+  uint64_t releaser_time_ns = 0;  // Simulated release timestamp.
+  // Replay mode: still-queued requests travel with the token so the new
+  // holder can grant them when their scheduled turn comes.
+  std::vector<LockRequestMsg> handoff;
+};
+
+// ---- Barrier + race-detection rounds ----
+
+struct BarrierArriveMsg {
+  EpochId epoch = -1;
+  NodeId node = kNoNode;
+  std::vector<IntervalRecord> intervals;  // Unseen by the master.
+  VectorClock vc;
+  uint64_t arrive_time_ns = 0;
+};
+
+// One entry of the check list (§4 step 3): a (interval, page) pair whose
+// word bitmaps the master needs.
+struct CheckEntry {
+  IntervalId interval;
+  PageId page = -1;
+};
+
+struct BitmapRequestMsg {
+  EpochId epoch = -1;
+  std::vector<CheckEntry> entries;
+};
+
+struct BitmapReplyEntry {
+  IntervalId interval;
+  PageId page = -1;
+  Bitmap read;
+  Bitmap write;
+};
+
+struct BitmapReplyMsg {
+  EpochId epoch = -1;
+  std::vector<BitmapReplyEntry> entries;
+};
+
+struct BarrierReleaseMsg {
+  EpochId epoch = -1;
+  std::vector<IntervalRecord> intervals;  // Unseen by this worker.
+  VectorClock merged_vc;
+  uint64_t release_time_ns = 0;
+};
+
+// ---- Eager-RC traffic: notices pushed at release ----
+
+struct ErcUpdateMsg {
+  IntervalRecord record;  // The released interval; receivers invalidate.
+  uint64_t token = 0;
+};
+
+struct ErcAckMsg {
+  uint64_t token = 0;
+};
+
+struct ShutdownMsg {};
+
+using Payload = std::variant<PageRequestMsg, PageReplyMsg, DiffFlushMsg, DiffFlushAckMsg,
+                             LockRequestMsg, LockGrantMsg, BarrierArriveMsg, BitmapRequestMsg,
+                             BitmapReplyMsg, BarrierReleaseMsg, ErcUpdateMsg, ErcAckMsg,
+                             ShutdownMsg>;
+
+struct Message {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  Payload payload;
+
+  // Cached wire size (header + payload), filled by the network at send time.
+  size_t wire_bytes = 0;
+
+  const char* KindName() const;
+};
+
+// Byte-accurate payload sizes. Header cost is kMessageHeaderBytes.
+inline constexpr size_t kMessageHeaderBytes = 32;
+
+size_t PayloadByteSize(const Payload& payload);
+
+// Bytes attributable to read notices inside the payload's interval records —
+// the marginal bandwidth the paper's modification adds (Table 3 "Msg Ohead").
+size_t PayloadReadNoticeBytes(const Payload& payload);
+
+}  // namespace cvm
+
+#endif  // CVM_NET_MESSAGE_H_

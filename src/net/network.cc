@@ -1,0 +1,90 @@
+#include "src/net/network.h"
+
+#include <atomic>
+
+#include "src/common/check.h"
+
+namespace cvm {
+
+Network::Network(int num_nodes) : num_nodes_(num_nodes) {
+  CVM_CHECK_GT(num_nodes, 0);
+  inboxes_.reserve(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    inboxes_.push_back(std::make_unique<Inbox>());
+  }
+}
+
+void Network::Send(Message message) {
+  CVM_CHECK_GE(message.to, 0);
+  CVM_CHECK_LT(message.to, num_nodes_);
+  message.wire_bytes = PayloadByteSize(message.payload);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (closed_) {
+      return;
+    }
+    stats_.messages += 1;
+    stats_.bytes += message.wire_bytes;
+    stats_.read_notice_bytes += PayloadReadNoticeBytes(message.payload);
+    stats_.messages_by_kind[message.KindName()] += 1;
+    stats_.bytes_by_kind[message.KindName()] += message.wire_bytes;
+  }
+
+  Inbox& inbox = *inboxes_[message.to];
+  {
+    std::lock_guard<std::mutex> lock(inbox.mu);
+    inbox.queue.push_back(std::move(message));
+  }
+  inbox.cv.notify_all();
+}
+
+std::optional<Message> Network::Recv(NodeId node) {
+  CVM_CHECK_GE(node, 0);
+  CVM_CHECK_LT(node, num_nodes_);
+  Inbox& inbox = *inboxes_[node];
+  std::unique_lock<std::mutex> lock(inbox.mu);
+  inbox.cv.wait(lock, [&] {
+    if (!inbox.queue.empty()) {
+      return true;
+    }
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    return closed_;
+  });
+  if (inbox.queue.empty()) {
+    return std::nullopt;
+  }
+  Message message = std::move(inbox.queue.front());
+  inbox.queue.pop_front();
+  return message;
+}
+
+std::optional<Message> Network::TryRecv(NodeId node) {
+  CVM_CHECK_GE(node, 0);
+  CVM_CHECK_LT(node, num_nodes_);
+  Inbox& inbox = *inboxes_[node];
+  std::lock_guard<std::mutex> lock(inbox.mu);
+  if (inbox.queue.empty()) {
+    return std::nullopt;
+  }
+  Message message = std::move(inbox.queue.front());
+  inbox.queue.pop_front();
+  return message;
+}
+
+void Network::Close() {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    closed_ = true;
+  }
+  for (auto& inbox : inboxes_) {
+    inbox->cv.notify_all();
+  }
+}
+
+NetworkStats Network::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace cvm

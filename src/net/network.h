@@ -1,0 +1,67 @@
+// In-process message fabric connecting the DSM nodes: one inbox per node,
+// FIFO per sender-receiver pair (delivery is FIFO overall per inbox), with
+// global byte/count accounting used by the evaluation harness.
+#ifndef CVM_NET_NETWORK_H_
+#define CVM_NET_NETWORK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/message.h"
+
+namespace cvm {
+
+// Aggregate traffic statistics; snapshot with Network::stats().
+struct NetworkStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t read_notice_bytes = 0;
+  std::map<std::string, uint64_t> messages_by_kind;
+  std::map<std::string, uint64_t> bytes_by_kind;
+};
+
+class Network {
+ public:
+  explicit Network(int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
+
+  // Sends `message` to message.to; fills in wire_bytes and updates stats.
+  void Send(Message message);
+
+  // Blocking receive for `node`; returns nullopt after Close().
+  std::optional<Message> Recv(NodeId node);
+
+  // Non-blocking receive.
+  std::optional<Message> TryRecv(NodeId node);
+
+  // Wakes all blocked receivers with "closed"; later Sends are dropped.
+  void Close();
+
+  NetworkStats stats() const;
+
+ private:
+  struct Inbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  const int num_nodes_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+
+  mutable std::mutex stats_mu_;
+  NetworkStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace cvm
+
+#endif  // CVM_NET_NETWORK_H_

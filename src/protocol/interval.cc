@@ -1,0 +1,145 @@
+#include "src/protocol/interval.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace cvm {
+
+bool IntervalRecord::WritesPage(PageId page) const {
+  return std::find(write_pages.begin(), write_pages.end(), page) != write_pages.end();
+}
+
+bool IntervalRecord::ReadsPage(PageId page) const {
+  return std::find(read_pages.begin(), read_pages.end(), page) != read_pages.end();
+}
+
+std::string IntervalRecord::ToString() const {
+  std::ostringstream out;
+  out << id.ToString() << " vc=" << vc.ToString() << " epoch=" << epoch << " w={";
+  for (size_t i = 0; i < write_pages.size(); ++i) {
+    out << (i ? "," : "") << write_pages[i];
+  }
+  out << "} r={";
+  for (size_t i = 0; i < read_pages.size(); ++i) {
+    out << (i ? "," : "") << read_pages[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+PageAccessBitmaps& BitmapStore::PairFor(IntervalIndex interval, PageId page, bool* created) {
+  auto& pages = by_interval_[interval];
+  auto it = pages.find(page);
+  if (it == pages.end()) {
+    it = pages.emplace(page, PageAccessBitmaps{Bitmap(words_per_page_), Bitmap(words_per_page_)})
+             .first;
+    ++total_pairs_;
+    if (created != nullptr) {
+      *created = true;
+    }
+  }
+  return it->second;
+}
+
+bool BitmapStore::RecordRead(IntervalIndex interval, PageId page, uint32_t word) {
+  bool created = false;
+  PageAccessBitmaps& pair = PairFor(interval, page, &created);
+  const bool first_read = pair.read.empty();
+  pair.read.Set(word);
+  return first_read || created;
+}
+
+bool BitmapStore::RecordWrite(IntervalIndex interval, PageId page, uint32_t word) {
+  bool created = false;
+  PageAccessBitmaps& pair = PairFor(interval, page, &created);
+  const bool first_write = pair.write.empty();
+  pair.write.Set(word);
+  return first_write || created;
+}
+
+const PageAccessBitmaps* BitmapStore::Find(IntervalIndex interval, PageId page) const {
+  auto it = by_interval_.find(interval);
+  if (it == by_interval_.end()) {
+    return nullptr;
+  }
+  auto pit = it->second.find(page);
+  if (pit == it->second.end()) {
+    return nullptr;
+  }
+  return &pit->second;
+}
+
+void BitmapStore::DiscardThrough(IntervalIndex up_to) {
+  auto it = by_interval_.begin();
+  while (it != by_interval_.end() && it->first <= up_to) {
+    it = by_interval_.erase(it);
+  }
+}
+
+size_t BitmapStore::RetainedPairs() const {
+  size_t n = 0;
+  for (const auto& [interval, pages] : by_interval_) {
+    n += pages.size();
+  }
+  return n;
+}
+
+void IntervalLog::Insert(const IntervalRecord& record) {
+  CVM_CHECK_GE(record.id.node, 0);
+  CVM_CHECK_LT(record.id.node, static_cast<NodeId>(by_node_.size()));
+  by_node_[record.id.node].emplace(record.id.index, record);
+}
+
+bool IntervalLog::Contains(const IntervalId& id) const { return Find(id) != nullptr; }
+
+const IntervalRecord* IntervalLog::Find(const IntervalId& id) const {
+  if (id.node < 0 || id.node >= static_cast<NodeId>(by_node_.size())) {
+    return nullptr;
+  }
+  auto it = by_node_[id.node].find(id.index);
+  return it == by_node_[id.node].end() ? nullptr : &it->second;
+}
+
+std::vector<IntervalRecord> IntervalLog::UnseenBy(const VectorClock& vc) const {
+  std::vector<IntervalRecord> out;
+  for (size_t p = 0; p < by_node_.size(); ++p) {
+    const IntervalIndex seen = vc.At(static_cast<NodeId>(p));
+    for (auto it = by_node_[p].upper_bound(seen); it != by_node_[p].end(); ++it) {
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+std::vector<IntervalRecord> IntervalLog::All() const {
+  std::vector<IntervalRecord> out;
+  for (const auto& node_map : by_node_) {
+    for (const auto& [index, record] : node_map) {
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+void IntervalLog::DiscardDominatedBy(const VectorClock& vc) {
+  for (size_t p = 0; p < by_node_.size(); ++p) {
+    const IntervalIndex limit = vc.At(static_cast<NodeId>(p));
+    auto& node_map = by_node_[p];
+    auto it = node_map.begin();
+    while (it != node_map.end() && it->first <= limit) {
+      it = node_map.erase(it);
+    }
+  }
+}
+
+size_t IntervalLog::size() const {
+  size_t n = 0;
+  for (const auto& node_map : by_node_) {
+    n += node_map.size();
+  }
+  return n;
+}
+
+}  // namespace cvm

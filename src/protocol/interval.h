@@ -1,0 +1,128 @@
+// Interval structures: the unit of LRC consistency metadata (§3.1). Each
+// interval carries a version vector, the pages written (write notices) and —
+// the paper's addition — the pages read (read notices). Word-granularity
+// access bitmaps stay on the creating node until a race check requests them.
+#ifndef CVM_PROTOCOL_INTERVAL_H_
+#define CVM_PROTOCOL_INTERVAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/bitmap.h"
+#include "src/common/types.h"
+#include "src/vc/vector_clock.h"
+
+namespace cvm {
+
+// Wire-transferable summary of one interval. This is what rides on lock
+// grants and barrier messages.
+struct IntervalRecord {
+  IntervalId id;
+  VectorClock vc;                  // Version vector at interval creation.
+  EpochId epoch = 0;               // Barrier epoch the interval belongs to.
+  std::vector<PageId> write_pages; // Write notices.
+  std::vector<PageId> read_pages;  // Read notices (this paper's addition).
+
+  // Byte-accurate wire size, split so the harness can report the marginal
+  // cost of read notices (Table 3 "Msg Ohead").
+  size_t BaseByteSize() const {
+    return sizeof(IntervalId) + sizeof(EpochId) + vc.ByteSize() +
+           write_pages.size() * sizeof(PageId) + sizeof(uint32_t) * 2;
+  }
+  size_t ReadNoticeByteSize() const { return read_pages.size() * sizeof(PageId); }
+  size_t ByteSize() const { return BaseByteSize() + ReadNoticeByteSize(); }
+
+  bool WritesPage(PageId page) const;
+  bool ReadsPage(PageId page) const;
+
+  std::string ToString() const;
+};
+
+// Word-granularity read/write bitmaps for the pages one interval touched.
+struct PageAccessBitmaps {
+  Bitmap read;
+  Bitmap write;
+};
+
+// Per-node store of access bitmaps for the node's *own* intervals. Entries
+// are dropped only once the epoch's race check has consumed them (§6.4:
+// trace information is discarded only after it has been checked).
+class BitmapStore {
+ public:
+  explicit BitmapStore(uint32_t words_per_page) : words_per_page_(words_per_page) {}
+
+  // Marks one word accessed in the given local interval; creates the bitmap
+  // pair lazily. Returns true if this is the first access (read or write
+  // respectively) to the page in this interval, i.e. a new notice is due.
+  bool RecordRead(IntervalIndex interval, PageId page, uint32_t word);
+  bool RecordWrite(IntervalIndex interval, PageId page, uint32_t word);
+
+  // Bitmaps for (interval, page); null if the interval never touched it.
+  const PageAccessBitmaps* Find(IntervalIndex interval, PageId page) const;
+
+  // Drops bitmaps for all intervals with index <= up_to (the epoch's race
+  // check is complete).
+  void DiscardThrough(IntervalIndex up_to);
+
+  // Number of (interval, page) bitmap pairs currently retained.
+  size_t RetainedPairs() const;
+
+  // Total bitmap pairs ever recorded (denominator of Table 3 "Bitmaps Used").
+  uint64_t TotalPairsRecorded() const { return total_pairs_; }
+
+  // Walks every retained (interval, page) bitmap pair (post-mortem dump).
+  template <typename Fn>
+  void ForEachPair(NodeId node, const Fn& fn) const {
+    for (const auto& [interval, pages] : by_interval_) {
+      for (const auto& [page, pair] : pages) {
+        fn(IntervalId{node, interval}, page, pair);
+      }
+    }
+  }
+
+ private:
+  PageAccessBitmaps& PairFor(IntervalIndex interval, PageId page, bool* created);
+
+  uint32_t words_per_page_;
+  std::map<IntervalIndex, std::map<PageId, PageAccessBitmaps>> by_interval_;
+  uint64_t total_pairs_ = 0;
+};
+
+// A node's knowledge of intervals across the whole system: its own and those
+// received on synchronization messages. Supports the "intervals the
+// requester has not seen" query that LRC piggybacks on lock grants, and
+// barrier-time garbage collection.
+class IntervalLog {
+ public:
+  explicit IntervalLog(int num_nodes) : by_node_(num_nodes) {}
+
+  // Inserts (or ignores, if already known) a record.
+  void Insert(const IntervalRecord& record);
+
+  bool Contains(const IntervalId& id) const;
+  const IntervalRecord* Find(const IntervalId& id) const;
+
+  // All records the given clock has not seen: record (p, i) is unseen iff
+  // vc[p] < i. Returned in a causally-safe order (per node, ascending index).
+  std::vector<IntervalRecord> UnseenBy(const VectorClock& vc) const;
+
+  // All records currently in the log.
+  std::vector<IntervalRecord> All() const;
+
+  // Drops every record dominated by the clock: record (p, i) with
+  // i <= vc[p]. Used after barrier release, when every node has seen the
+  // epoch and its races have been checked (§6.3 consolidation).
+  void DiscardDominatedBy(const VectorClock& vc);
+
+  size_t size() const;
+
+ private:
+  // by_node_[p] maps interval index -> record, sorted by index.
+  std::vector<std::map<IntervalIndex, IntervalRecord>> by_node_;
+};
+
+}  // namespace cvm
+
+#endif  // CVM_PROTOCOL_INTERVAL_H_

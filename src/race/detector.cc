@@ -1,0 +1,175 @@
+#include "src/race/detector.h"
+
+#include <algorithm>
+
+#include "src/common/bitmap.h"
+#include "src/common/check.h"
+
+namespace cvm {
+
+void DetectorStats::Accumulate(const DetectorStats& other) {
+  intervals_total += other.intervals_total;
+  interval_comparisons += other.interval_comparisons;
+  concurrent_pairs += other.concurrent_pairs;
+  overlapping_pairs += other.overlapping_pairs;
+  intervals_in_overlap += other.intervals_in_overlap;
+  checklist_entries += other.checklist_entries;
+  page_overlap_probes += other.page_overlap_probes;
+  bitmap_pairs_compared += other.bitmap_pairs_compared;
+}
+
+namespace {
+
+// Pages written by one interval and accessed (either way) by the other.
+void CollectConflictPages(const std::vector<PageId>& writes, const std::vector<PageId>& reads,
+                          const std::vector<PageId>& other_writes,
+                          const std::vector<PageId>& other_reads, std::vector<PageId>* out,
+                          uint64_t* probes) {
+  for (PageId w : writes) {
+    *probes += other_writes.size() + other_reads.size();
+    const bool hit = std::find(other_writes.begin(), other_writes.end(), w) != other_writes.end() ||
+                     std::find(other_reads.begin(), other_reads.end(), w) != other_reads.end();
+    if (hit) {
+      out->push_back(w);
+    }
+  }
+  // Reads of this interval against writes of the other.
+  for (PageId r : reads) {
+    *probes += other_writes.size();
+    if (std::find(other_writes.begin(), other_writes.end(), r) != other_writes.end()) {
+      out->push_back(r);
+    }
+  }
+}
+
+}  // namespace
+
+bool RaceDetector::PagesOverlap(const IntervalRecord& a, const IntervalRecord& b,
+                                std::vector<PageId>* overlap) {
+  overlap->clear();
+  if (method_ == OverlapMethod::kPageLists) {
+    CollectConflictPages(a.write_pages, a.read_pages, b.write_pages, b.read_pages, overlap,
+                         &stats_.page_overlap_probes);
+  } else {
+    // Dense page bitmaps: O(pages) regardless of list length (§6.2).
+    // conflict = (a.writes & b.access) | (b.writes & a.access).
+    Bitmap a_writes(num_pages_);
+    Bitmap a_access(num_pages_);
+    for (PageId p : a.write_pages) {
+      a_writes.Set(static_cast<uint32_t>(p));
+      a_access.Set(static_cast<uint32_t>(p));
+    }
+    for (PageId p : a.read_pages) {
+      a_access.Set(static_cast<uint32_t>(p));
+    }
+    Bitmap b_writes(num_pages_);
+    Bitmap b_access(num_pages_);
+    for (PageId p : b.write_pages) {
+      b_writes.Set(static_cast<uint32_t>(p));
+      b_access.Set(static_cast<uint32_t>(p));
+    }
+    for (PageId p : b.read_pages) {
+      b_access.Set(static_cast<uint32_t>(p));
+    }
+    stats_.page_overlap_probes += static_cast<uint64_t>(num_pages_);
+    Bitmap conflict = a_writes;
+    conflict.IntersectWith(b_access);
+    b_writes.IntersectWith(a_access);
+    conflict.UnionWith(b_writes);
+    for (uint32_t p : conflict.SetBits()) {
+      overlap->push_back(static_cast<PageId>(p));
+    }
+  }
+  // Deduplicate (a page can enter via both W/W and R/W probes).
+  std::sort(overlap->begin(), overlap->end());
+  overlap->erase(std::unique(overlap->begin(), overlap->end()), overlap->end());
+  return !overlap->empty();
+}
+
+std::vector<CheckPair> RaceDetector::BuildCheckList(
+    const std::vector<IntervalRecord>& epoch_intervals) {
+  std::vector<CheckPair> pairs;
+  std::set<IntervalId> in_overlap;
+  stats_.intervals_total += epoch_intervals.size();
+
+  for (size_t i = 0; i < epoch_intervals.size(); ++i) {
+    for (size_t j = i + 1; j < epoch_intervals.size(); ++j) {
+      const IntervalRecord& a = epoch_intervals[i];
+      const IntervalRecord& b = epoch_intervals[j];
+      if (a.id.node == b.id.node) {
+        continue;  // Program order; never concurrent.
+      }
+      ++stats_.interval_comparisons;
+      if (!IntervalsConcurrent(a.id, a.vc, b.id, b.vc)) {
+        continue;
+      }
+      ++stats_.concurrent_pairs;
+      std::vector<PageId> overlap;
+      if (!PagesOverlap(a, b, &overlap)) {
+        continue;
+      }
+      ++stats_.overlapping_pairs;
+      in_overlap.insert(a.id);
+      in_overlap.insert(b.id);
+      pairs.push_back(CheckPair{a, b, std::move(overlap)});
+    }
+  }
+  stats_.intervals_in_overlap += in_overlap.size();
+  return pairs;
+}
+
+std::vector<std::pair<IntervalId, PageId>> RaceDetector::BitmapsNeeded(
+    const std::vector<CheckPair>& pairs) {
+  std::set<std::pair<IntervalId, PageId>> needed;
+  for (const CheckPair& pair : pairs) {
+    for (PageId page : pair.pages) {
+      // Only request bitmaps the interval actually has for this page.
+      if (pair.a.WritesPage(page) || pair.a.ReadsPage(page)) {
+        needed.emplace(pair.a.id, page);
+      }
+      if (pair.b.WritesPage(page) || pair.b.ReadsPage(page)) {
+        needed.emplace(pair.b.id, page);
+      }
+    }
+  }
+  return std::vector<std::pair<IntervalId, PageId>>(needed.begin(), needed.end());
+}
+
+std::vector<RaceReport> RaceDetector::CompareBitmaps(const std::vector<CheckPair>& pairs,
+                                                     const BitmapLookup& lookup, EpochId epoch) {
+  std::vector<RaceReport> reports;
+  stats_.checklist_entries += BitmapsNeeded(pairs).size();
+
+  auto report_hits = [&](RaceKind kind, const Bitmap& x, const Bitmap& y, PageId page,
+                         const IntervalId& a, const IntervalId& b) {
+    ++stats_.bitmap_pairs_compared;
+    for (uint32_t word : x.IntersectionBits(y)) {
+      RaceReport r;
+      r.kind = kind;
+      r.page = page;
+      r.word = word;
+      r.interval_a = a;
+      r.interval_b = b;
+      r.epoch = epoch;
+      reports.push_back(std::move(r));
+    }
+  };
+
+  for (const CheckPair& pair : pairs) {
+    for (PageId page : pair.pages) {
+      const PageAccessBitmaps* bm_a = lookup(pair.a.id, page);
+      const PageAccessBitmaps* bm_b = lookup(pair.b.id, page);
+      if (bm_a == nullptr || bm_b == nullptr) {
+        continue;  // The interval never truly touched the page (stale notice).
+      }
+      // Write-write overlap.
+      report_hits(RaceKind::kWriteWrite, bm_a->write, bm_b->write, page, pair.a.id, pair.b.id);
+      // Read-write overlaps, writer first.
+      report_hits(RaceKind::kReadWrite, bm_a->write, bm_b->read, page, pair.a.id, pair.b.id);
+      report_hits(RaceKind::kReadWrite, bm_b->write, bm_a->read, page, pair.b.id, pair.a.id);
+    }
+  }
+  return reports;
+}
+
+}  // namespace cvm

@@ -1,0 +1,80 @@
+#include "src/race/race_report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cvm {
+
+const char* RaceKindName(RaceKind kind) {
+  switch (kind) {
+    case RaceKind::kWriteWrite:
+      return "write-write";
+    case RaceKind::kReadWrite:
+      return "read-write";
+  }
+  return "?";
+}
+
+std::string RaceReport::ToString() const {
+  std::ostringstream out;
+  out << "DATA RACE (" << RaceKindName(kind) << ") at "
+      << (symbol.empty() ? ("addr 0x" + [this] {
+            std::ostringstream hex;
+            hex << std::hex << addr;
+            return hex.str();
+          }())
+                         : symbol)
+      << " [page " << page << " word " << word << "] between " << interval_a.ToString() << " and "
+      << interval_b.ToString() << " (epoch " << epoch << ")";
+  return out.str();
+}
+
+bool RaceReport::SameRace(const RaceReport& other) const {
+  const bool same_pair = (interval_a == other.interval_a && interval_b == other.interval_b) ||
+                         (interval_a == other.interval_b && interval_b == other.interval_a);
+  return kind == other.kind && page == other.page && word == other.word && same_pair;
+}
+
+std::vector<RaceSummaryLine> SummarizeRaces(const std::vector<RaceReport>& reports) {
+  std::vector<RaceSummaryLine> lines;
+  for (const RaceReport& report : reports) {
+    const std::string symbol = report.symbol.substr(0, report.symbol.find('+'));
+    RaceSummaryLine* line = nullptr;
+    for (RaceSummaryLine& existing : lines) {
+      if (existing.symbol == symbol) {
+        line = &existing;
+        break;
+      }
+    }
+    if (line == nullptr) {
+      lines.push_back(RaceSummaryLine{symbol, 0, 0, report.epoch});
+      line = &lines.back();
+    }
+    if (report.kind == RaceKind::kWriteWrite) {
+      ++line->write_write;
+    } else {
+      ++line->read_write;
+    }
+    line->first_epoch = std::min(line->first_epoch, report.epoch);
+  }
+  return lines;
+}
+
+std::vector<RaceReport> FilterFirstRaces(const std::vector<RaceReport>& reports) {
+  if (reports.empty()) {
+    return {};
+  }
+  EpochId first_epoch = reports.front().epoch;
+  for (const RaceReport& r : reports) {
+    first_epoch = std::min(first_epoch, r.epoch);
+  }
+  std::vector<RaceReport> out;
+  for (const RaceReport& r : reports) {
+    if (r.epoch == first_epoch) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace cvm

@@ -1,0 +1,54 @@
+// Race reports: what the system prints when a data race is detected (§6.1 —
+// the shared-segment address plus the two interval indexes, symbolized via
+// the allocator's symbol table).
+#ifndef CVM_RACE_RACE_REPORT_H_
+#define CVM_RACE_RACE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/vc/vector_clock.h"
+
+namespace cvm {
+
+enum class RaceKind : uint8_t {
+  kWriteWrite,
+  kReadWrite,
+};
+
+const char* RaceKindName(RaceKind kind);
+
+struct RaceReport {
+  RaceKind kind = RaceKind::kReadWrite;
+  PageId page = -1;
+  uint32_t word = 0;       // Word index within the page.
+  GlobalAddr addr = 0;     // page * page_size + word * kWordSize.
+  std::string symbol;      // "tour_bound+0" etc.; empty if unsymbolized.
+  IntervalId interval_a;   // The writer for kReadWrite when derivable.
+  IntervalId interval_b;
+  EpochId epoch = -1;
+
+  std::string ToString() const;
+
+  // Identity for deduplication: same word, same interval pair, same kind.
+  bool SameRace(const RaceReport& other) const;
+};
+
+// Per-variable rollup of a report list, for human-facing summaries.
+struct RaceSummaryLine {
+  std::string symbol;      // Base symbol (offset stripped).
+  uint64_t write_write = 0;
+  uint64_t read_write = 0;
+  EpochId first_epoch = -1;
+};
+std::vector<RaceSummaryLine> SummarizeRaces(const std::vector<RaceReport>& reports);
+
+// §6.4 "first races": all first races must occur in the earliest barrier
+// epoch that contains any race, because barrier semantics order everything
+// across epochs. Returns only that epoch's reports.
+std::vector<RaceReport> FilterFirstRaces(const std::vector<RaceReport>& reports);
+
+}  // namespace cvm
+
+#endif  // CVM_RACE_RACE_REPORT_H_

@@ -1,0 +1,119 @@
+#include "src/race/replay.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace cvm {
+
+void SyncSchedule::RecordGrant(LockId lock, NodeId grantee) {
+  std::lock_guard<std::mutex> guard(mu_);
+  grants_[lock].push_back(grantee);
+}
+
+NodeId SyncSchedule::NextGrantee(LockId lock) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = grants_.find(lock);
+  if (it == grants_.end()) {
+    return kNoNode;
+  }
+  const size_t cursor = cursors_[lock];
+  if (cursor >= it->second.size()) {
+    return kNoNode;
+  }
+  return it->second[cursor];
+}
+
+void SyncSchedule::ConsumeGrant(LockId lock, NodeId grantee) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = grants_.find(lock);
+  CVM_CHECK(it != grants_.end()) << "consume on unrecorded lock " << lock;
+  size_t& cursor = cursors_[lock];
+  CVM_CHECK_LT(cursor, it->second.size());
+  CVM_CHECK_EQ(it->second[cursor], grantee);
+  ++cursor;
+}
+
+size_t SyncSchedule::TotalGrants() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  size_t n = 0;
+  for (const auto& [lock, grants] : grants_) {
+    n += grants.size();
+  }
+  return n;
+}
+
+const std::vector<NodeId>& SyncSchedule::GrantsFor(LockId lock) const {
+  static const std::vector<NodeId> kEmpty;
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = grants_.find(lock);
+  return it == grants_.end() ? kEmpty : it->second;
+}
+
+std::vector<LockId> SyncSchedule::RecordedLocks() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<LockId> locks;
+  locks.reserve(grants_.size());
+  for (const auto& [lock, grants] : grants_) {
+    locks.push_back(lock);
+  }
+  return locks;
+}
+
+bool WriteScheduleFile(const SyncSchedule& schedule, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  for (LockId lock : schedule.RecordedLocks()) {
+    const std::vector<NodeId>& grants = schedule.GrantsFor(lock);
+    if (grants.empty()) {
+      continue;
+    }
+    out << "lock " << lock << ":";
+    for (NodeId grantee : grants) {
+      out << " " << grantee;
+    }
+    out << "\n";
+  }
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool ReadScheduleFile(const std::string& path, SyncSchedule* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::string word;
+  while (in >> word) {
+    if (word != "lock") {
+      return false;
+    }
+    LockId lock = -1;
+    std::string lock_token;
+    if (!(in >> lock_token) || lock_token.empty() || lock_token.back() != ':') {
+      return false;
+    }
+    lock = static_cast<LockId>(std::stol(lock_token.substr(0, lock_token.size() - 1)));
+    // Grantees until end of line.
+    std::string rest;
+    std::getline(in, rest);
+    std::istringstream line(rest);
+    NodeId grantee;
+    while (line >> grantee) {
+      out->RecordGrant(lock, grantee);
+    }
+  }
+  return true;
+}
+
+std::string WatchHit::ToString() const {
+  std::ostringstream out;
+  out << (is_write ? "write" : "read") << " of 0x" << std::hex << addr << std::dec << " by node "
+      << node << " in " << interval.ToString() << " epoch " << epoch << " at " << site;
+  return out.str();
+}
+
+}  // namespace cvm

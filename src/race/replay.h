@@ -1,0 +1,77 @@
+// Synchronization-order record/replay (§6.1). The first run records the
+// global order in which each lock was granted; a second run enforces the
+// same grant order, making the racy interleaving repeat so that program-
+// counter (source-site) information can be gathered for just the conflicting
+// address and epoch.
+//
+// Barriers are deterministic by construction, so only lock grants are
+// recorded. This works for programs whose only scheduling nondeterminism is
+// synchronization order — precisely the assumption the paper makes, with the
+// caveat that general races can still diverge (the paper's proposed fix,
+// enforcing first-run synchronization order, is what this class implements).
+#ifndef CVM_RACE_REPLAY_H_
+#define CVM_RACE_REPLAY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/vc/vector_clock.h"
+
+namespace cvm {
+
+class SyncSchedule {
+ public:
+  SyncSchedule() = default;
+  SyncSchedule(const SyncSchedule& other) : grants_(other.grants_) {}
+  SyncSchedule& operator=(const SyncSchedule& other) {
+    grants_ = other.grants_;
+    cursors_.clear();
+    return *this;
+  }
+
+  // Recording (first run). Thread-safe; called at every grant, including
+  // local token re-acquisitions.
+  void RecordGrant(LockId lock, NodeId grantee);
+
+  // Replaying (second run). The cursor advances as grants are consumed.
+  // Returns kNoNode when the schedule for the lock is exhausted (then any
+  // order is acceptable — e.g. the tail of the run past the recorded data).
+  NodeId NextGrantee(LockId lock) const;
+  void ConsumeGrant(LockId lock, NodeId grantee);
+
+  size_t TotalGrants() const;
+  const std::vector<NodeId>& GrantsFor(LockId lock) const;
+  std::vector<LockId> RecordedLocks() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<LockId, std::vector<NodeId>> grants_;
+  mutable std::map<LockId, size_t> cursors_;  // Replay positions.
+};
+
+// One instrumented access to the watched address during a replay run: the
+// "program counter" information of §6.1, gathered only for the conflicted
+// address and epoch.
+struct WatchHit {
+  NodeId node = kNoNode;
+  IntervalId interval;
+  EpochId epoch = -1;
+  GlobalAddr addr = 0;
+  bool is_write = false;
+  std::string site;  // Application-provided source location tag.
+
+  std::string ToString() const;
+};
+
+// Text serialization of a recorded schedule ("lock <id>: <grantee>..." per
+// line), so the two-run workflow can span separate processes.
+bool WriteScheduleFile(const SyncSchedule& schedule, const std::string& path);
+bool ReadScheduleFile(const std::string& path, SyncSchedule* out);
+
+}  // namespace cvm
+
+#endif  // CVM_RACE_REPLAY_H_

@@ -1,0 +1,33 @@
+// Binary trace files for the post-mortem baseline (§7): the first run writes
+// the synchronization/access trace to disk; analysis happens later, possibly
+// elsewhere — the workflow Adve et al. describe. Format (little-endian,
+// host-width integers; traces are single-machine artifacts):
+//
+//   [magic u32][version u32]
+//   [record_count u64] then per record:
+//     node i32, index i32, epoch i32, vc_len u32, vc entries i32...,
+//     n_writes u32, pages i32..., n_reads u32, pages i32...
+//   [bitmap_count u64] then per entry:
+//     node i32, index i32, page i32, bits u32, read words u64..., write words u64...
+#ifndef CVM_RACE_TRACE_IO_H_
+#define CVM_RACE_TRACE_IO_H_
+
+#include <string>
+
+#include "src/race/postmortem.h"
+
+namespace cvm {
+
+inline constexpr uint32_t kTraceMagic = 0x43564d54;  // "CVMT"
+inline constexpr uint32_t kTraceVersion = 1;
+
+// Writes the trace to `path`; returns false on I/O failure.
+bool WriteTraceFile(const PostMortemTrace& trace, const std::string& path);
+
+// Loads a trace into `out` (which must be empty); returns false on I/O
+// error, bad magic/version, or a truncated/corrupt file.
+bool ReadTraceFile(const std::string& path, PostMortemTrace* out);
+
+}  // namespace cvm
+
+#endif  // CVM_RACE_TRACE_IO_H_

@@ -1,0 +1,23 @@
+#include "src/sim/cost_model.h"
+
+namespace cvm {
+
+const char* BucketName(Bucket bucket) {
+  switch (bucket) {
+    case Bucket::kCvmMods:
+      return "CVM Mods";
+    case Bucket::kProcCall:
+      return "Proc Call";
+    case Bucket::kAccessCheck:
+      return "Access Check";
+    case Bucket::kIntervals:
+      return "Intervals";
+    case Bucket::kBitmaps:
+      return "Bitmaps";
+    case Bucket::kNone:
+      return "Base";
+  }
+  return "?";
+}
+
+}  // namespace cvm

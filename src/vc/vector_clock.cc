@@ -1,0 +1,26 @@
+#include "src/vc/vector_clock.h"
+
+#include <sstream>
+
+namespace cvm {
+
+std::string VectorClock::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (int i = 0; i < size(); ++i) {
+    if (i != 0) {
+      out << ",";
+    }
+    out << entries_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string IntervalId::ToString() const {
+  std::ostringstream out;
+  out << "s" << node << "^" << index;
+  return out.str();
+}
+
+}  // namespace cvm

@@ -1,0 +1,114 @@
+// Vector timestamps ("version vectors" in the paper) used to order intervals
+// under the happens-before-1 relation of §3.1, plus the two-integer-comparison
+// concurrency test of §4 step 2.
+#ifndef CVM_VC_VECTOR_CLOCK_H_
+#define CVM_VC_VECTOR_CLOCK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace cvm {
+
+// One entry per node; entry p is the index of the most recent interval of
+// node p whose effects are visible ("seen"). -1 means no interval seen yet.
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(int num_nodes) : entries_(num_nodes, -1) {}
+
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  IntervalIndex At(NodeId node) const {
+    CVM_CHECK_GE(node, 0);
+    CVM_CHECK_LT(node, size());
+    return entries_[node];
+  }
+
+  void Set(NodeId node, IntervalIndex index) {
+    CVM_CHECK_GE(node, 0);
+    CVM_CHECK_LT(node, size());
+    entries_[node] = index;
+  }
+
+  // Advances node's own component; returns the new interval index.
+  IntervalIndex Tick(NodeId node) {
+    Set(node, At(node) + 1);
+    return At(node);
+  }
+
+  // Element-wise maximum (applied at acquires: the acquirer has now seen
+  // everything the releaser had seen).
+  void MergeWith(const VectorClock& other) {
+    CVM_CHECK_EQ(size(), other.size());
+    for (int i = 0; i < size(); ++i) {
+      if (other.entries_[i] > entries_[i]) {
+        entries_[i] = other.entries_[i];
+      }
+    }
+  }
+
+  // True iff every component of this <= the matching component of other.
+  bool DominatedBy(const VectorClock& other) const {
+    CVM_CHECK_EQ(size(), other.size());
+    for (int i = 0; i < size(); ++i) {
+      if (entries_[i] > other.entries_[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool operator==(const VectorClock& other) const { return entries_ == other.entries_; }
+
+  const std::vector<IntervalIndex>& entries() const { return entries_; }
+  std::string ToString() const;
+
+  // Wire size, for byte-accurate message accounting.
+  size_t ByteSize() const { return entries_.size() * sizeof(IntervalIndex); }
+
+ private:
+  std::vector<IntervalIndex> entries_;
+};
+
+// Identifies one interval: sigma_node^index in the paper's notation.
+struct IntervalId {
+  NodeId node = kNoNode;
+  IntervalIndex index = -1;
+
+  bool operator==(const IntervalId& other) const {
+    return node == other.node && index == other.index;
+  }
+  bool operator<(const IntervalId& other) const {
+    return node != other.node ? node < other.node : index < other.index;
+  }
+  std::string ToString() const;
+};
+
+// The paper's constant-time concurrency test (§4 step 2, §6.2): intervals
+// sigma_p^i (with vector clock vc_i) and sigma_q^j (with vector clock vc_j)
+// are concurrent iff neither has seen the other — exactly two integer
+// comparisons:
+//   vc_j[p] < i   (j has not seen i)   and   vc_i[q] < j   (i has not seen j).
+inline bool IntervalsConcurrent(const IntervalId& a, const VectorClock& vc_a,
+                                const IntervalId& b, const VectorClock& vc_b) {
+  if (a.node == b.node) {
+    return false;  // Program order totally orders a node's own intervals.
+  }
+  return vc_b.At(a.node) < a.index && vc_a.At(b.node) < b.index;
+}
+
+// True iff interval a happens-before interval b (a's effects visible to b).
+inline bool IntervalHappensBefore(const IntervalId& a, const IntervalId& b,
+                                  const VectorClock& vc_b) {
+  if (a.node == b.node) {
+    return a.index < b.index;
+  }
+  return vc_b.At(a.node) >= a.index;
+}
+
+}  // namespace cvm
+
+#endif  // CVM_VC_VECTOR_CLOCK_H_

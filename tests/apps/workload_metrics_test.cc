@@ -1,0 +1,82 @@
+// Unit tests for the WorkloadResult metric derivations (Tables 1/3 and
+// Figure 3 math) over synthetic RunResults.
+#include <gtest/gtest.h>
+
+#include "src/apps/workload.h"
+
+namespace cvm {
+namespace {
+
+WorkloadResult MakeResult() {
+  WorkloadResult result;
+  result.base.sim_time_ns = 100e6;
+  result.detect.sim_time_ns = 220e6;
+  result.detect.overhead_ns[static_cast<int>(Bucket::kCvmMods)] = 10e6;
+  result.detect.overhead_ns[static_cast<int>(Bucket::kProcCall)] = 50e6;
+  result.detect.overhead_ns[static_cast<int>(Bucket::kAccessCheck)] = 30e6;
+  result.detect.overhead_ns[static_cast<int>(Bucket::kIntervals)] = 7e6;
+  result.detect.overhead_ns[static_cast<int>(Bucket::kBitmaps)] = 3e6;
+  result.detect.detector.intervals_total = 200;
+  result.detect.detector.intervals_in_overlap = 30;
+  result.detect.detector.checklist_entries = 12;
+  result.detect.bitmap_pairs_recorded = 120;
+  result.detect.net.bytes = 1'000'000;
+  result.detect.net.read_notice_bytes = 10'000;
+  result.detect.net.bytes_by_kind["LockGrant"] = 40'000;
+  result.detect.net.bytes_by_kind["BarrierArrive"] = 15'000;
+  result.detect.net.bytes_by_kind["PageReply"] = 900'000;
+  result.detect.access.shared_accesses = 1'100'000;
+  result.detect.access.private_accesses = 3'300'000;
+  result.detect.shared_bytes_used = 512 * 1024;
+  result.detect.intervals_total = 160;
+  result.detect.barriers = 10;
+  return result;
+}
+
+TEST(WorkloadMetricsTest, SlowdownAndOverheadDecomposition) {
+  WorkloadResult result = MakeResult();
+  EXPECT_DOUBLE_EQ(result.Slowdown(), 2.2);
+  EXPECT_NEAR(result.TotalOverheadFraction(), 1.2, 1e-12);
+  // Buckets split the 120% proportionally to their ns sums (100 ns total).
+  EXPECT_NEAR(result.OverheadFraction(Bucket::kProcCall), 1.2 * 0.5, 1e-12);
+  EXPECT_NEAR(result.OverheadFraction(Bucket::kCvmMods), 1.2 * 0.1, 1e-12);
+  double total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    total += result.OverheadFraction(static_cast<Bucket>(b));
+  }
+  EXPECT_NEAR(total, result.TotalOverheadFraction(), 1e-12);
+}
+
+TEST(WorkloadMetricsTest, Table3Columns) {
+  WorkloadResult result = MakeResult();
+  EXPECT_NEAR(result.IntervalsUsed(), 30.0 / 200.0, 1e-12);
+  EXPECT_NEAR(result.BitmapsUsed(), 12.0 / 120.0, 1e-12);
+  EXPECT_NEAR(result.MsgOverhead(), 10'000.0 / 990'000.0, 1e-12);
+  // Sync-only denominator: lock + barrier bytes minus the notices.
+  EXPECT_NEAR(result.MsgOverheadSyncOnly(), 10'000.0 / 45'000.0, 1e-12);
+  // Access rates per simulated second of the instrumented run.
+  EXPECT_NEAR(result.SharedPerSecond(), 1'100'000 / 0.22, 1.0);
+  EXPECT_NEAR(result.PrivatePerSecond(), 3'300'000 / 0.22, 1.0);
+  EXPECT_DOUBLE_EQ(result.MemoryKb(), 512.0);
+}
+
+TEST(WorkloadMetricsTest, DegenerateInputsYieldZeroes) {
+  WorkloadResult empty;
+  EXPECT_EQ(empty.Slowdown(), 0.0);
+  EXPECT_EQ(empty.IntervalsUsed(), 0.0);
+  EXPECT_EQ(empty.BitmapsUsed(), 0.0);
+  EXPECT_EQ(empty.MsgOverhead(), 0.0);
+  EXPECT_EQ(empty.MsgOverheadSyncOnly(), 0.0);
+  EXPECT_EQ(empty.SharedPerSecond(), 0.0);
+  EXPECT_EQ(empty.OverheadFraction(Bucket::kProcCall), 0.0);
+}
+
+TEST(WorkloadMetricsTest, IntervalsPerBarrier) {
+  WorkloadResult result = MakeResult();
+  // 160 intervals / (10 barriers * 4 nodes).
+  EXPECT_DOUBLE_EQ(result.IntervalsPerBarrier(4), 4.0);
+  EXPECT_EQ(result.IntervalsPerBarrier(0), 0.0);
+}
+
+}  // namespace
+}  // namespace cvm

@@ -1,0 +1,132 @@
+// Unit and property tests for the word-granularity access bitmaps.
+#include <gtest/gtest.h>
+
+#include "src/common/bitmap.h"
+#include "src/common/rng.h"
+
+namespace cvm {
+namespace {
+
+TEST(BitmapTest, StartsEmpty) {
+  Bitmap bm(1024);
+  EXPECT_EQ(bm.size(), 1024u);
+  EXPECT_TRUE(bm.empty());
+  EXPECT_EQ(bm.popcount(), 0u);
+  for (uint32_t i = 0; i < 1024; i += 77) {
+    EXPECT_FALSE(bm.Test(i));
+  }
+}
+
+TEST(BitmapTest, SetTestClear) {
+  Bitmap bm(128);
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(127);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(127));
+  EXPECT_FALSE(bm.Test(1));
+  EXPECT_EQ(bm.popcount(), 4u);
+  bm.Clear(63);
+  EXPECT_FALSE(bm.Test(63));
+  EXPECT_EQ(bm.popcount(), 3u);
+}
+
+TEST(BitmapTest, IntersectionAcrossWordBoundaries) {
+  Bitmap a(256);
+  Bitmap b(256);
+  a.Set(5);
+  a.Set(64);
+  a.Set(200);
+  b.Set(64);
+  b.Set(201);
+  EXPECT_TRUE(a.Intersects(b));
+  const std::vector<uint32_t> bits = a.IntersectionBits(b);
+  ASSERT_EQ(bits.size(), 1u);
+  EXPECT_EQ(bits[0], 64u);
+}
+
+TEST(BitmapTest, DisjointMapsDoNotIntersect) {
+  Bitmap a(512);
+  Bitmap b(512);
+  for (uint32_t i = 0; i < 512; i += 2) {
+    a.Set(i);
+  }
+  for (uint32_t i = 1; i < 512; i += 2) {
+    b.Set(i);
+  }
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_TRUE(a.IntersectionBits(b).empty());
+}
+
+TEST(BitmapTest, UnionAccumulates) {
+  Bitmap a(64);
+  Bitmap b(64);
+  a.Set(1);
+  b.Set(2);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_EQ(a.popcount(), 2u);
+}
+
+TEST(BitmapTest, WireRoundTrip) {
+  Bitmap a(100);
+  a.Set(0);
+  a.Set(99);
+  a.Set(37);
+  Bitmap b = Bitmap::FromWords(100, a.words());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ByteSize(), 16u);  // 100 bits -> two 64-bit words.
+}
+
+TEST(BitmapTest, ToStringListsSetBits) {
+  Bitmap a(64);
+  a.Set(3);
+  a.Set(40);
+  EXPECT_EQ(a.ToString(), "{3,40}");
+}
+
+// Property: IntersectionBits == brute-force set intersection, SetBits is
+// sorted and consistent with Test().
+TEST(BitmapTest, PropertyIntersectionMatchesBruteForce) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint32_t n = static_cast<uint32_t>(rng.Range(1, 500));
+    Bitmap a(n);
+    Bitmap b(n);
+    std::vector<bool> ra(n, false);
+    std::vector<bool> rb(n, false);
+    const int sets = static_cast<int>(rng.Range(0, 64));
+    for (int i = 0; i < sets; ++i) {
+      const uint32_t bit = static_cast<uint32_t>(rng.Below(n));
+      if (rng.Chance(0.5)) {
+        a.Set(bit);
+        ra[bit] = true;
+      } else {
+        b.Set(bit);
+        rb[bit] = true;
+      }
+    }
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (ra[i] && rb[i]) {
+        expected.push_back(i);
+      }
+    }
+    EXPECT_EQ(a.IntersectionBits(b), expected);
+    EXPECT_EQ(a.Intersects(b), !expected.empty());
+    // SetBits agrees with Test().
+    uint32_t count = 0;
+    for (uint32_t bit : a.SetBits()) {
+      EXPECT_TRUE(a.Test(bit));
+      ++count;
+    }
+    EXPECT_EQ(count, a.popcount());
+  }
+}
+
+}  // namespace
+}  // namespace cvm

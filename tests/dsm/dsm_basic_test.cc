@@ -1,0 +1,144 @@
+// End-to-end smoke tests for the DSM runtime: shared memory coherence under
+// locks and barriers, interval accounting, and weak-memory staleness.
+#include <gtest/gtest.h>
+
+#include "src/dsm/dsm.h"
+#include "src/dsm/handles.h"
+
+namespace cvm {
+namespace {
+
+DsmOptions SmallOptions(int nodes, ProtocolKind protocol = ProtocolKind::kSingleWriterLrc) {
+  DsmOptions options;
+  options.num_nodes = nodes;
+  options.page_size = 256;
+  options.max_shared_bytes = 64 * 1024;
+  options.protocol = protocol;
+  return options;
+}
+
+class DsmBasicTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(DsmBasicTest, LockProtectedCounterIsCoherent) {
+  DsmOptions options = SmallOptions(4, GetParam());
+  DsmSystem system(options);
+  auto counter = SharedVar<int32_t>::Alloc(system, "counter");
+  constexpr int kIncrementsPerNode = 50;
+
+  RunResult result = system.Run([&](NodeContext& ctx) {
+    if (ctx.id() == 0) {
+      counter.Set(ctx, 0);
+    }
+    ctx.Barrier();
+    for (int i = 0; i < kIncrementsPerNode; ++i) {
+      ctx.Lock(0);
+      counter.Set(ctx, counter.Get(ctx) + 1);
+      ctx.Unlock(0);
+    }
+    ctx.Barrier();
+    if (ctx.id() == 0) {
+      EXPECT_EQ(counter.Get(ctx), kIncrementsPerNode * ctx.num_nodes());
+    }
+  });
+  EXPECT_TRUE(result.races.empty()) << result.races.front().ToString();
+}
+
+TEST_P(DsmBasicTest, BarrierOrderedProducerConsumer) {
+  DsmOptions options = SmallOptions(4, GetParam());
+  DsmSystem system(options);
+  auto data = SharedArray<int32_t>::Alloc(system, "data", 512);
+
+  RunResult result = system.Run([&](NodeContext& ctx) {
+    const int p = ctx.num_nodes();
+    const size_t chunk = data.size() / p;
+    // Epoch 0: each node writes its own chunk.
+    for (size_t i = 0; i < chunk; ++i) {
+      data.Set(ctx, ctx.id() * chunk + i, static_cast<int32_t>(ctx.id() * 1000 + i));
+    }
+    ctx.Barrier();
+    // Epoch 1: each node reads the next node's chunk.
+    const int next = (ctx.id() + 1) % p;
+    for (size_t i = 0; i < chunk; ++i) {
+      EXPECT_EQ(data.Get(ctx, next * chunk + i), static_cast<int32_t>(next * 1000 + i));
+    }
+  });
+  // Same-page writes by different nodes are possible (chunk boundaries), but
+  // reads are all barrier-ordered: no races.
+  EXPECT_TRUE(result.races.empty()) << result.races.front().ToString();
+}
+
+TEST_P(DsmBasicTest, IntervalsPerBarrierIsTwoForBarrierOnlyApps) {
+  DsmOptions options = SmallOptions(4, GetParam());
+  DsmSystem system(options);
+  auto data = SharedArray<int32_t>::Alloc(system, "data", 64);
+
+  RunResult result = system.Run([&](NodeContext& ctx) {
+    data.Set(ctx, ctx.id(), 1);
+    ctx.Barrier();
+    data.Set(ctx, ctx.id() + 8, 2);
+    ctx.Barrier();
+    data.Set(ctx, ctx.id() + 16, 3);
+  });
+  // Barrier-only apps create two intervals per process per barrier (§5,
+  // Table 1: FFT and SOR show 2).
+  EXPECT_NEAR(result.IntervalsPerBarrier(4), 2.0, 0.35);
+}
+
+TEST_P(DsmBasicTest, UnsynchronizedReadCanBeStale) {
+  if (GetParam() == ProtocolKind::kEagerRcInvalidate) {
+    // Eager invalidations race with the unsynchronized read in real time;
+    // the read may legitimately see either value. Staleness is an LRC
+    // guarantee to test, not an ERC one.
+    GTEST_SKIP();
+  }
+  DsmOptions options = SmallOptions(2, GetParam());
+  DsmSystem system(options);
+  auto flag = SharedVar<int32_t>::Alloc(system, "flag");
+  int32_t observed = -1;
+
+  RunResult result = system.Run([&](NodeContext& ctx) {
+    if (ctx.id() == 0) {
+      flag.Set(ctx, 0);
+    }
+    ctx.Barrier();
+    if (ctx.id() == 1) {
+      // Touch the page so node 1 holds a valid copy.
+      EXPECT_EQ(flag.Get(ctx), 0);
+    }
+    ctx.Barrier();
+    if (ctx.id() == 0) {
+      flag.Set(ctx, 42);  // No release follows before node 1's read.
+    }
+    // Unsynchronized: node 1 may legally read 0 (stale) — LRC only
+    // guarantees propagation at acquires. With per-node copies it WILL be
+    // stale, which is exactly the weak-memory behaviour of §6.4/Figure 5.
+    if (ctx.id() == 1) {
+      observed = flag.Get(ctx);
+    }
+    ctx.Barrier();
+  });
+  EXPECT_EQ(observed, 0) << "node 1 should see the stale value";
+  // And the conflicting accesses form a detectable data race.
+  EXPECT_FALSE(result.races.empty());
+}
+
+std::string ProtocolName(const ::testing::TestParamInfo<ProtocolKind>& param_info) {
+  switch (param_info.param) {
+    case ProtocolKind::kSingleWriterLrc:
+      return "SingleWriter";
+    case ProtocolKind::kMultiWriterHomeLrc:
+      return "MultiWriterHome";
+    case ProtocolKind::kEagerRcInvalidate:
+      return "EagerRc";
+  }
+  return "Unknown";
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, DsmBasicTest,
+                         ::testing::Values(ProtocolKind::kSingleWriterLrc,
+                                           ProtocolKind::kMultiWriterHomeLrc,
+                                           ProtocolKind::kEagerRcInvalidate),
+                         ProtocolName);
+
+}  // namespace
+}  // namespace cvm

@@ -1,0 +1,119 @@
+// Configuration validation and lifecycle misuse: every invalid setup must
+// abort loudly rather than run wrong.
+#include <gtest/gtest.h>
+
+#include "src/dsm/dsm.h"
+#include "src/dsm/handles.h"
+
+namespace cvm {
+namespace {
+
+DsmOptions Valid() {
+  DsmOptions options;
+  options.num_nodes = 2;
+  options.page_size = 256;
+  options.max_shared_bytes = 16 * 1024;
+  return options;
+}
+
+TEST(DsmOptionsDeathTest, DiffDetectionRequiresMultiWriter) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  DsmOptions options = Valid();
+  options.protocol = ProtocolKind::kSingleWriterLrc;
+  options.write_detection = WriteDetection::kDiffs;
+  EXPECT_DEATH({ DsmSystem system(options); }, "multi-writer");
+}
+
+TEST(DsmOptionsDeathTest, ZeroNodesAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  DsmOptions options = Valid();
+  options.num_nodes = 0;
+  EXPECT_DEATH({ DsmSystem system(options); }, "CHECK failed");
+}
+
+TEST(DsmOptionsDeathTest, SecondRunAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        DsmSystem system(Valid());
+        system.Run([](NodeContext&) {});
+        system.Run([](NodeContext&) {});
+      },
+      "one-shot");
+}
+
+TEST(DsmOptionsDeathTest, AllocAfterRunAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        DsmSystem system(Valid());
+        system.Run([](NodeContext&) {});
+        system.Alloc("late", 64);
+      },
+      "before Run");
+}
+
+TEST(DsmOptionsDeathTest, SegmentExhaustionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        DsmSystem system(Valid());
+        system.Alloc("huge", 17 * 1024);  // Exceeds max_shared_bytes.
+      },
+      "exhausted");
+}
+
+TEST(DsmOptionsTest, DetectionOffStillRunsCoherently) {
+  DsmOptions options = Valid();
+  options.race_detection = false;
+  DsmSystem system(options);
+  auto x = SharedVar<int32_t>::Alloc(system, "x");
+  RunResult result = system.Run([&](NodeContext& ctx) {
+    ctx.Lock(0);
+    x.Set(ctx, x.Get(ctx) + 1);
+    ctx.Unlock(0);
+    ctx.Barrier();
+    EXPECT_EQ(x.Get(ctx), 2);
+  });
+  EXPECT_TRUE(result.races.empty());
+  EXPECT_EQ(result.access.instrumented_calls, 0u) << "no instrumentation when off";
+  EXPECT_EQ(result.detector.interval_comparisons, 0u);
+}
+
+TEST(DsmOptionsTest, OnlineOffTraceOnFindsNothingOnline) {
+  DsmOptions options = Valid();
+  options.online_detection = false;
+  options.postmortem_trace = true;
+  DsmSystem system(options);
+  auto x = SharedVar<int32_t>::Alloc(system, "x");
+  RunResult result = system.Run([&](NodeContext& ctx) {
+    if (ctx.id() == 0) {
+      x.Set(ctx, 1);
+    } else {
+      (void)x.Get(ctx);
+    }
+  });
+  EXPECT_TRUE(result.races.empty()) << "online checking disabled";
+  const auto analysis = system.trace().Analyze(system.segment().num_pages());
+  EXPECT_FALSE(analysis.races.empty()) << "the trace still has the race";
+}
+
+TEST(DsmOptionsTest, SingleNodeRunsAndFindsNoRaces) {
+  DsmOptions options = Valid();
+  options.num_nodes = 1;
+  DsmSystem system(options);
+  auto x = SharedArray<int32_t>::Alloc(system, "x", 32);
+  RunResult result = system.Run([&](NodeContext& ctx) {
+    for (int i = 0; i < 32; ++i) {
+      x.Set(ctx, i, i);
+    }
+    ctx.Barrier();
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_EQ(x.Get(ctx, i), i);
+    }
+  });
+  EXPECT_TRUE(result.races.empty()) << "one node cannot race with itself";
+}
+
+}  // namespace
+}  // namespace cvm

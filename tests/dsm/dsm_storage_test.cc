@@ -1,0 +1,82 @@
+// Storage-bound tests for the paper's trace-retention claims: the online
+// system keeps only the current epoch's consistency data ("our system only
+// discards trace information when it has been checked" — §6.4, and it does
+// discard it then), while postmortem tracing retains everything.
+#include <gtest/gtest.h>
+
+#include "src/dsm/dsm.h"
+#include "src/dsm/handles.h"
+
+namespace cvm {
+namespace {
+
+DsmOptions Options() {
+  DsmOptions options;
+  options.num_nodes = 4;
+  options.page_size = 256;
+  options.max_shared_bytes = 64 * 1024;
+  return options;
+}
+
+// Many identical epochs; per-epoch work is constant.
+RunResult RunEpochs(const DsmOptions& options, int epochs) {
+  DsmSystem system(options);
+  auto data = SharedArray<int32_t>::Alloc(system, "data", 64);
+  return system.Run([&, epochs](NodeContext& ctx) {
+    for (int e = 0; e < epochs; ++e) {
+      for (int i = 0; i < 8; ++i) {
+        data.Set(ctx, ctx.id() * 8 + i, e);
+        (void)data.Get(ctx, ((ctx.id() + 1) % ctx.num_nodes()) * 8 + i);
+      }
+      ctx.Barrier();
+    }
+  });
+}
+
+TEST(DsmStorageTest, OnlineRetentionIsBoundedByOneEpoch) {
+  RunResult short_run = RunEpochs(Options(), 4);
+  RunResult long_run = RunEpochs(Options(), 32);
+  // 8x the epochs, same high-water mark: checked data is dropped.
+  EXPECT_EQ(long_run.max_retained_bitmap_pairs, short_run.max_retained_bitmap_pairs);
+  EXPECT_LE(long_run.max_interval_log_size, short_run.max_interval_log_size + 2);
+  // But total recorded grows with the run, of course.
+  EXPECT_GT(long_run.bitmap_pairs_recorded, 4 * short_run.bitmap_pairs_recorded);
+}
+
+TEST(DsmStorageTest, PostmortemRetentionGrowsWithTheRun) {
+  DsmOptions options = Options();
+  options.postmortem_trace = true;
+  RunResult short_run = RunEpochs(options, 4);
+  RunResult long_run = RunEpochs(options, 32);
+  EXPECT_GT(long_run.max_retained_bitmap_pairs, 4 * short_run.max_retained_bitmap_pairs)
+      << "the trace must accumulate across epochs";
+}
+
+TEST(DsmStorageTest, ConsolidationBoundsLockOnlyPhases) {
+  // Without consolidation a lock-only phase accumulates interval records;
+  // with periodic Consolidate() the log stays near its per-chunk size.
+  auto run = [&](bool consolidate) {
+    DsmOptions options = Options();
+    DsmSystem system(options);
+    auto x = SharedVar<int32_t>::Alloc(system, "x");
+    return system.Run([&, consolidate](NodeContext& ctx) {
+      for (int chunk = 0; chunk < 6; ++chunk) {
+        for (int i = 0; i < 10; ++i) {
+          ctx.Lock(1);
+          x.Set(ctx, x.Get(ctx) + 1);
+          ctx.Unlock(1);
+        }
+        if (consolidate) {
+          ctx.Consolidate();
+        }
+      }
+    });
+  };
+  RunResult unbounded = run(false);
+  RunResult bounded = run(true);
+  EXPECT_LT(bounded.max_interval_log_size * 3, unbounded.max_interval_log_size)
+      << "consolidation must garbage-collect interval records";
+}
+
+}  // namespace
+}  // namespace cvm

@@ -1,0 +1,96 @@
+// Tests for the typed memory handles: word layout, float round-trips,
+// bounds aborts, and LocalArray instrumentation accounting.
+#include <gtest/gtest.h>
+
+#include "src/dsm/dsm.h"
+#include "src/dsm/handles.h"
+
+namespace cvm {
+namespace {
+
+DsmOptions Options() {
+  DsmOptions options;
+  options.num_nodes = 2;
+  options.page_size = 256;
+  options.max_shared_bytes = 32 * 1024;
+  return options;
+}
+
+TEST(HandlesTest, SharedArrayAddressesAreWordSpaced) {
+  DsmSystem system(Options());
+  auto arr = SharedArray<int32_t>::Alloc(system, "arr", 10);
+  EXPECT_EQ(arr.size(), 10u);
+  EXPECT_EQ(arr.addr(0) % 256, 0u) << "page aligned by default";
+  EXPECT_EQ(arr.addr(3), arr.addr(0) + 12);
+  EXPECT_EQ(system.segment().Symbolize(arr.addr(2)), "arr+8");
+}
+
+TEST(HandlesTest, FloatValuesRoundTripBitExactly) {
+  DsmSystem system(Options());
+  auto arr = SharedArray<float>::Alloc(system, "f", 8);
+  const float values[] = {0.0f, -0.0f, 1.5f, -3.25e-7f, 1e30f,
+                          std::numeric_limits<float>::infinity(),
+                          std::numeric_limits<float>::denorm_min(), -1.0f};
+  system.Run([&](NodeContext& ctx) {
+    if (ctx.id() == 0) {
+      for (int i = 0; i < 8; ++i) {
+        arr.Set(ctx, i, values[i]);
+      }
+    }
+    ctx.Barrier();
+    for (int i = 0; i < 8; ++i) {
+      const float got = arr.Get(ctx, i);
+      EXPECT_EQ(std::bit_cast<uint32_t>(got), std::bit_cast<uint32_t>(values[i])) << i;
+    }
+  });
+}
+
+TEST(HandlesTest, OutOfBoundsIndexAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        DsmSystem system(Options());
+        auto arr = SharedArray<int32_t>::Alloc(system, "arr", 4);
+        (void)arr.addr(4);
+      },
+      "CHECK failed");
+}
+
+TEST(HandlesTest, LocalArrayCountsAsInstrumentedPrivate) {
+  DsmSystem system(Options());
+  RunResult result = system.Run([&](NodeContext& ctx) {
+    if (ctx.id() == 0) {
+      LocalArray<int32_t> local(ctx, 16, -1);
+      for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(local.Get(i), -1);
+        local.Set(i, i * 3);
+      }
+      for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(local.Get(i), i * 3);
+        EXPECT_EQ(local.raw()[i], i * 3);  // Uninstrumented view agrees.
+      }
+    }
+  });
+  EXPECT_EQ(result.access.private_accesses, 48u);  // 16 get + 16 set + 16 get.
+  EXPECT_EQ(result.access.shared_accesses, 0u);
+  EXPECT_EQ(result.access.instrumented_calls, 48u);
+}
+
+TEST(HandlesTest, SharedVarsPackOntoOnePage) {
+  DsmSystem system(Options());
+  auto a = SharedVar<int32_t>::Alloc(system, "a");
+  auto b = SharedVar<int32_t>::Alloc(system, "b");
+  EXPECT_EQ(b.addr(), a.addr() + kWordSize);
+  system.Run([&](NodeContext& ctx) {
+    if (ctx.id() == 0) {
+      a.Set(ctx, 7);
+      b.Set(ctx, 9);
+    }
+    ctx.Barrier();
+    EXPECT_EQ(a.Get(ctx), 7);
+    EXPECT_EQ(b.Get(ctx), 9);
+  });
+}
+
+}  // namespace
+}  // namespace cvm

@@ -1,0 +1,328 @@
+// End-to-end property test: random SPMD programs (reads/writes/locks/
+// barriers) run on the real DSM with race detection, and the reported race
+// set is compared — both directions — against an independent happens-before
+// oracle built from the program text plus the recorded lock-grant order.
+//
+// Soundness: every reported race is a pair of conflicting accesses unordered
+// by happens-before-1. Completeness (execution-level, §2): every conflicting
+// unordered access pair is reported.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/dsm/dsm.h"
+#include "src/dsm/handles.h"
+
+namespace cvm {
+namespace {
+
+struct Op {
+  enum Kind { kRead, kWrite, kLock, kUnlock, kBarrier } kind;
+  int arg = 0;  // Address-pool index or lock id.
+};
+
+using Program = std::vector<std::vector<Op>>;  // [node][step].
+
+constexpr int kNumAddrs = 10;
+constexpr int kNumLocks = 3;
+
+Program GeneratePrograms(Rng& rng, int nodes) {
+  Program program(nodes);
+  const int phases = static_cast<int>(rng.Range(1, 3));
+  for (int phase = 0; phase < phases; ++phase) {
+    for (int n = 0; n < nodes; ++n) {
+      const int ops = static_cast<int>(rng.Range(1, 8));
+      for (int i = 0; i < ops; ++i) {
+        const double roll = rng.NextDouble();
+        if (roll < 0.35) {
+          program[n].push_back({Op::kRead, static_cast<int>(rng.Below(kNumAddrs))});
+        } else if (roll < 0.7) {
+          program[n].push_back({Op::kWrite, static_cast<int>(rng.Below(kNumAddrs))});
+        } else {
+          // A lock-protected section with a few accesses.
+          const int lock = static_cast<int>(rng.Below(kNumLocks));
+          program[n].push_back({Op::kLock, lock});
+          const int inner = static_cast<int>(rng.Range(0, 3));
+          for (int k = 0; k < inner; ++k) {
+            program[n].push_back(
+                {rng.Chance(0.5) ? Op::kRead : Op::kWrite, static_cast<int>(rng.Below(kNumAddrs))});
+          }
+          program[n].push_back({Op::kUnlock, lock});
+        }
+      }
+      program[n].push_back({Op::kBarrier, 0});
+    }
+  }
+  return program;
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: replays the program logically, using the recorded grant order to
+// resolve lock acquisitions, and computes happens-before-1 exactly as the
+// paper defines it.
+// ---------------------------------------------------------------------------
+
+struct OracleAccess {
+  NodeId node;
+  int addr;
+  bool is_write;
+  IntervalIndex interval;
+  VectorClock vc;
+};
+
+void OracleRaces(const Program& program, int nodes, const SyncSchedule& schedule,
+                 std::set<std::pair<int, int>>* out) {
+  std::vector<VectorClock> vc(nodes, VectorClock(nodes));
+  std::vector<IntervalIndex> interval(nodes);
+  for (int n = 0; n < nodes; ++n) {
+    interval[n] = vc[n].Tick(n);  // Interval 0, as the DSM node constructor.
+  }
+  std::vector<size_t> pc(nodes, 0);
+  std::map<LockId, size_t> grant_cursor;
+  std::map<LockId, VectorClock> release_snapshot;  // Last unlock's vc per lock.
+  std::vector<OracleAccess> accesses;
+
+  auto all_done = [&] {
+    for (int n = 0; n < nodes; ++n) {
+      if (pc[n] < program[n].size()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Round-robin scheduler; barriers and lock turns provide the blocking.
+  int barrier_waiting = 0;
+  std::vector<bool> at_barrier(nodes, false);
+  while (!all_done()) {
+    bool progressed = false;
+    for (int n = 0; n < nodes; ++n) {
+      while (pc[n] < program[n].size() && !at_barrier[n]) {
+        const Op& op = program[n][pc[n]];
+        if (op.kind == Op::kRead || op.kind == Op::kWrite) {
+          accesses.push_back({n, op.arg, op.kind == Op::kWrite, interval[n], vc[n]});
+          ++pc[n];
+          progressed = true;
+          continue;
+        }
+        if (op.kind == Op::kLock) {
+          const auto& grants = schedule.GrantsFor(op.arg);
+          const size_t cursor = grant_cursor[op.arg];
+          ASSERT_TRUE(cursor < grants.size()) << "oracle: grant log exhausted";
+          if (grants[cursor] != n) {
+            break;  // Not this node's turn yet.
+          }
+          grant_cursor[op.arg] = cursor + 1;
+          // Acquire: end interval, merge the releaser's release snapshot,
+          // begin a new interval.
+          auto snap = release_snapshot.find(op.arg);
+          if (snap != release_snapshot.end()) {
+            vc[n].MergeWith(snap->second);
+          }
+          interval[n] = vc[n].Tick(n);
+          ++pc[n];
+          progressed = true;
+          continue;
+        }
+        if (op.kind == Op::kUnlock) {
+          // Release: the snapshot the next acquirer merges is the vc of the
+          // just-ended interval (before the post-release tick).
+          release_snapshot[op.arg] = vc[n];
+          interval[n] = vc[n].Tick(n);
+          ++pc[n];
+          progressed = true;
+          continue;
+        }
+        // Barrier.
+        at_barrier[n] = true;
+        ++barrier_waiting;
+        progressed = true;
+      }
+    }
+    if (barrier_waiting == nodes) {
+      // Everyone arrived: tick the in-barrier interval, merge globally,
+      // tick the new epoch-body interval.
+      VectorClock merged(nodes);
+      for (int n = 0; n < nodes; ++n) {
+        vc[n].Tick(n);
+        merged.MergeWith(vc[n]);
+      }
+      for (int n = 0; n < nodes; ++n) {
+        vc[n] = merged;
+        interval[n] = vc[n].Tick(n);
+        at_barrier[n] = false;
+        ++pc[n];
+      }
+      barrier_waiting = 0;
+      progressed = true;
+    }
+    ASSERT_TRUE(progressed) << "oracle deadlock: inconsistent grant log";
+  }
+
+  // Conflicting, unordered access pairs -> (addr, kind 0=RW 1=WW).
+  std::set<std::pair<int, int>>& races = *out;
+  for (size_t i = 0; i < accesses.size(); ++i) {
+    for (size_t j = i + 1; j < accesses.size(); ++j) {
+      const OracleAccess& a = accesses[i];
+      const OracleAccess& b = accesses[j];
+      if (a.node == b.node || a.addr != b.addr || (!a.is_write && !b.is_write)) {
+        continue;
+      }
+      if (IntervalsConcurrent(IntervalId{a.node, a.interval}, a.vc,
+                              IntervalId{b.node, b.interval}, b.vc)) {
+        races.insert({a.addr, a.is_write && b.is_write ? 1 : 0});
+      }
+    }
+  }
+}
+
+class PropertyTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(PropertyTest, DetectorMatchesHappensBeforeOracle) {
+  Rng seed_rng(20260704);
+  for (int trial = 0; trial < 30; ++trial) {
+    Rng rng(seed_rng.Next());
+    const int kNodes = static_cast<int>(rng.Range(2, 4));
+    const Program program = GeneratePrograms(rng, kNodes);
+
+    DsmOptions options;
+    options.num_nodes = kNodes;
+    // Random granularity: tiny pages maximize false sharing, larger pages
+    // put the whole pool on one page.
+    options.page_size = 16u << rng.Range(1, 4);  // 32..128 bytes.
+    options.max_shared_bytes = 16 * 1024;
+    options.num_locks = kNumLocks;
+    options.protocol = GetParam();
+    options.record_sync_order = true;
+
+    DsmSystem system(options);
+    // Address pool spans few pages; neighbours share pages.
+    auto pool = SharedArray<int32_t>::Alloc(system, "pool", kNumAddrs);
+    RunResult result = system.Run([&](NodeContext& ctx) {
+      int step = 0;
+      for (const Op& op : program[ctx.id()]) {
+        switch (op.kind) {
+          case Op::kRead:
+            (void)pool.Get(ctx, op.arg);
+            break;
+          case Op::kWrite:
+            pool.Set(ctx, op.arg, ctx.id() * 1000 + step);
+            break;
+          case Op::kLock:
+            ctx.Lock(op.arg);
+            break;
+          case Op::kUnlock:
+            ctx.Unlock(op.arg);
+            break;
+          case Op::kBarrier:
+            ctx.Barrier();
+            break;
+        }
+        ++step;
+      }
+    });
+
+    std::set<std::pair<int, int>> expected;
+    OracleRaces(program, kNodes, result.recorded_schedule, &expected);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure()) << "trial " << trial;
+
+    std::set<std::pair<int, int>> reported;
+    for (const RaceReport& race : result.races) {
+      const int addr_index = static_cast<int>((race.addr - pool.addr(0)) / kWordSize);
+      reported.insert({addr_index, race.kind == RaceKind::kWriteWrite ? 1 : 0});
+    }
+
+    EXPECT_EQ(reported, expected) << "trial " << trial << ": detector and oracle disagree";
+  }
+}
+
+// Same harness with post-mortem tracing enabled on the very same run: the
+// offline analysis must equal both the online reports and the oracle.
+TEST_P(PropertyTest, PostMortemAnalysisMatchesOnlineAndOracle) {
+  Rng seed_rng(977);
+  for (int trial = 0; trial < 12; ++trial) {
+    Rng rng(seed_rng.Next());
+    const int kNodes = 3;
+    const Program program = GeneratePrograms(rng, kNodes);
+
+    DsmOptions options;
+    options.num_nodes = kNodes;
+    options.page_size = 64;
+    options.max_shared_bytes = 16 * 1024;
+    options.num_locks = kNumLocks;
+    options.protocol = GetParam();
+    options.record_sync_order = true;
+    options.postmortem_trace = true;
+
+    DsmSystem system(options);
+    auto pool = SharedArray<int32_t>::Alloc(system, "pool", kNumAddrs);
+    RunResult result = system.Run([&](NodeContext& ctx) {
+      for (const Op& op : program[ctx.id()]) {
+        switch (op.kind) {
+          case Op::kRead:
+            (void)pool.Get(ctx, op.arg);
+            break;
+          case Op::kWrite:
+            pool.Set(ctx, op.arg, ctx.id());
+            break;
+          case Op::kLock:
+            ctx.Lock(op.arg);
+            break;
+          case Op::kUnlock:
+            ctx.Unlock(op.arg);
+            break;
+          case Op::kBarrier:
+            ctx.Barrier();
+            break;
+        }
+      }
+    });
+
+    std::set<std::pair<int, int>> expected;
+    OracleRaces(program, kNodes, result.recorded_schedule, &expected);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure()) << "trial " << trial;
+
+    auto project = [&](const std::vector<RaceReport>& races) {
+      std::set<std::pair<int, int>> out;
+      for (const RaceReport& race : races) {
+        out.insert({static_cast<int>((race.addr - pool.addr(0)) / kWordSize),
+                    race.kind == RaceKind::kWriteWrite ? 1 : 0});
+      }
+      return out;
+    };
+
+    const auto offline = system.trace().Analyze(system.segment().num_pages());
+    // The offline reports have no symbolization pass; project via page/word.
+    std::set<std::pair<int, int>> offline_set;
+    for (const RaceReport& race : offline.races) {
+      const GlobalAddr addr = static_cast<GlobalAddr>(race.page) * options.page_size +
+                              static_cast<GlobalAddr>(race.word) * kWordSize;
+      offline_set.insert({static_cast<int>((addr - pool.addr(0)) / kWordSize),
+                          race.kind == RaceKind::kWriteWrite ? 1 : 0});
+    }
+
+    EXPECT_EQ(project(result.races), expected) << "trial " << trial << " (online)";
+    EXPECT_EQ(offline_set, expected) << "trial " << trial << " (post-mortem)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, PropertyTest,
+                         ::testing::Values(ProtocolKind::kSingleWriterLrc,
+                                           ProtocolKind::kMultiWriterHomeLrc,
+                                           ProtocolKind::kEagerRcInvalidate),
+                         [](const ::testing::TestParamInfo<ProtocolKind>& param_info) {
+                           switch (param_info.param) {
+                             case ProtocolKind::kSingleWriterLrc:
+                               return "SingleWriter";
+                             case ProtocolKind::kMultiWriterHomeLrc:
+                               return "MultiWriterHome";
+                             case ProtocolKind::kEagerRcInvalidate:
+                               return "EagerRc";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace cvm

@@ -1,0 +1,120 @@
+// Tests for the shared segment, page tables, and twin/diff machinery.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/rng.h"
+#include "src/mem/diff.h"
+#include "src/mem/page_table.h"
+#include "src/mem/shared_segment.h"
+
+namespace cvm {
+namespace {
+
+TEST(SharedSegmentTest, AllocatesPageAlignedAndSymbolizes) {
+  SharedSegment seg(1024, 64 * 1024);
+  const GlobalAddr a = seg.Alloc("alpha", 100);
+  const GlobalAddr b = seg.Alloc("beta", 8);
+  EXPECT_EQ(a % 1024, 0u);
+  EXPECT_EQ(b % 1024, 0u);
+  EXPECT_EQ(seg.Symbolize(a), "alpha");
+  EXPECT_EQ(seg.Symbolize(a + 8), "alpha+8");
+  EXPECT_EQ(seg.Symbolize(b), "beta");
+  EXPECT_EQ(seg.PageOf(b), 1);
+}
+
+TEST(SharedSegmentTest, PackedAllocationSharesPages) {
+  SharedSegment seg(1024, 64 * 1024);
+  const GlobalAddr a = seg.Alloc("a", 4, /*page_align=*/false);
+  const GlobalAddr b = seg.Alloc("b", 4, /*page_align=*/false);
+  EXPECT_EQ(seg.PageOf(a), seg.PageOf(b));
+  EXPECT_EQ(b, a + 4);
+}
+
+TEST(SharedSegmentTest, InitialContentsArePokeable) {
+  SharedSegment seg(256, 4096);
+  seg.Alloc("x", 16);
+  const uint32_t magic = 0xdeadbeef;
+  seg.PokeInitial(4, &magic, sizeof(magic));
+  const std::vector<uint8_t> page = seg.InitialPage(0);
+  uint32_t got;
+  std::memcpy(&got, page.data() + 4, 4);
+  EXPECT_EQ(got, magic);
+}
+
+TEST(PageTableTest, StateMachineAndWordAccess) {
+  PageTable pt(4, 256);
+  EXPECT_FALSE(pt.Readable(2));
+  pt.Install(2, std::vector<uint8_t>(256, 0), PageState::kReadOnly);
+  EXPECT_TRUE(pt.Readable(2));
+  EXPECT_FALSE(pt.Writable(2));
+  pt.entry(2).state = PageState::kReadWrite;
+  pt.WriteWord(2, 10, 0x12345678u);
+  EXPECT_EQ(pt.ReadWord(2, 10), 0x12345678u);
+  pt.Invalidate(2);
+  EXPECT_FALSE(pt.Readable(2));
+  // Data survives invalidation (stale copy), as the weak-memory tests rely on.
+  EXPECT_EQ(pt.entry(2).data.size(), 256u);
+}
+
+TEST(PageTableTest, TwinIsSnapshot) {
+  PageTable pt(1, 64);
+  pt.Install(0, std::vector<uint8_t>(64, 7), PageState::kReadWrite);
+  pt.MakeTwin(0);
+  pt.WriteWord(0, 3, 42);
+  ASSERT_TRUE(pt.entry(0).twin.has_value());
+  EXPECT_EQ((*pt.entry(0).twin)[3 * 4], 7);
+  pt.DropTwin(0);
+  EXPECT_FALSE(pt.entry(0).twin.has_value());
+}
+
+TEST(DiffTest, CapturesOnlyModifiedWords) {
+  std::vector<uint8_t> twin(64, 0);
+  std::vector<uint8_t> current = twin;
+  const uint32_t v1 = 0xaabbccdd;
+  const uint32_t v2 = 0x11223344;
+  std::memcpy(current.data() + 0, &v1, 4);
+  std::memcpy(current.data() + 40, &v2, 4);
+  const Diff diff = MakeDiff(3, IntervalId{1, 2}, twin, current);
+  ASSERT_EQ(diff.words.size(), 2u);
+  EXPECT_EQ(diff.words[0].word, 0u);
+  EXPECT_EQ(diff.words[0].value, v1);
+  EXPECT_EQ(diff.words[1].word, 10u);
+  EXPECT_EQ(diff.words[1].value, v2);
+  EXPECT_EQ(diff.page, 3);
+}
+
+TEST(DiffTest, SameValueOverwriteIsInvisible) {
+  // §6.5's caveat: a word overwritten with its existing value produces no
+  // diff entry — diff-derived write detection misses such races.
+  std::vector<uint8_t> twin(32, 5);
+  std::vector<uint8_t> current = twin;  // "Written" but values unchanged.
+  const Diff diff = MakeDiff(0, IntervalId{0, 0}, twin, current);
+  EXPECT_TRUE(diff.words.empty());
+}
+
+TEST(DiffTest, PropertyApplyReconstructsCurrent) {
+  Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t bytes = 256;
+    std::vector<uint8_t> twin(bytes);
+    for (auto& b : twin) {
+      b = static_cast<uint8_t>(rng.Below(256));
+    }
+    std::vector<uint8_t> current = twin;
+    const int changes = static_cast<int>(rng.Range(0, 20));
+    for (int i = 0; i < changes; ++i) {
+      const size_t word = rng.Below(bytes / 4);
+      const uint32_t value = static_cast<uint32_t>(rng.Next());
+      std::memcpy(current.data() + word * 4, &value, 4);
+    }
+    const Diff diff = MakeDiff(0, IntervalId{0, 0}, twin, current);
+    std::vector<uint8_t> rebuilt = twin;
+    ApplyDiff(diff, rebuilt);
+    EXPECT_EQ(rebuilt, current);
+    EXPECT_LE(diff.words.size(), static_cast<size_t>(changes));
+  }
+}
+
+}  // namespace
+}  // namespace cvm

@@ -1,0 +1,98 @@
+// Tests for the simulated network fabric and byte-accurate accounting.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/net/network.h"
+
+namespace cvm {
+namespace {
+
+Message Make(NodeId from, NodeId to, Payload payload) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.payload = std::move(payload);
+  return m;
+}
+
+TEST(NetworkTest, DeliversFifoPerInbox) {
+  Network net(2);
+  for (int i = 0; i < 5; ++i) {
+    PageRequestMsg req;
+    req.page = i;
+    net.Send(Make(0, 1, req));
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto msg = net.Recv(1);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(std::get<PageRequestMsg>(msg->payload).page, i);
+    EXPECT_EQ(msg->from, 0);
+  }
+  EXPECT_FALSE(net.TryRecv(1).has_value());
+}
+
+TEST(NetworkTest, CloseWakesBlockedReceivers) {
+  Network net(1);
+  std::thread receiver([&] {
+    auto msg = net.Recv(0);
+    EXPECT_FALSE(msg.has_value());
+  });
+  net.Close();
+  receiver.join();
+}
+
+TEST(NetworkTest, CountsBytesByKind) {
+  Network net(2);
+  PageReplyMsg reply;
+  reply.page = 0;
+  reply.data.assign(4096, 0);
+  net.Send(Make(0, 1, reply));
+  const NetworkStats stats = net.stats();
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.bytes, kMessageHeaderBytes + 8 + 4096);
+  EXPECT_EQ(stats.bytes_by_kind.at("PageReply"), stats.bytes);
+  EXPECT_EQ(stats.read_notice_bytes, 0u);
+}
+
+TEST(NetworkTest, ReadNoticeBytesTrackedOnSyncMessages) {
+  Network net(2);
+  IntervalRecord record;
+  record.id = IntervalId{0, 0};
+  record.vc = VectorClock(2);
+  record.write_pages = {1, 2};
+  record.read_pages = {3, 4, 5};
+
+  LockGrantMsg grant;
+  grant.lock = 0;
+  grant.releaser_vc = VectorClock(2);
+  grant.intervals = {record};
+  net.Send(Make(0, 1, grant));
+
+  const NetworkStats stats = net.stats();
+  EXPECT_EQ(stats.read_notice_bytes, 3 * sizeof(PageId));
+  EXPECT_GT(stats.bytes, stats.read_notice_bytes);
+}
+
+TEST(MessageTest, PayloadSizesAreConsistent) {
+  // Wire size must grow with content and include the header.
+  PageRequestMsg req;
+  EXPECT_EQ(PayloadByteSize(Payload(req)), kMessageHeaderBytes + 13);
+
+  BitmapReplyMsg reply;
+  reply.entries.push_back(BitmapReplyEntry{IntervalId{0, 0}, 0, Bitmap(1024), Bitmap(1024)});
+  EXPECT_EQ(PayloadByteSize(Payload(reply)),
+            kMessageHeaderBytes + 8 + sizeof(IntervalId) + sizeof(PageId) + 2 * 128);
+
+  Message m = Make(0, 0, reply);
+  EXPECT_STREQ(m.KindName(), "BitmapReply");
+}
+
+TEST(MessageTest, SendToInvalidNodeAborts) {
+  Network net(2);
+  PageRequestMsg req;
+  EXPECT_DEATH(net.Send(Make(0, 7, req)), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace cvm

@@ -1,0 +1,112 @@
+// Tests for interval records, the interval log (unseen queries, GC), and
+// the per-node bitmap store.
+#include <gtest/gtest.h>
+
+#include "src/protocol/interval.h"
+
+namespace cvm {
+namespace {
+
+IntervalRecord MakeRecord(NodeId node, IntervalIndex index, std::vector<PageId> writes = {},
+                          std::vector<PageId> reads = {}) {
+  IntervalRecord r;
+  r.id = IntervalId{node, index};
+  r.vc = VectorClock(4);
+  r.vc.Set(node, index);
+  r.write_pages = std::move(writes);
+  r.read_pages = std::move(reads);
+  return r;
+}
+
+TEST(IntervalRecordTest, PageMembershipAndSizes) {
+  IntervalRecord r = MakeRecord(1, 3, {5, 9}, {2});
+  EXPECT_TRUE(r.WritesPage(5));
+  EXPECT_TRUE(r.WritesPage(9));
+  EXPECT_FALSE(r.WritesPage(2));
+  EXPECT_TRUE(r.ReadsPage(2));
+  EXPECT_EQ(r.ReadNoticeByteSize(), sizeof(PageId));
+  EXPECT_EQ(r.ByteSize(), r.BaseByteSize() + sizeof(PageId));
+}
+
+TEST(IntervalLogTest, UnseenByReturnsExactlyTheUnseen) {
+  IntervalLog log(4);
+  log.Insert(MakeRecord(0, 0));
+  log.Insert(MakeRecord(0, 1));
+  log.Insert(MakeRecord(1, 0));
+  log.Insert(MakeRecord(2, 0));
+
+  VectorClock vc(4);
+  vc.Set(0, 0);  // Seen node 0 through interval 0; nothing else.
+  const auto unseen = log.UnseenBy(vc);
+  ASSERT_EQ(unseen.size(), 3u);
+  EXPECT_EQ(unseen[0].id, (IntervalId{0, 1}));
+  EXPECT_EQ(unseen[1].id, (IntervalId{1, 0}));
+  EXPECT_EQ(unseen[2].id, (IntervalId{2, 0}));
+}
+
+TEST(IntervalLogTest, InsertIsIdempotent) {
+  IntervalLog log(2);
+  log.Insert(MakeRecord(0, 0));
+  log.Insert(MakeRecord(0, 0));
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(IntervalLogTest, GarbageCollectionDropsDominated) {
+  IntervalLog log(2);
+  log.Insert(MakeRecord(0, 0));
+  log.Insert(MakeRecord(0, 1));
+  log.Insert(MakeRecord(1, 2));
+  VectorClock merged(2);
+  merged.Set(0, 0);
+  merged.Set(1, 2);
+  log.DiscardDominatedBy(merged);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_TRUE(log.Contains(IntervalId{0, 1}));
+  EXPECT_FALSE(log.Contains(IntervalId{1, 2}));
+}
+
+TEST(BitmapStoreTest, RecordsLazilyAndFindsPairs) {
+  BitmapStore store(256);
+  EXPECT_TRUE(store.RecordRead(0, 3, 17));   // First read of (0, page 3).
+  EXPECT_FALSE(store.RecordRead(0, 3, 18));  // Not the first anymore.
+  EXPECT_TRUE(store.RecordWrite(0, 3, 17));  // First write still reports true.
+  const PageAccessBitmaps* pair = store.Find(0, 3);
+  ASSERT_NE(pair, nullptr);
+  EXPECT_TRUE(pair->read.Test(17));
+  EXPECT_TRUE(pair->read.Test(18));
+  EXPECT_TRUE(pair->write.Test(17));
+  EXPECT_FALSE(pair->write.Test(18));
+  EXPECT_EQ(store.Find(0, 4), nullptr);
+  EXPECT_EQ(store.Find(1, 3), nullptr);
+  EXPECT_EQ(store.TotalPairsRecorded(), 1u);
+}
+
+TEST(BitmapStoreTest, DiscardThroughDropsCheckedEpochs) {
+  BitmapStore store(64);
+  store.RecordRead(0, 0, 1);
+  store.RecordRead(1, 0, 1);
+  store.RecordRead(5, 2, 1);
+  EXPECT_EQ(store.RetainedPairs(), 3u);
+  store.DiscardThrough(1);
+  EXPECT_EQ(store.RetainedPairs(), 1u);
+  EXPECT_EQ(store.Find(0, 0), nullptr);
+  EXPECT_NE(store.Find(5, 2), nullptr);
+  // Total recorded is cumulative (Table 3 denominator), not retained.
+  EXPECT_EQ(store.TotalPairsRecorded(), 3u);
+}
+
+TEST(BitmapStoreTest, ForEachPairVisitsEverything) {
+  BitmapStore store(64);
+  store.RecordWrite(2, 7, 0);
+  store.RecordRead(3, 1, 5);
+  int visits = 0;
+  store.ForEachPair(9, [&](const IntervalId& id, PageId page, const PageAccessBitmaps&) {
+    EXPECT_EQ(id.node, 9);
+    EXPECT_TRUE((id.index == 2 && page == 7) || (id.index == 3 && page == 1));
+    ++visits;
+  });
+  EXPECT_EQ(visits, 2);
+}
+
+}  // namespace
+}  // namespace cvm

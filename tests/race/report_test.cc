@@ -1,0 +1,89 @@
+// Tests for race reports, first-race filtering (§6.4), and the sync-order
+// schedule used by record/replay (§6.1).
+#include <gtest/gtest.h>
+
+#include "src/race/race_report.h"
+#include "src/race/replay.h"
+
+namespace cvm {
+namespace {
+
+RaceReport MakeReport(EpochId epoch, PageId page, uint32_t word, NodeId a, NodeId b) {
+  RaceReport r;
+  r.kind = RaceKind::kWriteWrite;
+  r.page = page;
+  r.word = word;
+  r.epoch = epoch;
+  r.interval_a = IntervalId{a, 0};
+  r.interval_b = IntervalId{b, 0};
+  return r;
+}
+
+TEST(RaceReportTest, SameRaceIsSymmetricInPair) {
+  RaceReport r1 = MakeReport(0, 1, 2, 0, 1);
+  RaceReport r2 = MakeReport(0, 1, 2, 1, 0);
+  std::swap(r2.interval_a, r2.interval_b);  // Same pair, either order.
+  EXPECT_TRUE(r1.SameRace(r2));
+  RaceReport r3 = MakeReport(0, 1, 3, 0, 1);
+  EXPECT_FALSE(r1.SameRace(r3));
+  RaceReport r4 = MakeReport(0, 1, 2, 0, 1);
+  r4.kind = RaceKind::kReadWrite;
+  EXPECT_FALSE(r1.SameRace(r4));
+}
+
+TEST(RaceReportTest, ToStringMentionsSymbolAndIntervals) {
+  RaceReport r = MakeReport(3, 1, 2, 0, 1);
+  r.symbol = "tour_bound";
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("tour_bound"), std::string::npos);
+  EXPECT_NE(s.find("write-write"), std::string::npos);
+  EXPECT_NE(s.find("s0^0"), std::string::npos);
+  EXPECT_NE(s.find("epoch 3"), std::string::npos);
+}
+
+TEST(FirstRacesTest, KeepsOnlyEarliestRacyEpoch) {
+  // §6.4: barriers order epochs, so all "first" races — races not affected
+  // by a prior race — live in the earliest epoch that has any.
+  std::vector<RaceReport> reports = {MakeReport(4, 0, 0, 0, 1), MakeReport(2, 1, 1, 0, 1),
+                                     MakeReport(2, 1, 2, 1, 2), MakeReport(7, 3, 0, 0, 2)};
+  const auto first = FilterFirstRaces(reports);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].epoch, 2);
+  EXPECT_EQ(first[1].epoch, 2);
+  EXPECT_TRUE(FilterFirstRaces({}).empty());
+}
+
+TEST(SyncScheduleTest, RecordAndReplayCursor) {
+  SyncSchedule schedule;
+  schedule.RecordGrant(3, 0);
+  schedule.RecordGrant(3, 2);
+  schedule.RecordGrant(5, 1);
+  EXPECT_EQ(schedule.TotalGrants(), 3u);
+  EXPECT_EQ(schedule.GrantsFor(3).size(), 2u);
+
+  EXPECT_EQ(schedule.NextGrantee(3), 0);
+  schedule.ConsumeGrant(3, 0);
+  EXPECT_EQ(schedule.NextGrantee(3), 2);
+  schedule.ConsumeGrant(3, 2);
+  // Exhausted: any order goes.
+  EXPECT_EQ(schedule.NextGrantee(3), kNoNode);
+  // Unrecorded lock: unconstrained.
+  EXPECT_EQ(schedule.NextGrantee(99), kNoNode);
+}
+
+TEST(SyncScheduleTest, CopyResetsCursor) {
+  SyncSchedule schedule;
+  schedule.RecordGrant(0, 1);
+  schedule.ConsumeGrant(0, 1);
+  SyncSchedule copy = schedule;
+  EXPECT_EQ(copy.NextGrantee(0), 1);  // Fresh cursor for the replay run.
+}
+
+TEST(SyncScheduleTest, ConsumeWrongGranteeAborts) {
+  SyncSchedule schedule;
+  schedule.RecordGrant(0, 1);
+  EXPECT_DEATH(schedule.ConsumeGrant(0, 2), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace cvm

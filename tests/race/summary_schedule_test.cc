@@ -1,0 +1,93 @@
+// Tests for race summaries and schedule-file round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/race/race_report.h"
+#include "src/race/replay.h"
+
+namespace cvm {
+namespace {
+
+RaceReport Report(const char* symbol, RaceKind kind, EpochId epoch) {
+  RaceReport r;
+  r.symbol = symbol;
+  r.kind = kind;
+  r.epoch = epoch;
+  return r;
+}
+
+TEST(RaceSummaryTest, GroupsBySymbolBase) {
+  std::vector<RaceReport> reports = {
+      Report("bound", RaceKind::kReadWrite, 3),
+      Report("bound", RaceKind::kReadWrite, 1),
+      Report("grid+128", RaceKind::kWriteWrite, 2),
+      Report("grid+4", RaceKind::kWriteWrite, 5),
+      Report("grid+4", RaceKind::kReadWrite, 5),
+  };
+  const auto summary = SummarizeRaces(reports);
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_EQ(summary[0].symbol, "bound");
+  EXPECT_EQ(summary[0].read_write, 2u);
+  EXPECT_EQ(summary[0].write_write, 0u);
+  EXPECT_EQ(summary[0].first_epoch, 1);
+  EXPECT_EQ(summary[1].symbol, "grid");
+  EXPECT_EQ(summary[1].write_write, 2u);
+  EXPECT_EQ(summary[1].read_write, 1u);
+  EXPECT_EQ(summary[1].first_epoch, 2);
+}
+
+TEST(RaceSummaryTest, EmptyInputYieldsEmptySummary) {
+  EXPECT_TRUE(SummarizeRaces({}).empty());
+}
+
+TEST(ScheduleFileTest, RoundTripPreservesGrantOrder) {
+  SyncSchedule schedule;
+  schedule.RecordGrant(0, 2);
+  schedule.RecordGrant(0, 1);
+  schedule.RecordGrant(0, 2);
+  schedule.RecordGrant(7, 0);
+  schedule.RecordGrant(7, 3);
+
+  const std::string path = ::testing::TempDir() + "/sched_roundtrip.txt";
+  ASSERT_TRUE(WriteScheduleFile(schedule, path));
+
+  SyncSchedule loaded;
+  ASSERT_TRUE(ReadScheduleFile(path, &loaded));
+  EXPECT_EQ(loaded.TotalGrants(), 5u);
+  EXPECT_EQ(loaded.GrantsFor(0), (std::vector<NodeId>{2, 1, 2}));
+  EXPECT_EQ(loaded.GrantsFor(7), (std::vector<NodeId>{0, 3}));
+  EXPECT_EQ(loaded.RecordedLocks(), (std::vector<LockId>{0, 7}));
+  std::remove(path.c_str());
+}
+
+TEST(ScheduleFileTest, EmptyScheduleRoundTrips) {
+  SyncSchedule schedule;
+  const std::string path = ::testing::TempDir() + "/sched_empty.txt";
+  ASSERT_TRUE(WriteScheduleFile(schedule, path));
+  SyncSchedule loaded;
+  ASSERT_TRUE(ReadScheduleFile(path, &loaded));
+  EXPECT_EQ(loaded.TotalGrants(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ScheduleFileTest, RejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/sched_garbage.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("this is not a schedule\n", f);
+    fclose(f);
+  }
+  SyncSchedule loaded;
+  EXPECT_FALSE(ReadScheduleFile(path, &loaded));
+  std::remove(path.c_str());
+}
+
+TEST(ScheduleFileTest, MissingFileFails) {
+  SyncSchedule loaded;
+  EXPECT_FALSE(ReadScheduleFile(::testing::TempDir() + "/nope.txt", &loaded));
+}
+
+}  // namespace
+}  // namespace cvm

@@ -1,0 +1,66 @@
+// Tests for the simulated-time model: clock advancement, Lamport receive
+// rule, and Figure 3's overhead-bucket attribution.
+#include <gtest/gtest.h>
+
+#include "src/sim/cost_model.h"
+
+namespace cvm {
+namespace {
+
+TEST(NodeTimingTest, ChargeAdvancesClockAndBucket) {
+  NodeTiming timing;
+  EXPECT_EQ(timing.now_ns(), 0);
+  timing.Charge(Bucket::kNone, 100);
+  timing.Charge(Bucket::kProcCall, 40);
+  timing.Charge(Bucket::kProcCall, 10);
+  timing.Charge(Bucket::kBitmaps, 5);
+  EXPECT_DOUBLE_EQ(timing.now_ns(), 155);
+  EXPECT_DOUBLE_EQ(timing.overhead_ns(Bucket::kProcCall), 50);
+  EXPECT_DOUBLE_EQ(timing.overhead_ns(Bucket::kBitmaps), 5);
+  EXPECT_DOUBLE_EQ(timing.overhead_ns(Bucket::kAccessCheck), 0);
+  EXPECT_DOUBLE_EQ(timing.total_overhead_ns(), 55);  // kNone excluded.
+}
+
+TEST(NodeTimingTest, ObserveIsMonotone) {
+  NodeTiming timing;
+  timing.Charge(Bucket::kNone, 100);
+  timing.ObserveAtLeast(50);  // In the past: no effect.
+  EXPECT_DOUBLE_EQ(timing.now_ns(), 100);
+  timing.ObserveAtLeast(400);  // Lamport receive rule.
+  EXPECT_DOUBLE_EQ(timing.now_ns(), 400);
+}
+
+TEST(NodeTimingTest, AddOverheadFromAccumulatesBucketsOnly) {
+  NodeTiming a;
+  NodeTiming b;
+  a.Charge(Bucket::kIntervals, 7);
+  b.Charge(Bucket::kIntervals, 3);
+  b.Charge(Bucket::kNone, 1000);
+  a.AddOverheadFrom(b);
+  EXPECT_DOUBLE_EQ(a.overhead_ns(Bucket::kIntervals), 10);
+  EXPECT_DOUBLE_EQ(a.now_ns(), 7);  // Clock untouched.
+}
+
+TEST(NodeTimingTest, NegativeChargeAborts) {
+  NodeTiming timing;
+  EXPECT_DEATH(timing.Charge(Bucket::kNone, -1), "CHECK failed");
+}
+
+TEST(CostParamsTest, MessageCostIsAffineInBytes) {
+  CostParams costs;
+  costs.msg_latency_ns = 1000;
+  costs.per_byte_ns = 2;
+  EXPECT_DOUBLE_EQ(costs.MessageCost(0), 1000);
+  EXPECT_DOUBLE_EQ(costs.MessageCost(500), 2000);
+}
+
+TEST(BucketTest, NamesMatchFigure3) {
+  EXPECT_STREQ(BucketName(Bucket::kCvmMods), "CVM Mods");
+  EXPECT_STREQ(BucketName(Bucket::kProcCall), "Proc Call");
+  EXPECT_STREQ(BucketName(Bucket::kAccessCheck), "Access Check");
+  EXPECT_STREQ(BucketName(Bucket::kIntervals), "Intervals");
+  EXPECT_STREQ(BucketName(Bucket::kBitmaps), "Bitmaps");
+}
+
+}  // namespace
+}  // namespace cvm

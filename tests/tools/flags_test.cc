@@ -1,0 +1,66 @@
+// Tests for the CLI flag parser.
+#include <gtest/gtest.h>
+
+#include "tools/flags.h"
+
+namespace cvm {
+namespace tools {
+namespace {
+
+Flags ParseOk(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  Flags flags;
+  std::string error;
+  EXPECT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data(), &error)) << error;
+  return flags;
+}
+
+TEST(FlagsTest, KeyValueAndBooleanForms) {
+  Flags flags = ParseOk({"--app=tsp", "--nodes=8", "--compare", "--no-detect"});
+  EXPECT_EQ(flags.GetString("app", ""), "tsp");
+  EXPECT_EQ(flags.GetInt("nodes", 0), 8);
+  EXPECT_TRUE(flags.GetBool("compare", false));
+  EXPECT_FALSE(flags.GetBool("detect", true));
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagsTest, FallbacksApplyWhenAbsentOrMalformed) {
+  Flags flags = ParseOk({"--nodes=abc"});
+  EXPECT_EQ(flags.GetInt("nodes", 4), 4);
+  EXPECT_EQ(flags.GetInt("other", 9), 9);
+  EXPECT_EQ(flags.GetString("other", "dflt"), "dflt");
+  EXPECT_TRUE(flags.GetBool("other", true));
+}
+
+TEST(FlagsTest, BooleanValueSpellings) {
+  Flags flags = ParseOk({"--a=false", "--b=0", "--c=no", "--d=true", "--e=1"});
+  EXPECT_FALSE(flags.GetBool("a", true));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_FALSE(flags.GetBool("c", true));
+  EXPECT_TRUE(flags.GetBool("d", false));
+  EXPECT_TRUE(flags.GetBool("e", false));
+}
+
+TEST(FlagsTest, PositionalsAndErrors) {
+  Flags flags = ParseOk({"input.txt", "--x=1", "second"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+
+  Flags bad;
+  std::string error;
+  const char* argv1[] = {"prog", "--"};
+  EXPECT_FALSE(bad.Parse(2, argv1, &error));
+  const char* argv2[] = {"prog", "--=v"};
+  EXPECT_FALSE(bad.Parse(2, argv2, &error));
+}
+
+TEST(FlagsTest, UnknownKeyDetection) {
+  Flags flags = ParseOk({"--app=tsp", "--nodse=8"});
+  const auto unknown = flags.UnknownKeys({"app", "nodes"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "nodse");
+}
+
+}  // namespace
+}  // namespace tools
+}  // namespace cvm

@@ -1,0 +1,127 @@
+// Tests for version vectors and the paper's two-integer-comparison
+// concurrency test (§4 step 2).
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/vc/vector_clock.h"
+
+namespace cvm {
+namespace {
+
+TEST(VectorClockTest, StartsAtMinusOne) {
+  VectorClock vc(4);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(vc.At(n), -1);
+  }
+}
+
+TEST(VectorClockTest, TickAdvancesOwnComponent) {
+  VectorClock vc(3);
+  EXPECT_EQ(vc.Tick(1), 0);
+  EXPECT_EQ(vc.Tick(1), 1);
+  EXPECT_EQ(vc.At(0), -1);
+  EXPECT_EQ(vc.At(1), 1);
+}
+
+TEST(VectorClockTest, MergeTakesElementwiseMax) {
+  VectorClock a(3);
+  VectorClock b(3);
+  a.Set(0, 5);
+  a.Set(1, 1);
+  b.Set(1, 4);
+  b.Set(2, 2);
+  a.MergeWith(b);
+  EXPECT_EQ(a.At(0), 5);
+  EXPECT_EQ(a.At(1), 4);
+  EXPECT_EQ(a.At(2), 2);
+}
+
+TEST(VectorClockTest, DominationIsPartialOrder) {
+  VectorClock a(2);
+  VectorClock b(2);
+  a.Set(0, 1);
+  b.Set(0, 2);
+  b.Set(1, 1);
+  EXPECT_TRUE(a.DominatedBy(b));
+  EXPECT_FALSE(b.DominatedBy(a));
+  EXPECT_TRUE(a.DominatedBy(a));
+}
+
+// Figure 2's execution: P1's interval 1 (the release) precedes P2's
+// interval 2 (after the acquire); P1's interval 2 is concurrent with it.
+TEST(IntervalConcurrencyTest, Figure2Scenario) {
+  // sigma_1^1: P1's first interval (write x, release).
+  IntervalId s11{0, 1};
+  VectorClock vc11(2);
+  vc11.Set(0, 1);
+
+  // sigma_2^2: P2's second interval, begun with the acquire of P1's release:
+  // it has seen P1 through interval 1.
+  IntervalId s22{1, 2};
+  VectorClock vc22(2);
+  vc22.Set(0, 1);
+  vc22.Set(1, 2);
+
+  // sigma_1^2: P1's second interval, after the release; P1 has not heard
+  // from P2 at all.
+  IntervalId s12{0, 2};
+  VectorClock vc12(2);
+  vc12.Set(0, 2);
+
+  EXPECT_FALSE(IntervalsConcurrent(s11, vc11, s22, vc22));
+  EXPECT_TRUE(IntervalHappensBefore(s11, s22, vc22));
+  EXPECT_TRUE(IntervalsConcurrent(s12, vc12, s22, vc22));
+  EXPECT_FALSE(IntervalHappensBefore(s12, s22, vc22));
+  EXPECT_FALSE(IntervalHappensBefore(s22, s12, vc12));
+}
+
+TEST(IntervalConcurrencyTest, SameNodeNeverConcurrent) {
+  IntervalId a{2, 1};
+  IntervalId b{2, 5};
+  VectorClock vc(4);
+  EXPECT_FALSE(IntervalsConcurrent(a, vc, b, vc));
+  EXPECT_TRUE(IntervalHappensBefore(a, b, vc));
+}
+
+// Property: concurrency is symmetric, and exactly one of
+// {a -> b, b -> a, concurrent} holds for intervals on distinct nodes when
+// the clocks are generated from a causal history.
+TEST(IntervalConcurrencyTest, PropertyTrichotomyOnCausalHistories) {
+  Rng rng(99);
+  constexpr int kNodes = 4;
+  for (int trial = 0; trial < 200; ++trial) {
+    // Build a random causal history: each step, one node ticks; sometimes a
+    // node merges another node's clock (a message).
+    std::vector<VectorClock> clocks(kNodes, VectorClock(kNodes));
+    struct Snapshot {
+      IntervalId id;
+      VectorClock vc;
+    };
+    std::vector<Snapshot> snaps;
+    for (int step = 0; step < 30; ++step) {
+      const NodeId node = static_cast<NodeId>(rng.Below(kNodes));
+      if (rng.Chance(0.3)) {
+        clocks[node].MergeWith(clocks[rng.Below(kNodes)]);
+      }
+      const IntervalIndex index = clocks[node].Tick(node);
+      snaps.push_back({IntervalId{node, index}, clocks[node]});
+    }
+    for (size_t i = 0; i < snaps.size(); ++i) {
+      for (size_t j = i + 1; j < snaps.size(); ++j) {
+        const auto& a = snaps[i];
+        const auto& b = snaps[j];
+        if (a.id.node == b.id.node) {
+          continue;
+        }
+        const bool ab = IntervalHappensBefore(a.id, b.id, b.vc);
+        const bool ba = IntervalHappensBefore(b.id, a.id, a.vc);
+        const bool conc = IntervalsConcurrent(a.id, a.vc, b.id, b.vc);
+        EXPECT_EQ(IntervalsConcurrent(b.id, b.vc, a.id, a.vc), conc) << "symmetry";
+        EXPECT_EQ(ab + ba + conc, 1) << "exactly one ordering relation must hold";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cvm

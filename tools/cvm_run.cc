@@ -1,0 +1,251 @@
+// cvm_run: the command-line driver a user of this library reaches for first.
+// Runs any of the bundled applications on the DSM with race detection and
+// prints the findings; exposes every §6.x mode as a flag.
+//
+// Examples:
+//   cvm_run --app=tsp --nodes=8
+//   cvm_run --app=water --fix-bug --protocol=multi
+//   cvm_run --app=sor --compare            # base-vs-instrumented slowdown
+//   cvm_run --app=tsp --record=sched.txt   # run 1 of the §6.1 workflow
+//   cvm_run --app=tsp --replay=sched.txt --watch=0x40 --watch-epoch=1
+//   cvm_run --app=fft --postmortem --trace-out=run.cvmt
+//   cvm_run --trace-in=run.cvmt            # offline analysis only
+#include <cstdio>
+#include <memory>
+
+#include "src/apps/fft.h"
+#include "src/apps/lu.h"
+#include "src/apps/sor.h"
+#include "src/apps/tsp.h"
+#include "src/apps/water.h"
+#include "src/apps/workload.h"
+#include "src/common/table.h"
+#include "src/race/trace_io.h"
+#include "tools/flags.h"
+
+namespace {
+
+using namespace cvm;
+
+int Usage() {
+  std::printf(
+      "usage: cvm_run --app={fft|sor|tsp|water|lu} [options]\n"
+      "       cvm_run --trace-in=FILE [--pages=N]\n"
+      "\n"
+      "options:\n"
+      "  --nodes=N            processors (default 8)\n"
+      "  --page-size=BYTES    DSM page size (default 4096)\n"
+      "  --protocol=P         lazy | multi | eager (default lazy)\n"
+      "  --size=N             app problem size (app-specific scale knob)\n"
+      "  --no-detect          run without race detection\n"
+      "  --diff-writes        §6.5: mine writes from diffs (implies --protocol=multi)\n"
+      "  --first-races        §6.4: report only the earliest racy epoch\n"
+      "  --fix-bug            water only: repaired virial update\n"
+      "  --compare            also run uninstrumented and report the slowdown\n"
+      "  --record=FILE        record the lock-grant schedule (§6.1 run 1)\n"
+      "  --replay=FILE        replay a recorded schedule (§6.1 run 2)\n"
+      "  --watch=ADDR         watchpoint address (with --replay)\n"
+      "  --watch-epoch=E      restrict the watchpoint to one epoch\n"
+      "  --postmortem         §7: trace instead of discarding checked epochs\n"
+      "  --trace-out=FILE     write the post-mortem trace file\n"
+      "  --trace-in=FILE      analyze an existing trace file (no run)\n"
+      "  --full-report        print every race (default: per-variable summary)\n");
+  return 2;
+}
+
+std::unique_ptr<ParallelApp> MakeApp(const std::string& name, int64_t size, bool fix_bug,
+                                     uint64_t page_size) {
+  if (name == "fft") {
+    FftApp::Params params;
+    params.rows = size > 0 ? static_cast<int>(size) : 64;
+    params.cols = params.rows;
+    return std::make_unique<FftApp>(params);
+  }
+  if (name == "sor") {
+    SorApp::Params params;
+    params.rows = size > 0 ? static_cast<int>(size) + 2 : 130;
+    params.cols = size > 0 ? static_cast<int>(size) : 128;
+    params.iters = 4;
+    params.page_size = page_size;
+    return std::make_unique<SorApp>(params);
+  }
+  if (name == "tsp") {
+    TspApp::Params params;
+    params.num_cities = size > 0 ? static_cast<int>(size) : 12;
+    params.page_size = page_size;
+    return std::make_unique<TspApp>(params);
+  }
+  if (name == "water") {
+    WaterApp::Params params;
+    params.molecules = size > 0 ? static_cast<int>(size) : 125;
+    params.iters = 3;
+    params.fix_virial_bug = fix_bug;
+    params.page_size = page_size;
+    return std::make_unique<WaterApp>(params);
+  }
+  if (name == "lu") {
+    LuApp::Params params;
+    params.n = size > 0 ? static_cast<int>(size) : 64;
+    params.block = 8;
+    return std::make_unique<LuApp>(params);
+  }
+  return nullptr;
+}
+
+void PrintRaces(const std::vector<RaceReport>& races, bool full) {
+  if (races.empty()) {
+    std::printf("no data races detected\n");
+    return;
+  }
+  std::printf("%zu data race(s) detected\n", races.size());
+  if (full) {
+    for (const RaceReport& race : races) {
+      std::printf("  %s\n", race.ToString().c_str());
+    }
+    return;
+  }
+  TablePrinter table({"Variable", "write-write", "read-write", "First epoch"});
+  for (const RaceSummaryLine& line : SummarizeRaces(races)) {
+    table.AddRow({line.symbol, std::to_string(line.write_write),
+                  std::to_string(line.read_write), std::to_string(line.first_epoch)});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::Flags flags;
+  std::string error;
+  if (!flags.Parse(argc, argv, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return Usage();
+  }
+  const std::vector<std::string> accepted = {
+      "app",     "nodes",  "page-size",   "protocol",  "size",        "detect",
+      "diff-writes", "first-races", "fix-bug", "compare", "record",  "replay",
+      "watch",   "watch-epoch", "postmortem", "trace-out", "trace-in", "full-report", "pages",
+      "help"};
+  for (const std::string& key : flags.UnknownKeys(accepted)) {
+    std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
+    return Usage();
+  }
+  if (flags.GetBool("help", false)) {
+    return Usage();
+  }
+
+  // Offline trace analysis needs no run at all.
+  if (flags.Has("trace-in")) {
+    PostMortemTrace trace;
+    if (!ReadTraceFile(flags.GetString("trace-in", ""), &trace)) {
+      std::fprintf(stderr, "error: cannot read trace file\n");
+      return 1;
+    }
+    std::printf("trace: %zu interval records, %zu bitmap pairs, %zu bytes\n",
+                trace.NumRecords(), trace.NumBitmapPairs(), trace.TraceBytes());
+    const auto analysis = trace.Analyze(static_cast<int>(flags.GetInt("pages", 8192)));
+    PrintRaces(analysis.races, flags.GetBool("full-report", false));
+    return 0;
+  }
+
+  const std::string app_name = flags.GetString("app", "");
+  DsmOptions options;
+  options.num_nodes = static_cast<int>(flags.GetInt("nodes", 8));
+  options.page_size = static_cast<uint64_t>(flags.GetInt("page-size", 4096));
+  options.max_shared_bytes = 64ull << 20;
+  options.race_detection = flags.GetBool("detect", true);
+  options.first_races_only = flags.GetBool("first-races", false);
+  options.postmortem_trace = flags.GetBool("postmortem", false);
+
+  const std::string protocol = flags.GetString("protocol", "lazy");
+  if (protocol == "lazy") {
+    options.protocol = ProtocolKind::kSingleWriterLrc;
+  } else if (protocol == "multi") {
+    options.protocol = ProtocolKind::kMultiWriterHomeLrc;
+  } else if (protocol == "eager") {
+    options.protocol = ProtocolKind::kEagerRcInvalidate;
+  } else {
+    std::fprintf(stderr, "error: unknown protocol '%s'\n", protocol.c_str());
+    return Usage();
+  }
+  if (flags.GetBool("diff-writes", false)) {
+    options.protocol = ProtocolKind::kMultiWriterHomeLrc;
+    options.write_detection = WriteDetection::kDiffs;
+  }
+  options.record_sync_order = flags.Has("record");
+  SyncSchedule replay_schedule;
+  if (flags.Has("replay")) {
+    if (!ReadScheduleFile(flags.GetString("replay", ""), &replay_schedule)) {
+      std::fprintf(stderr, "error: cannot read schedule file\n");
+      return 1;
+    }
+    options.replay_schedule = &replay_schedule;
+  }
+  if (flags.Has("watch")) {
+    Watchpoint watch;
+    watch.addr = static_cast<GlobalAddr>(std::stoull(flags.GetString("watch", "0"), nullptr, 0));
+    watch.epoch = static_cast<EpochId>(flags.GetInt("watch-epoch", -1));
+    options.watch = watch;
+  }
+
+  auto app = MakeApp(app_name, flags.GetInt("size", -1), flags.GetBool("fix-bug", false),
+                     options.page_size);
+  if (app == nullptr) {
+    std::fprintf(stderr, "error: unknown or missing --app\n");
+    return Usage();
+  }
+
+  std::printf("running %s (%s, %s sync) on %d nodes, protocol %s, detection %s\n",
+              app->name().c_str(), app->input_description().c_str(),
+              app->sync_description().c_str(), options.num_nodes, protocol.c_str(),
+              options.race_detection ? "on" : "off");
+
+  DsmSystem system(options);
+  app->Setup(system);
+  RunResult result = system.Run([&app](NodeContext& ctx) { app->Run(ctx); });
+
+  std::printf("result verified: %s\n", app->Verify() ? "yes" : "NO");
+  PrintRaces(result.races, flags.GetBool("full-report", false));
+  std::printf("\nrun stats: %.1f ms simulated, %lu intervals, %lu page faults, "
+              "%lu messages (%.2f MB)\n",
+              result.sim_time_ns / 1e6, static_cast<unsigned long>(result.intervals_total),
+              static_cast<unsigned long>(result.page_faults),
+              static_cast<unsigned long>(result.net.messages),
+              static_cast<double>(result.net.bytes) / 1e6);
+
+  if (options.record_sync_order) {
+    if (!WriteScheduleFile(result.recorded_schedule, flags.GetString("record", ""))) {
+      std::fprintf(stderr, "error: cannot write schedule file\n");
+      return 1;
+    }
+    std::printf("recorded %zu lock grants\n", result.recorded_schedule.TotalGrants());
+  }
+  if (!result.watch_hits.empty()) {
+    std::printf("\nwatchpoint hits:\n");
+    for (const WatchHit& hit : result.watch_hits) {
+      std::printf("  %s\n", hit.ToString().c_str());
+    }
+  }
+  if (options.postmortem_trace && flags.Has("trace-out")) {
+    if (!WriteTraceFile(system.trace(), flags.GetString("trace-out", ""))) {
+      std::fprintf(stderr, "error: cannot write trace file\n");
+      return 1;
+    }
+    std::printf("trace written: %zu bytes\n", system.trace().TraceBytes());
+  }
+
+  if (flags.GetBool("compare", false)) {
+    DsmOptions base_options = options;
+    base_options.race_detection = false;
+    base_options.record_sync_order = false;
+    auto base_app = MakeApp(app_name, flags.GetInt("size", -1),
+                            flags.GetBool("fix-bug", false), options.page_size);
+    DsmSystem base_system(base_options);
+    base_app->Setup(base_system);
+    RunResult base = base_system.Run([&base_app](NodeContext& ctx) { base_app->Run(ctx); });
+    std::printf("\nslowdown vs unaltered run: %.2fx (%.1f ms -> %.1f ms simulated)\n",
+                base.sim_time_ns > 0 ? result.sim_time_ns / base.sim_time_ns : 0.0,
+                base.sim_time_ns / 1e6, result.sim_time_ns / 1e6);
+  }
+  return 0;
+}

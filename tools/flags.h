@@ -1,0 +1,105 @@
+// Minimal command-line flag parsing for the cvm tools: --key=value and
+// boolean --key / --no-key forms, with typed accessors and unknown-flag
+// reporting. Header-only so the parser is unit-testable without a binary.
+#ifndef CVM_TOOLS_FLAGS_H_
+#define CVM_TOOLS_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cvm {
+namespace tools {
+
+class Flags {
+ public:
+  // Parses argv; non-flag arguments are collected as positionals. Returns
+  // false (and fills error) on malformed input like "--" or "--=v".
+  bool Parse(int argc, const char* const* argv, std::string* error) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(arg);
+        continue;
+      }
+      std::string body = arg.substr(2);
+      if (body.empty()) {
+        *error = "bare '--' is not a flag";
+        return false;
+      }
+      const size_t eq = body.find('=');
+      if (eq == std::string::npos) {
+        if (body.rfind("no-", 0) == 0) {
+          values_[body.substr(3)] = "false";
+        } else {
+          values_[body] = "true";
+        }
+      } else {
+        const std::string key = body.substr(0, eq);
+        if (key.empty()) {
+          *error = "missing flag name in '" + arg + "'";
+          return false;
+        }
+        values_[key] = body.substr(eq + 1);
+      }
+    }
+    return true;
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    try {
+      return std::stoll(it->second);
+    } catch (...) {
+      return fallback;
+    }
+  }
+
+  bool GetBool(const std::string& key, bool fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    return it->second != "false" && it->second != "0" && it->second != "no";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Keys that were set but are not in the accepted list (typo detection).
+  std::vector<std::string> UnknownKeys(const std::vector<std::string>& accepted) const {
+    std::vector<std::string> unknown;
+    for (const auto& [key, value] : values_) {
+      bool found = false;
+      for (const std::string& ok : accepted) {
+        if (key == ok) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        unknown.push_back(key);
+      }
+    }
+    return unknown;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tools
+}  // namespace cvm
+
+#endif  // CVM_TOOLS_FLAGS_H_
