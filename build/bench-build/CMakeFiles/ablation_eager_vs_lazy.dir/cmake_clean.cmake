@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_eager_vs_lazy"
+  "../bench/ablation_eager_vs_lazy.pdb"
+  "CMakeFiles/ablation_eager_vs_lazy.dir/ablation_eager_vs_lazy.cc.o"
+  "CMakeFiles/ablation_eager_vs_lazy.dir/ablation_eager_vs_lazy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eager_vs_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

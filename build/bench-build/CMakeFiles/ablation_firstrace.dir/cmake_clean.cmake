@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_firstrace"
+  "../bench/ablation_firstrace.pdb"
+  "CMakeFiles/ablation_firstrace.dir/ablation_firstrace.cc.o"
+  "CMakeFiles/ablation_firstrace.dir/ablation_firstrace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_firstrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

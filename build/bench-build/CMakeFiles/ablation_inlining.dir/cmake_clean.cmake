@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_inlining"
+  "../bench/ablation_inlining.pdb"
+  "CMakeFiles/ablation_inlining.dir/ablation_inlining.cc.o"
+  "CMakeFiles/ablation_inlining.dir/ablation_inlining.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inlining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_postmortem"
+  "../bench/ablation_postmortem.pdb"
+  "CMakeFiles/ablation_postmortem.dir/ablation_postmortem.cc.o"
+  "CMakeFiles/ablation_postmortem.dir/ablation_postmortem.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_postmortem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

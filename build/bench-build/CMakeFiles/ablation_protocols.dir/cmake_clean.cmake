@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_protocols"
+  "../bench/ablation_protocols.pdb"
+  "CMakeFiles/ablation_protocols.dir/ablation_protocols.cc.o"
+  "CMakeFiles/ablation_protocols.dir/ablation_protocols.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_writedetection"
+  "../bench/ablation_writedetection.pdb"
+  "CMakeFiles/ablation_writedetection.dir/ablation_writedetection.cc.o"
+  "CMakeFiles/ablation_writedetection.dir/ablation_writedetection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_writedetection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/figure3_overhead_breakdown"
+  "../bench/figure3_overhead_breakdown.pdb"
+  "CMakeFiles/figure3_overhead_breakdown.dir/figure3_overhead_breakdown.cc.o"
+  "CMakeFiles/figure3_overhead_breakdown.dir/figure3_overhead_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_overhead_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/figure4_slowdown_scaling"
+  "../bench/figure4_slowdown_scaling.pdb"
+  "CMakeFiles/figure4_slowdown_scaling.dir/figure4_slowdown_scaling.cc.o"
+  "CMakeFiles/figure4_slowdown_scaling.dir/figure4_slowdown_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_slowdown_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

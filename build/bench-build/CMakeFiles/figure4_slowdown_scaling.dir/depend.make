@@ -1,0 +1,2 @@
+# Empty dependencies file for figure4_slowdown_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_instrumentation"
+  "../bench/table2_instrumentation.pdb"
+  "CMakeFiles/table2_instrumentation.dir/table2_instrumentation.cc.o"
+  "CMakeFiles/table2_instrumentation.dir/table2_instrumentation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

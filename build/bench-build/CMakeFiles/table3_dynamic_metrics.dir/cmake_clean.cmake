@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_dynamic_metrics"
+  "../bench/table3_dynamic_metrics.pdb"
+  "CMakeFiles/table3_dynamic_metrics.dir/table3_dynamic_metrics.cc.o"
+  "CMakeFiles/table3_dynamic_metrics.dir/table3_dynamic_metrics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_dynamic_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidation_gc.dir/consolidation_gc.cpp.o"
+  "CMakeFiles/consolidation_gc.dir/consolidation_gc.cpp.o.d"
+  "consolidation_gc"
+  "consolidation_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidation_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

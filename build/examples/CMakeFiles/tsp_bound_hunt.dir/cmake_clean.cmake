@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_bound_hunt.dir/tsp_bound_hunt.cpp.o"
+  "CMakeFiles/tsp_bound_hunt.dir/tsp_bound_hunt.cpp.o.d"
+  "tsp_bound_hunt"
+  "tsp_bound_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_bound_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_bug_hunt.dir/water_bug_hunt.cpp.o"
+  "CMakeFiles/water_bug_hunt.dir/water_bug_hunt.cpp.o.d"
+  "water_bug_hunt"
+  "water_bug_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_bug_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_memory_fig5.dir/weak_memory_fig5.cpp.o"
+  "CMakeFiles/weak_memory_fig5.dir/weak_memory_fig5.cpp.o.d"
+  "weak_memory_fig5"
+  "weak_memory_fig5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_memory_fig5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for weak_memory_fig5.
+# This may be replaced when dependencies are built.

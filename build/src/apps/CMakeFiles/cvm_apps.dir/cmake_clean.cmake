@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvm_apps.dir/fft.cc.o"
+  "CMakeFiles/cvm_apps.dir/fft.cc.o.d"
+  "CMakeFiles/cvm_apps.dir/lu.cc.o"
+  "CMakeFiles/cvm_apps.dir/lu.cc.o.d"
+  "CMakeFiles/cvm_apps.dir/sor.cc.o"
+  "CMakeFiles/cvm_apps.dir/sor.cc.o.d"
+  "CMakeFiles/cvm_apps.dir/tsp.cc.o"
+  "CMakeFiles/cvm_apps.dir/tsp.cc.o.d"
+  "CMakeFiles/cvm_apps.dir/water.cc.o"
+  "CMakeFiles/cvm_apps.dir/water.cc.o.d"
+  "CMakeFiles/cvm_apps.dir/workload.cc.o"
+  "CMakeFiles/cvm_apps.dir/workload.cc.o.d"
+  "libcvm_apps.a"
+  "libcvm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvm_common.dir/bitmap.cc.o"
+  "CMakeFiles/cvm_common.dir/bitmap.cc.o.d"
+  "CMakeFiles/cvm_common.dir/table.cc.o"
+  "CMakeFiles/cvm_common.dir/table.cc.o.d"
+  "libcvm_common.a"
+  "libcvm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcvm_common.a"
+)

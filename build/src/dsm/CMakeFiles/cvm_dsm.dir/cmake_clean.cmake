@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvm_dsm.dir/dsm.cc.o"
+  "CMakeFiles/cvm_dsm.dir/dsm.cc.o.d"
+  "CMakeFiles/cvm_dsm.dir/node.cc.o"
+  "CMakeFiles/cvm_dsm.dir/node.cc.o.d"
+  "libcvm_dsm.a"
+  "libcvm_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvm_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

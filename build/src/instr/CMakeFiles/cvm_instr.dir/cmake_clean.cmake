@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvm_instr.dir/binary_image.cc.o"
+  "CMakeFiles/cvm_instr.dir/binary_image.cc.o.d"
+  "libcvm_instr.a"
+  "libcvm_instr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvm_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

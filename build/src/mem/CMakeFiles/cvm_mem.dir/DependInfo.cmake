@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/diff.cc" "src/mem/CMakeFiles/cvm_mem.dir/diff.cc.o" "gcc" "src/mem/CMakeFiles/cvm_mem.dir/diff.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/cvm_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/cvm_mem.dir/page_table.cc.o.d"
+  "/root/repo/src/mem/shared_segment.cc" "src/mem/CMakeFiles/cvm_mem.dir/shared_segment.cc.o" "gcc" "src/mem/CMakeFiles/cvm_mem.dir/shared_segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/cvm_vc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

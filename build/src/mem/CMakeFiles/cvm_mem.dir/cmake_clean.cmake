@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvm_mem.dir/diff.cc.o"
+  "CMakeFiles/cvm_mem.dir/diff.cc.o.d"
+  "CMakeFiles/cvm_mem.dir/page_table.cc.o"
+  "CMakeFiles/cvm_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/cvm_mem.dir/shared_segment.cc.o"
+  "CMakeFiles/cvm_mem.dir/shared_segment.cc.o.d"
+  "libcvm_mem.a"
+  "libcvm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

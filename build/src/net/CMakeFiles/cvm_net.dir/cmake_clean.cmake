@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvm_net.dir/message.cc.o"
+  "CMakeFiles/cvm_net.dir/message.cc.o.d"
+  "CMakeFiles/cvm_net.dir/network.cc.o"
+  "CMakeFiles/cvm_net.dir/network.cc.o.d"
+  "libcvm_net.a"
+  "libcvm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvm_protocol.dir/interval.cc.o"
+  "CMakeFiles/cvm_protocol.dir/interval.cc.o.d"
+  "libcvm_protocol.a"
+  "libcvm_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvm_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/race/detector.cc" "src/race/CMakeFiles/cvm_race.dir/detector.cc.o" "gcc" "src/race/CMakeFiles/cvm_race.dir/detector.cc.o.d"
+  "/root/repo/src/race/postmortem.cc" "src/race/CMakeFiles/cvm_race.dir/postmortem.cc.o" "gcc" "src/race/CMakeFiles/cvm_race.dir/postmortem.cc.o.d"
+  "/root/repo/src/race/race_report.cc" "src/race/CMakeFiles/cvm_race.dir/race_report.cc.o" "gcc" "src/race/CMakeFiles/cvm_race.dir/race_report.cc.o.d"
+  "/root/repo/src/race/replay.cc" "src/race/CMakeFiles/cvm_race.dir/replay.cc.o" "gcc" "src/race/CMakeFiles/cvm_race.dir/replay.cc.o.d"
+  "/root/repo/src/race/trace_io.cc" "src/race/CMakeFiles/cvm_race.dir/trace_io.cc.o" "gcc" "src/race/CMakeFiles/cvm_race.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cvm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/cvm_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/cvm_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cvm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

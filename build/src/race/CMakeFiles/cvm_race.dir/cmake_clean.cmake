@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvm_race.dir/detector.cc.o"
+  "CMakeFiles/cvm_race.dir/detector.cc.o.d"
+  "CMakeFiles/cvm_race.dir/postmortem.cc.o"
+  "CMakeFiles/cvm_race.dir/postmortem.cc.o.d"
+  "CMakeFiles/cvm_race.dir/race_report.cc.o"
+  "CMakeFiles/cvm_race.dir/race_report.cc.o.d"
+  "CMakeFiles/cvm_race.dir/replay.cc.o"
+  "CMakeFiles/cvm_race.dir/replay.cc.o.d"
+  "CMakeFiles/cvm_race.dir/trace_io.cc.o"
+  "CMakeFiles/cvm_race.dir/trace_io.cc.o.d"
+  "libcvm_race.a"
+  "libcvm_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvm_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

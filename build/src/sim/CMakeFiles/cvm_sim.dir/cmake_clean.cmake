@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvm_sim.dir/cost_model.cc.o"
+  "CMakeFiles/cvm_sim.dir/cost_model.cc.o.d"
+  "libcvm_sim.a"
+  "libcvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

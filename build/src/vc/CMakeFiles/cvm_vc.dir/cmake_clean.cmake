@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvm_vc.dir/vector_clock.cc.o"
+  "CMakeFiles/cvm_vc.dir/vector_clock.cc.o.d"
+  "libcvm_vc.a"
+  "libcvm_vc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvm_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_unit_test.dir/apps/app_unit_test.cc.o"
+  "CMakeFiles/app_unit_test.dir/apps/app_unit_test.cc.o.d"
+  "app_unit_test"
+  "app_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

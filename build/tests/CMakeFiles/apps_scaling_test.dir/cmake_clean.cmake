@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_scaling_test.dir/apps/apps_scaling_test.cc.o"
+  "CMakeFiles/apps_scaling_test.dir/apps/apps_scaling_test.cc.o.d"
+  "apps_scaling_test"
+  "apps_scaling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_scaling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_complexity_test.dir/race/detector_complexity_test.cc.o"
+  "CMakeFiles/detector_complexity_test.dir/race/detector_complexity_test.cc.o.d"
+  "detector_complexity_test"
+  "detector_complexity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_complexity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_basic_test.dir/dsm/dsm_basic_test.cc.o"
+  "CMakeFiles/dsm_basic_test.dir/dsm/dsm_basic_test.cc.o.d"
+  "dsm_basic_test"
+  "dsm_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

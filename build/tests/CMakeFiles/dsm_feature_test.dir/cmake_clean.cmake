@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_feature_test.dir/dsm/dsm_feature_test.cc.o"
+  "CMakeFiles/dsm_feature_test.dir/dsm/dsm_feature_test.cc.o.d"
+  "dsm_feature_test"
+  "dsm_feature_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_feature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_lock_test.dir/dsm/dsm_lock_test.cc.o"
+  "CMakeFiles/dsm_lock_test.dir/dsm/dsm_lock_test.cc.o.d"
+  "dsm_lock_test"
+  "dsm_lock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_options_test.dir/dsm/dsm_options_test.cc.o"
+  "CMakeFiles/dsm_options_test.dir/dsm/dsm_options_test.cc.o.d"
+  "dsm_options_test"
+  "dsm_options_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

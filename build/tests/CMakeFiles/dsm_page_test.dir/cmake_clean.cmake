@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_page_test.dir/dsm/dsm_page_test.cc.o"
+  "CMakeFiles/dsm_page_test.dir/dsm/dsm_page_test.cc.o.d"
+  "dsm_page_test"
+  "dsm_page_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

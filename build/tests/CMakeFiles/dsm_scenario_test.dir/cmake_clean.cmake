@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_scenario_test.dir/dsm/dsm_scenario_test.cc.o"
+  "CMakeFiles/dsm_scenario_test.dir/dsm/dsm_scenario_test.cc.o.d"
+  "dsm_scenario_test"
+  "dsm_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

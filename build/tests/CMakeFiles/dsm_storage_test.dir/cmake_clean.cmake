@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_storage_test.dir/dsm/dsm_storage_test.cc.o"
+  "CMakeFiles/dsm_storage_test.dir/dsm/dsm_storage_test.cc.o.d"
+  "dsm_storage_test"
+  "dsm_storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

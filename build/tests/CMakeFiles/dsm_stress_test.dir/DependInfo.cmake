@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dsm/dsm_stress_test.cc" "tests/CMakeFiles/dsm_stress_test.dir/dsm/dsm_stress_test.cc.o" "gcc" "tests/CMakeFiles/dsm_stress_test.dir/dsm/dsm_stress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/cvm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/cvm_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/cvm_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/cvm_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cvm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/cvm_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cvm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vc/CMakeFiles/cvm_vc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_stress_test.dir/dsm/dsm_stress_test.cc.o"
+  "CMakeFiles/dsm_stress_test.dir/dsm/dsm_stress_test.cc.o.d"
+  "dsm_stress_test"
+  "dsm_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

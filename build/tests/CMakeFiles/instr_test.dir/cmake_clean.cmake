@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instr_test.dir/instr/instr_test.cc.o"
+  "CMakeFiles/instr_test.dir/instr/instr_test.cc.o.d"
+  "instr_test"
+  "instr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

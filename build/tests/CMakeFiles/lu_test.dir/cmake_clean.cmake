@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_test.dir/apps/lu_test.cc.o"
+  "CMakeFiles/lu_test.dir/apps/lu_test.cc.o.d"
+  "lu_test"
+  "lu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

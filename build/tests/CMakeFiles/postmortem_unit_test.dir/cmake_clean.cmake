@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postmortem_unit_test.dir/race/postmortem_unit_test.cc.o"
+  "CMakeFiles/postmortem_unit_test.dir/race/postmortem_unit_test.cc.o.d"
+  "postmortem_unit_test"
+  "postmortem_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postmortem_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

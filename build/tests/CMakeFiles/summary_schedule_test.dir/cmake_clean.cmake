@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_schedule_test.dir/race/summary_schedule_test.cc.o"
+  "CMakeFiles/summary_schedule_test.dir/race/summary_schedule_test.cc.o.d"
+  "summary_schedule_test"
+  "summary_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

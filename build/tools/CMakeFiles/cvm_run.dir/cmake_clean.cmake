@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvm_run.dir/cvm_run.cc.o"
+  "CMakeFiles/cvm_run.dir/cvm_run.cc.o.d"
+  "cvm_run"
+  "cvm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
