@@ -18,6 +18,17 @@ DsmSystem::DsmSystem(DsmOptions options) : options_(std::move(options)) {
   network_ = std::make_unique<Network>(options_.num_nodes);
   detector_ =
       std::make_unique<RaceDetector>(segment_->num_pages(), options_.overlap_method);
+  if constexpr (obs::kObsCompiledIn) {
+    if (options_.trace.trace_enabled) {
+      tracer_ = std::make_unique<obs::Tracer>(options_.num_nodes, options_.trace);
+    }
+    if (options_.trace.metrics_enabled) {
+      metrics_ = std::make_unique<obs::MetricsRegistry>();
+    }
+    if (options_.trace.enabled()) {
+      network_->AttachObservability(tracer_.get(), metrics_.get());
+    }
+  }
 }
 
 DsmSystem::~DsmSystem() {
@@ -84,6 +95,11 @@ RunResult DsmSystem::Run(const std::function<void(NodeContext&)>& app) {
   network_->Close();
   for (auto& node : nodes_) {
     node->JoinService();
+  }
+  if constexpr (obs::kObsCompiledIn) {
+    if (tracer_ != nullptr) {
+      tracer_->DrainAll();  // Events emitted after the last barrier.
+    }
   }
   if (options_.race_detection && options_.postmortem_trace) {
     for (const auto& node : nodes_) {

@@ -16,6 +16,8 @@
 #include "src/instr/counters.h"
 #include "src/mem/shared_segment.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
 #include "src/race/detector.h"
 #include "src/race/postmortem.h"
 #include "src/race/race_report.h"
@@ -75,6 +77,11 @@ class DsmSystem {
   SharedSegment& segment() { return *segment_; }
   Network& network() { return *network_; }
 
+  // Observability (null when the corresponding TraceConfig switch is off or
+  // the layer is compiled out).
+  obs::Tracer* tracer() { return tracer_.get(); }
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+
   // Pre-run shared allocation (single-threaded, before Run).
   GlobalAddr Alloc(const std::string& name, uint64_t bytes, bool page_align = true);
 
@@ -96,6 +103,8 @@ class DsmSystem {
   std::unique_ptr<SharedSegment> segment_;
   std::unique_ptr<Network> network_;
   std::unique_ptr<RaceDetector> detector_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
 
   PostMortemTrace trace_;

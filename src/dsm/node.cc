@@ -9,6 +9,63 @@
 
 namespace cvm {
 
+namespace {
+
+// RAII complete-span ('X') helper: captures simulated + wall time at
+// construction, emits one event at destruction. A null tracer makes both
+// ends a single branch; under -DCVM_OBS=OFF the whole class folds away.
+class Span {
+ public:
+  Span(obs::Tracer* tracer, NodeId node, const char* name, const char* cat,
+       const NodeTiming& timing, EpochId epoch)
+      : tracer_(tracer), timing_(timing) {
+    if constexpr (!obs::kObsCompiledIn) {
+      return;
+    }
+    if (tracer_ == nullptr) {
+      return;
+    }
+    event_.name = name;
+    event_.cat = cat;
+    event_.phase = 'X';
+    event_.node = node;
+    event_.epoch = epoch;
+    sim_start_ns_ = timing_.now_ns();
+    wall_start_ns_ = tracer_->WallNowNs();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void SetArg(const char* name, uint64_t value) {
+    event_.arg_name = name;
+    event_.arg_value = value;
+  }
+
+  ~Span() {
+    if constexpr (!obs::kObsCompiledIn) {
+      return;
+    }
+    if (tracer_ == nullptr) {
+      return;
+    }
+    event_.sim_ts_ns = sim_start_ns_;
+    event_.sim_dur_ns = timing_.now_ns() - sim_start_ns_;
+    event_.wall_ts_ns = wall_start_ns_;
+    event_.wall_dur_ns = tracer_->WallNowNs() - wall_start_ns_;
+    tracer_->Emit(event_);
+  }
+
+ private:
+  obs::Tracer* const tracer_;
+  const NodeTiming& timing_;
+  obs::TraceEvent event_;
+  double sim_start_ns_ = 0;
+  uint64_t wall_start_ns_ = 0;
+};
+
+}  // namespace
+
 Node::Node(NodeId id, DsmSystem* system)
     : system_(system),
       id_(id),
@@ -36,7 +93,82 @@ Node::Node(NodeId id, DsmSystem* system)
     locks_[l].release_vc = VectorClock(opts_.num_nodes);  // Nothing precedes it yet.
     manager_last_requester_[l] = ManagerOf(l);
   }
+  InitObservability();
   BeginIntervalLocked();  // Interval 0. Single-threaded here; no lock needed.
+}
+
+void Node::InitObservability() {
+  if constexpr (!obs::kObsCompiledIn) {
+    return;
+  }
+  tracer_ = system_->tracer();
+  metrics_ = system_->metrics();
+  diff_obs_.tracer = tracer_;
+  diff_obs_.node = id_;
+  obs::Counter* twins = nullptr;
+  obs::Counter* installs = nullptr;
+  obs::Counter* invalidations = nullptr;
+  if (metrics_ != nullptr) {
+    mh_.page_faults = metrics_->counter("dsm.page_faults");
+    mh_.page_fetches = metrics_->counter("dsm.page_fetches");
+    mh_.locks_acquired = metrics_->counter("dsm.locks_acquired");
+    mh_.barriers = metrics_->counter("dsm.barriers");
+    mh_.intervals = metrics_->counter("dsm.intervals");
+    mh_.check_pairs = metrics_->counter("race.check_pairs");
+    mh_.checklist_entries = metrics_->counter("race.checklist_entries");
+    mh_.bitmap_pairs_compared = metrics_->counter("race.bitmap_pairs_compared");
+    mh_.races_reported = metrics_->counter("race.races_reported");
+    for (int b = 0; b < kNumBuckets; ++b) {
+      mh_.overhead[static_cast<size_t>(b)] =
+          metrics_->counter(BucketMetricName(static_cast<Bucket>(b)));
+    }
+    twins = metrics_->counter("mem.twins_created");
+    installs = metrics_->counter("mem.page_installs");
+    invalidations = metrics_->counter("mem.page_invalidations");
+    diff_obs_.diffs_created = metrics_->counter("mem.diffs_created");
+    diff_obs_.diff_size_words = metrics_->histogram("mem.diff_size_words");
+    diff_obs_.words_applied = metrics_->counter("mem.diff_words_applied");
+  }
+  if (tracer_ != nullptr || metrics_ != nullptr) {
+    pages_.AttachObservability(tracer_, id_, twins, installs, invalidations);
+  }
+}
+
+void Node::TraceInstant(const char* name, const char* cat, const char* arg_name,
+                        uint64_t arg_value) {
+  if constexpr (!obs::kObsCompiledIn) {
+    return;
+  }
+  if (tracer_ == nullptr) {
+    return;
+  }
+  obs::TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.phase = 'i';
+  event.node = id_;
+  event.epoch = epoch_;
+  event.sim_ts_ns = timing_.now_ns();
+  event.arg_name = arg_name;
+  event.arg_value = arg_value;
+  tracer_->Emit(event);
+}
+
+void Node::PublishOverheadLocked() {
+  if constexpr (!obs::kObsCompiledIn) {
+    return;
+  }
+  if (metrics_ == nullptr) {
+    return;
+  }
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const double total = timing_.overhead_ns(static_cast<Bucket>(b));
+    const double delta = total - overhead_published_[static_cast<size_t>(b)];
+    if (delta > 0) {
+      mh_.overhead[static_cast<size_t>(b)]->Add(static_cast<uint64_t>(delta));
+      overhead_published_[static_cast<size_t>(b)] = total;
+    }
+  }
 }
 
 Node::~Node() = default;
@@ -218,6 +350,13 @@ void Node::MaterializeHomeLocked(PageId page) {
 
 void Node::ReadFaultLocked(std::unique_lock<std::mutex>& lk, PageId page) {
   ++page_faults_;
+  Span span(tracer_, id_, "page.fault.read", "mem", timing_, epoch_);
+  span.SetArg("page", static_cast<uint64_t>(page));
+  if constexpr (obs::kObsCompiledIn) {
+    if (mh_.page_faults != nullptr) {
+      mh_.page_faults->Increment();
+    }
+  }
   timing_.Charge(Bucket::kNone, opts_.costs.page_fault_ns);
   if (SingleWriterData()) {
     if (am_owner_[page]) {
@@ -236,6 +375,13 @@ void Node::ReadFaultLocked(std::unique_lock<std::mutex>& lk, PageId page) {
 
 void Node::WriteFaultLocked(std::unique_lock<std::mutex>& lk, PageId page) {
   ++page_faults_;
+  Span span(tracer_, id_, "page.fault.write", "mem", timing_, epoch_);
+  span.SetArg("page", static_cast<uint64_t>(page));
+  if constexpr (obs::kObsCompiledIn) {
+    if (mh_.page_faults != nullptr) {
+      mh_.page_faults->Increment();
+    }
+  }
   timing_.Charge(Bucket::kNone, opts_.costs.page_fault_ns);
   if (SingleWriterData()) {
     if (am_owner_[page]) {
@@ -270,6 +416,13 @@ void Node::WriteFaultLocked(std::unique_lock<std::mutex>& lk, PageId page) {
 
 void Node::FetchPageLocked(std::unique_lock<std::mutex>& lk, PageId page, bool want_write) {
   CVM_CHECK(!page_reply_.has_value());
+  Span span(tracer_, id_, "page.fetch", "mem", timing_, epoch_);
+  span.SetArg("page", static_cast<uint64_t>(page));
+  if constexpr (obs::kObsCompiledIn) {
+    if (mh_.page_fetches != nullptr) {
+      mh_.page_fetches->Increment();
+    }
+  }
   PageRequestMsg request;
   request.page = page;
   request.want_write = want_write;
@@ -306,6 +459,7 @@ void Node::BeginIntervalLocked() {
   cur_interval_ = vc_.Tick(id_);
   cur_reads_.clear();
   cur_writes_.clear();
+  TraceInstant("interval.open", "protocol", "interval", static_cast<uint64_t>(cur_interval_));
 }
 
 void Node::EndIntervalLocked(std::unique_lock<std::mutex>& lk) {
@@ -335,6 +489,12 @@ void Node::EndIntervalLocked(std::unique_lock<std::mutex>& lk) {
   max_log_size_ = std::max(max_log_size_, log_.size());
   max_retained_pairs_ = std::max(max_retained_pairs_, bitmaps_.RetainedPairs());
   ++intervals_created_;
+  TraceInstant("interval.close", "protocol", "interval", static_cast<uint64_t>(cur_interval_));
+  if constexpr (obs::kObsCompiledIn) {
+    if (mh_.intervals != nullptr) {
+      mh_.intervals->Increment();
+    }
+  }
   timing_.Charge(Bucket::kNone, opts_.costs.interval_setup_ns);
   if (opts_.race_detection) {
     // The race-detection additions to the interval structure (read-notice
@@ -373,11 +533,14 @@ void Node::FlushDiffsLocked(std::unique_lock<std::mutex>& lk) {
   if (twinned_.empty()) {
     return;
   }
+  Span span(tracer_, id_, "diff.flush", "protocol", timing_, epoch_);
+  span.SetArg("pages", twinned_.size());
   std::map<NodeId, std::vector<Diff>> by_home;
   for (PageId page : twinned_) {
     PageEntry& entry = pages_.entry(page);
     CVM_CHECK(entry.twin.has_value());
-    Diff diff = MakeDiff(page, IntervalId{id_, cur_interval_}, *entry.twin, entry.data);
+    Diff diff = MakeDiff(page, IntervalId{id_, cur_interval_}, *entry.twin, entry.data,
+                         obs::kObsCompiledIn ? &diff_obs_ : nullptr);
     timing_.Charge(Bucket::kNone,
                    opts_.costs.diff_word_ns * static_cast<double>(opts_.page_size / kWordSize));
     pages_.DropTwin(page);
@@ -550,6 +713,13 @@ void Node::Lock(LockId lock) {
   CVM_CHECK_GE(lock, 0);
   CVM_CHECK_LT(lock, opts_.num_locks);
   std::unique_lock<std::mutex> lk(mu_);
+  Span span(tracer_, id_, "lock.acquire", "sync", timing_, epoch_);
+  span.SetArg("lock", static_cast<uint64_t>(lock));
+  if constexpr (obs::kObsCompiledIn) {
+    if (mh_.locks_acquired != nullptr) {
+      mh_.locks_acquired->Increment();
+    }
+  }
   timing_.Charge(Bucket::kNone, opts_.costs.lock_op_ns);
   EndIntervalLocked(lk);
   LockState& ls = locks_[lock];
@@ -604,6 +774,7 @@ void Node::Unlock(LockId lock) {
   CVM_CHECK_GE(lock, 0);
   CVM_CHECK_LT(lock, opts_.num_locks);
   std::unique_lock<std::mutex> lk(mu_);
+  TraceInstant("lock.release", "sync", "lock", static_cast<uint64_t>(lock));
   timing_.Charge(Bucket::kNone, opts_.costs.lock_op_ns);
   LockState& ls = locks_[lock];
   CVM_CHECK(ls.held) << "unlock of lock " << lock << " not held by node " << id_;
@@ -764,6 +935,16 @@ void Node::OnPageReply(const Message& msg) {
 void Node::OnDiffFlush(const Message& msg) {
   const auto& flush = std::get<DiffFlushMsg>(msg.payload);
   std::lock_guard<std::mutex> guard(mu_);
+  if constexpr (obs::kObsCompiledIn) {
+    uint64_t words = 0;
+    for (const Diff& diff : flush.diffs) {
+      words += diff.words.size();
+    }
+    if (diff_obs_.words_applied != nullptr) {
+      diff_obs_.words_applied->Add(words);
+    }
+    TraceInstant("diff.apply", "mem", "words", words);
+  }
   for (const Diff& diff : flush.diffs) {
     CVM_CHECK_EQ(HomeOf(diff.page), id_);
     MaterializeHomeLocked(diff.page);
@@ -803,6 +984,8 @@ void Node::OnDiffFlushAck(const Message& msg) {
 
 void Node::Barrier() {
   std::unique_lock<std::mutex> lk(mu_);
+  Span span(tracer_, id_, "barrier", "sync", timing_, epoch_);
+  span.SetArg("epoch", static_cast<uint64_t>(epoch_));
   timing_.Charge(Bucket::kNone, opts_.costs.barrier_op_ns);
   EndIntervalLocked(lk);   // Epoch-body interval.
   BeginIntervalLocked();   // In-barrier interval (paper: barrier = release+acquire).
@@ -821,6 +1004,9 @@ void Node::Barrier() {
     arrive.intervals = log_.All();
     arrive.vc = vc_;
     arrive.arrive_time_ns = static_cast<uint64_t>(timing_.now_ns());
+    // Publish this epoch's overhead before arriving so the master's snapshot
+    // (taken once every arrival is in) sees a consistent cross-node view.
+    PublishOverheadLocked();
     Send(0, std::move(arrive));
     cv_.wait(lk, [this, epoch] {
       return barrier_release_.has_value() && barrier_release_->epoch == epoch;
@@ -849,6 +1035,14 @@ void Node::Barrier() {
   }
   ++epoch_;
   ++barriers_;
+  if constexpr (obs::kObsCompiledIn) {
+    if (mh_.barriers != nullptr) {
+      mh_.barriers->Increment();
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Drain(id_);  // Barrier = natural quiescent point for the ring.
+    }
+  }
   BeginIntervalLocked();  // New epoch-body interval.
 }
 
@@ -894,14 +1088,25 @@ void Node::MasterRunBarrierLocked(std::unique_lock<std::mutex>& lk, EpochId epoc
     Send(node, std::move(release));
   }
   GarbageCollectLocked();
+  if constexpr (obs::kObsCompiledIn) {
+    if (metrics_ != nullptr) {
+      PublishOverheadLocked();
+      const int interval = std::max(1, opts_.trace.metrics_interval);
+      if ((epoch + 1) % interval == 0) {
+        metrics_->SnapshotEpoch(epoch, timing_.now_ns());
+      }
+    }
+  }
 }
 
 void Node::RunRaceDetectionLocked(std::unique_lock<std::mutex>& lk, EpochId epoch,
                                   const std::vector<IntervalRecord>& epoch_intervals) {
   RaceDetector& detector = system_->detector();
   const DetectorStats before = detector.stats();
-  std::vector<CheckPair> pairs = detector.BuildCheckList(epoch_intervals);
+  std::vector<CheckPair> pairs;
   {
+    Span overlap_span(tracer_, id_, "detector.overlap", "race", timing_, epoch);
+    pairs = detector.BuildCheckList(epoch_intervals);
     const DetectorStats& after = detector.stats();
     timing_.Charge(
         Bucket::kIntervals,
@@ -909,10 +1114,19 @@ void Node::RunRaceDetectionLocked(std::unique_lock<std::mutex>& lk, EpochId epoc
                 static_cast<double>(after.interval_comparisons - before.interval_comparisons) +
             opts_.costs.page_overlap_ns *
                 static_cast<double>(after.page_overlap_probes - before.page_overlap_probes));
+    overlap_span.SetArg("pairs", pairs.size());
+  }
+  if constexpr (obs::kObsCompiledIn) {
+    if (metrics_ != nullptr) {
+      const DetectorStats& after = detector.stats();
+      mh_.check_pairs->Add(after.overlapping_pairs - before.overlapping_pairs);
+      mh_.checklist_entries->Add(after.checklist_entries - before.checklist_entries);
+    }
   }
   if (pairs.empty()) {
     return;
   }
+  Span bitmaps_span(tracer_, id_, "detector.bitmaps", "race", timing_, epoch);
 
   // Bitmap-retrieval round (§4 step 4): ask each constituent node for the
   // word bitmaps of its listed intervals; the master's own resolve locally.
@@ -956,10 +1170,20 @@ void Node::RunRaceDetectionLocked(std::unique_lock<std::mutex>& lk, EpochId epoc
   timing_.Charge(Bucket::kBitmaps,
                  opts_.costs.bitmap_cmp_word_ns * chunks * static_cast<double>(compared));
 
+  bitmaps_span.SetArg("compared", compared);
+  if constexpr (obs::kObsCompiledIn) {
+    if (metrics_ != nullptr) {
+      mh_.bitmap_pairs_compared->Add(compared);
+      mh_.races_reported->Add(reports.size());
+    }
+  }
   for (RaceReport& report : reports) {
     report.addr = static_cast<GlobalAddr>(report.page) * opts_.page_size +
                   static_cast<GlobalAddr>(report.word) * kWordSize;
     report.symbol = system_->segment().Symbolize(report.addr);
+    // Numeric args only: the report's strings move into the system-wide
+    // report vector, so pointers into them must not outlive this scope.
+    TraceInstant("race.report", "race", "addr", report.addr);
   }
   system_->AddReports(std::move(reports));
   collected_bitmaps_.clear();

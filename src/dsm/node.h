@@ -11,6 +11,7 @@
 #ifndef CVM_DSM_NODE_H_
 #define CVM_DSM_NODE_H_
 
+#include <array>
 #include <bit>
 #include <condition_variable>
 #include <cstdint>
@@ -24,8 +25,11 @@
 #include "src/common/types.h"
 #include "src/dsm/options.h"
 #include "src/instr/access_filter.h"
+#include "src/mem/diff.h"
 #include "src/mem/page_table.h"
 #include "src/net/message.h"
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
 #include "src/protocol/interval.h"
 #include "src/sim/cost_model.h"
 #include "src/vc/vector_clock.h"
@@ -167,6 +171,15 @@ class Node {
   void ChargeMessageLocked(size_t bytes, size_t read_notice_bytes);
   void ChargeInstrumentationLocked();
 
+  // ---- Observability (mu_ held; no-ops when obs is off) ----
+  void InitObservability();
+  // Emits a wall+sim instant event on this node's track.
+  void TraceInstant(const char* name, const char* cat, const char* arg_name = nullptr,
+                    uint64_t arg_value = 0);
+  // Adds the per-bucket overhead accumulated since the last publish to the
+  // shared metric counters (called at barriers, before the epoch snapshot).
+  void PublishOverheadLocked();
+
   NodeId HomeOf(PageId page) const;
   NodeId ManagerOf(LockId lock) const;
   void Send(NodeId to, Payload payload);
@@ -203,6 +216,26 @@ class Node {
   BitmapStore bitmaps_;
   std::set<PageId> cur_reads_;
   std::set<PageId> cur_writes_;
+
+  // Observability (pointers are null when tracing/metrics are disabled; the
+  // whole block is dead code under -DCVM_OBS=OFF).
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  struct MetricHandles {
+    obs::Counter* page_faults = nullptr;
+    obs::Counter* page_fetches = nullptr;
+    obs::Counter* locks_acquired = nullptr;
+    obs::Counter* barriers = nullptr;
+    obs::Counter* intervals = nullptr;
+    obs::Counter* check_pairs = nullptr;
+    obs::Counter* checklist_entries = nullptr;
+    obs::Counter* bitmap_pairs_compared = nullptr;
+    obs::Counter* races_reported = nullptr;
+    std::array<obs::Counter*, kNumBuckets> overhead = {};
+  };
+  MetricHandles mh_;
+  DiffObs diff_obs_;
+  std::array<double, kNumBuckets> overhead_published_ = {};
 
   // Instrumentation and timing.
   AccessFilter filter_;

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "src/common/types.h"
+#include "src/obs/trace_config.h"
 #include "src/race/detector.h"
 #include "src/sim/cost_model.h"
 
@@ -57,6 +58,11 @@ struct DsmOptions {
   bool first_races_only = false;
 
   CostParams costs;
+
+  // Observability: event tracing + per-epoch metrics (src/obs/). Off by
+  // default; near-zero-cost when off and compiled out entirely with
+  // -DCVM_OBS=OFF.
+  obs::TraceConfig trace;
 
   // Synchronization-order record/replay (§6.1).
   bool record_sync_order = false;

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
 #include "src/vc/vector_clock.h"
 
 namespace cvm {
@@ -31,14 +33,24 @@ struct Diff {
   size_t ByteSize() const { return sizeof(PageId) + sizeof(IntervalId) + words.size() * 8; }
 };
 
+// Optional observability sinks for diff creation/application (any pointer
+// may be null; all owned by the caller and shared across calls).
+struct DiffObs {
+  obs::Tracer* tracer = nullptr;
+  NodeId node = 0;
+  obs::Counter* diffs_created = nullptr;
+  obs::Histogram* diff_size_words = nullptr;
+  obs::Counter* words_applied = nullptr;
+};
+
 // Computes the word-granular delta twin -> current. Both spans must be one
 // page long. Note §6.5's caveat: a word overwritten with its existing value
 // produces no diff entry, so diff-derived write detection can miss races.
 Diff MakeDiff(PageId page, IntervalId interval, const std::vector<uint8_t>& twin,
-              const std::vector<uint8_t>& current);
+              const std::vector<uint8_t>& current, const DiffObs* obs = nullptr);
 
 // Applies the diff's words onto the frame.
-void ApplyDiff(const Diff& diff, std::vector<uint8_t>& frame);
+void ApplyDiff(const Diff& diff, std::vector<uint8_t>& frame, const DiffObs* obs = nullptr);
 
 }  // namespace cvm
 

@@ -39,11 +39,37 @@ void PageTable::WriteWord(PageId page, uint32_t word, uint32_t value) {
   std::memcpy(e.data.data() + word * kWordSize, &value, kWordSize);
 }
 
+void PageTable::AttachObservability(obs::Tracer* tracer, NodeId node, obs::Counter* twins,
+                                    obs::Counter* installs, obs::Counter* invalidations) {
+  if constexpr (!obs::kObsCompiledIn) {
+    return;
+  }
+  tracer_ = tracer;
+  obs_node_ = node;
+  twins_counter_ = twins;
+  installs_counter_ = installs;
+  invalidations_counter_ = invalidations;
+}
+
 void PageTable::Install(PageId page, std::vector<uint8_t> data, PageState state) {
   CVM_CHECK_EQ(data.size(), page_size_);
   PageEntry& e = entry(page);
   e.data = std::move(data);
   e.state = state;
+  if constexpr (obs::kObsCompiledIn) {
+    if (installs_counter_ != nullptr) {
+      installs_counter_->Increment();
+    }
+  }
+}
+
+void PageTable::Invalidate(PageId page) {
+  entry(page).state = PageState::kInvalid;
+  if constexpr (obs::kObsCompiledIn) {
+    if (invalidations_counter_ != nullptr) {
+      invalidations_counter_->Increment();
+    }
+  }
 }
 
 void PageTable::MakeTwin(PageId page) {
@@ -51,6 +77,21 @@ void PageTable::MakeTwin(PageId page) {
   CVM_CHECK(e.state != PageState::kInvalid);
   CVM_CHECK(!e.twin.has_value()) << "twin already exists for page " << page;
   e.twin = e.data;
+  if constexpr (obs::kObsCompiledIn) {
+    if (twins_counter_ != nullptr) {
+      twins_counter_->Increment();
+    }
+    if (tracer_ != nullptr) {
+      obs::TraceEvent event;
+      event.name = "twin.create";
+      event.cat = "mem";
+      event.phase = 'i';
+      event.node = obs_node_;
+      event.arg_name = "page";
+      event.arg_value = static_cast<uint64_t>(page);
+      tracer_->Emit(event);
+    }
+  }
 }
 
 }  // namespace cvm

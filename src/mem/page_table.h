@@ -10,6 +10,8 @@
 
 #include "src/common/check.h"
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
 
 namespace cvm {
 
@@ -39,6 +41,12 @@ class PageTable {
   int num_pages() const { return static_cast<int>(entries_.size()); }
   uint64_t page_size() const { return page_size_; }
 
+  // Optional observability sinks (any may be null, all owned by the caller):
+  // twin creation emits a trace instant, installs/invalidations bump the
+  // counters. Compiled to nothing under -DCVM_OBS=OFF.
+  void AttachObservability(obs::Tracer* tracer, NodeId node, obs::Counter* twins,
+                           obs::Counter* installs, obs::Counter* invalidations);
+
   PageEntry& entry(PageId page) {
     CVM_CHECK_GE(page, 0);
     CVM_CHECK_LT(page, num_pages());
@@ -63,7 +71,7 @@ class PageTable {
 
   // Invalidate per an incoming write notice. Keeps the (stale) data so tests
   // can observe weak-memory staleness, but faults will refetch.
-  void Invalidate(PageId page) { entry(page).state = PageState::kInvalid; }
+  void Invalidate(PageId page);
 
   // Multi-writer helpers.
   void MakeTwin(PageId page);
@@ -72,6 +80,12 @@ class PageTable {
  private:
   uint64_t page_size_;
   std::vector<PageEntry> entries_;
+
+  obs::Tracer* tracer_ = nullptr;
+  NodeId obs_node_ = 0;
+  obs::Counter* twins_counter_ = nullptr;
+  obs::Counter* installs_counter_ = nullptr;
+  obs::Counter* invalidations_counter_ = nullptr;
 };
 
 }  // namespace cvm

@@ -129,6 +129,11 @@ struct Message {
   // Cached wire size (header + payload), filled by the network at send time.
   size_t wire_bytes = 0;
 
+  // Wall-clock enqueue timestamp (ns, steady clock), filled by the network
+  // at send time; used for the delivery-latency histogram. Not part of the
+  // modeled wire size.
+  uint64_t send_wall_ns = 0;
+
   const char* KindName() const;
 };
 

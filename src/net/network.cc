@@ -1,10 +1,20 @@
 #include "src/net/network.h"
 
-#include <atomic>
+#include <chrono>
 
 #include "src/common/check.h"
 
 namespace cvm {
+
+namespace {
+
+uint64_t WallNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
 
 Network::Network(int num_nodes) : num_nodes_(num_nodes) {
   CVM_CHECK_GT(num_nodes, 0);
@@ -14,21 +24,60 @@ Network::Network(int num_nodes) : num_nodes_(num_nodes) {
   }
 }
 
+void Network::AttachObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  if constexpr (!obs::kObsCompiledIn) {
+    return;
+  }
+  tracer_ = tracer;
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    msgs_total_ = metrics_->counter("net.messages");
+    bytes_total_ = metrics_->counter("net.bytes");
+    msg_bytes_hist_ = metrics_->histogram("net.msg_bytes");
+    msg_latency_hist_ = metrics_->histogram("net.msg_latency_ns");
+  }
+}
+
 void Network::Send(Message message) {
   CVM_CHECK_GE(message.to, 0);
   CVM_CHECK_LT(message.to, num_nodes_);
+  if (closed_.load(std::memory_order_acquire)) {
+    return;
+  }
   message.wire_bytes = PayloadByteSize(message.payload);
+  const char* kind = message.KindName();
 
   {
+    // Totals and per-kind maps move together: one critical section.
     std::lock_guard<std::mutex> lock(stats_mu_);
-    if (closed_) {
-      return;
-    }
     stats_.messages += 1;
     stats_.bytes += message.wire_bytes;
     stats_.read_notice_bytes += PayloadReadNoticeBytes(message.payload);
-    stats_.messages_by_kind[message.KindName()] += 1;
-    stats_.bytes_by_kind[message.KindName()] += message.wire_bytes;
+    stats_.messages_by_kind[kind] += 1;
+    stats_.bytes_by_kind[kind] += message.wire_bytes;
+  }
+
+  if constexpr (obs::kObsCompiledIn) {
+    message.send_wall_ns = WallNs();
+    if (msgs_total_ != nullptr) {
+      msgs_total_->Increment();
+      bytes_total_->Add(message.wire_bytes);
+      msg_bytes_hist_->Observe(message.wire_bytes);
+    }
+    if (tracer_ != nullptr) {
+      obs::TraceEvent event;
+      event.name = "msg.send";
+      event.cat = "net";
+      event.phase = 'i';
+      event.node = message.from >= 0 ? message.from : message.to;
+      event.arg_name = "bytes";
+      event.arg_value = message.wire_bytes;
+      event.arg2_name = "to";
+      event.arg2_value = static_cast<uint64_t>(message.to);
+      event.str_arg_name = "kind";
+      event.str_arg_value = kind;
+      tracer_->Emit(event);
+    }
   }
 
   Inbox& inbox = *inboxes_[message.to];
@@ -39,23 +88,45 @@ void Network::Send(Message message) {
   inbox.cv.notify_all();
 }
 
+void Network::OnDelivered(const Message& message) {
+  if constexpr (!obs::kObsCompiledIn) {
+    return;
+  }
+  if (msg_latency_hist_ != nullptr && message.send_wall_ns != 0) {
+    const uint64_t now = WallNs();
+    msg_latency_hist_->Observe(now > message.send_wall_ns ? now - message.send_wall_ns : 0);
+  }
+  if (tracer_ != nullptr) {
+    obs::TraceEvent event;
+    event.name = "msg.recv";
+    event.cat = "net";
+    event.phase = 'i';
+    event.node = message.to;
+    event.arg_name = "bytes";
+    event.arg_value = message.wire_bytes;
+    event.arg2_name = "from";
+    event.arg2_value = static_cast<uint64_t>(message.from);
+    event.str_arg_name = "kind";
+    event.str_arg_value = message.KindName();
+    tracer_->Emit(event);
+  }
+}
+
 std::optional<Message> Network::Recv(NodeId node) {
   CVM_CHECK_GE(node, 0);
   CVM_CHECK_LT(node, num_nodes_);
   Inbox& inbox = *inboxes_[node];
   std::unique_lock<std::mutex> lock(inbox.mu);
   inbox.cv.wait(lock, [&] {
-    if (!inbox.queue.empty()) {
-      return true;
-    }
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    return closed_;
+    return !inbox.queue.empty() || closed_.load(std::memory_order_acquire);
   });
   if (inbox.queue.empty()) {
     return std::nullopt;
   }
   Message message = std::move(inbox.queue.front());
   inbox.queue.pop_front();
+  lock.unlock();
+  OnDelivered(message);
   return message;
 }
 
@@ -63,21 +134,21 @@ std::optional<Message> Network::TryRecv(NodeId node) {
   CVM_CHECK_GE(node, 0);
   CVM_CHECK_LT(node, num_nodes_);
   Inbox& inbox = *inboxes_[node];
-  std::lock_guard<std::mutex> lock(inbox.mu);
+  std::unique_lock<std::mutex> lock(inbox.mu);
   if (inbox.queue.empty()) {
     return std::nullopt;
   }
   Message message = std::move(inbox.queue.front());
   inbox.queue.pop_front();
+  lock.unlock();
+  OnDelivered(message);
   return message;
 }
 
 void Network::Close() {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    closed_ = true;
-  }
+  closed_.store(true, std::memory_order_release);
   for (auto& inbox : inboxes_) {
+    std::lock_guard<std::mutex> lock(inbox->mu);
     inbox->cv.notify_all();
   }
 }
@@ -85,6 +156,11 @@ void Network::Close() {
 NetworkStats Network::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;
+}
+
+void Network::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = NetworkStats{};
 }
 
 }  // namespace cvm

@@ -4,6 +4,7 @@
 #ifndef CVM_NET_NETWORK_H_
 #define CVM_NET_NETWORK_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -15,10 +16,15 @@
 #include <vector>
 
 #include "src/net/message.h"
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
 
 namespace cvm {
 
-// Aggregate traffic statistics; snapshot with Network::stats().
+// Aggregate traffic statistics; snapshot with Network::stats(). The totals
+// and the per-kind maps are updated together under one critical section, so
+// any snapshot satisfies messages == sum(messages_by_kind) and
+// bytes == sum(bytes_by_kind).
 struct NetworkStats {
   uint64_t messages = 0;
   uint64_t bytes = 0;
@@ -32,6 +38,10 @@ class Network {
   explicit Network(int num_nodes);
 
   int num_nodes() const { return num_nodes_; }
+
+  // Optional observability sinks (owned by the caller, outliving the
+  // network). Either pointer may be null. Call before traffic starts.
+  void AttachObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
   // Sends `message` to message.to; fills in wire_bytes and updates stats.
   void Send(Message message);
@@ -47,6 +57,9 @@ class Network {
 
   NetworkStats stats() const;
 
+  // Zeroes the aggregate statistics (multi-run tools reusing one fabric).
+  void ResetStats();
+
  private:
   struct Inbox {
     std::mutex mu;
@@ -54,12 +67,24 @@ class Network {
     std::deque<Message> queue;
   };
 
+  void OnDelivered(const Message& message);
+
   const int num_nodes_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
 
+  // Closed flag is separate from the stats lock so Recv's wait predicate
+  // (which runs under the inbox lock) never nests another mutex.
+  std::atomic<bool> closed_{false};
+
   mutable std::mutex stats_mu_;
   NetworkStats stats_;
-  bool closed_ = false;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* msgs_total_ = nullptr;
+  obs::Counter* bytes_total_ = nullptr;
+  obs::Histogram* msg_bytes_hist_ = nullptr;
+  obs::Histogram* msg_latency_hist_ = nullptr;
 };
 
 }  // namespace cvm

@@ -1,0 +1,44 @@
+// Configuration for the observability layer (tracing + metrics). The whole
+// layer can be compiled out with -DCVM_OBS=OFF (which defines
+// CVM_OBS_ENABLED=0): every instrumentation site is guarded by
+// `if constexpr (obs::kObsCompiledIn)`, so a disabled build carries no
+// branches, no pointers chased, and no code at the hot sites.
+#ifndef CVM_OBS_TRACE_CONFIG_H_
+#define CVM_OBS_TRACE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#ifndef CVM_OBS_ENABLED
+#define CVM_OBS_ENABLED 1
+#endif
+
+namespace cvm::obs {
+
+inline constexpr bool kObsCompiledIn = CVM_OBS_ENABLED != 0;
+
+struct TraceConfig {
+  // Event tracing (Chrome trace-event JSON, viewable in Perfetto).
+  bool trace_enabled = false;
+  // Per-epoch metrics time series (CSV/JSON).
+  bool metrics_enabled = false;
+
+  // Keep every Nth event per node ring (1 = keep all). Sampling is safe for
+  // the exported format because spans are emitted as single complete ('X')
+  // events, never as begin/end pairs that could be separated.
+  uint32_t sample_period = 1;
+
+  // Per-node ring capacity in events. The ring is drained at every barrier;
+  // overflow between barriers overwrites the oldest events and counts them
+  // as dropped.
+  size_t ring_capacity = 1 << 14;
+
+  // Snapshot the metrics registry every N barrier epochs (1 = every epoch).
+  int metrics_interval = 1;
+
+  bool enabled() const { return trace_enabled || metrics_enabled; }
+};
+
+}  // namespace cvm::obs
+
+#endif  // CVM_OBS_TRACE_CONFIG_H_

@@ -20,4 +20,22 @@ const char* BucketName(Bucket bucket) {
   return "?";
 }
 
+const char* BucketMetricName(Bucket bucket) {
+  switch (bucket) {
+    case Bucket::kCvmMods:
+      return "overhead.cvm_mods_ns";
+    case Bucket::kProcCall:
+      return "overhead.proc_call_ns";
+    case Bucket::kAccessCheck:
+      return "overhead.access_check_ns";
+    case Bucket::kIntervals:
+      return "overhead.intervals_ns";
+    case Bucket::kBitmaps:
+      return "overhead.bitmaps_ns";
+    case Bucket::kNone:
+      return "overhead.base_ns";
+  }
+  return "overhead.unknown_ns";
+}
+
 }  // namespace cvm

@@ -67,6 +67,11 @@ inline constexpr int kNumBuckets = 5;
 
 const char* BucketName(Bucket bucket);
 
+// Metrics-registry counter name for a bucket's accumulated overhead, e.g.
+// "overhead.cvm_mods_ns". Each node publishes per-epoch deltas of these at
+// barriers; tools/trace_summary maps them back to Figure 3's buckets.
+const char* BucketMetricName(Bucket bucket);
+
 // One node's simulated clock plus per-bucket overhead accounting. Guarded
 // externally by the node's mutex.
 class NodeTiming {

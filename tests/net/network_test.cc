@@ -74,6 +74,81 @@ TEST(NetworkTest, ReadNoticeBytesTrackedOnSyncMessages) {
   EXPECT_GT(stats.bytes, stats.read_notice_bytes);
 }
 
+TEST(NetworkTest, TotalsEqualSumOfPerKindAccounting) {
+  Network net(3);
+  PageRequestMsg req;
+  req.page = 1;
+  PageReplyMsg reply;
+  reply.page = 1;
+  reply.data.assign(512, 0);
+  LockRequestMsg lock_req;
+  lock_req.requester_vc = VectorClock(3);
+  net.Send(Make(0, 1, req));
+  net.Send(Make(1, 0, reply));
+  net.Send(Make(2, 0, lock_req));
+  net.Send(Make(0, 2, req));
+
+  const NetworkStats stats = net.stats();
+  EXPECT_EQ(stats.messages, 4u);
+  uint64_t kind_messages = 0;
+  uint64_t kind_bytes = 0;
+  for (const auto& [kind, count] : stats.messages_by_kind) {
+    kind_messages += count;
+  }
+  for (const auto& [kind, bytes] : stats.bytes_by_kind) {
+    kind_bytes += bytes;
+  }
+  EXPECT_EQ(stats.messages, kind_messages);
+  EXPECT_EQ(stats.bytes, kind_bytes);
+  EXPECT_EQ(stats.messages_by_kind.at("PageRequest"), 2u);
+  EXPECT_EQ(stats.messages_by_kind.at("PageReply"), 1u);
+  EXPECT_EQ(stats.messages_by_kind.at("LockRequest"), 1u);
+}
+
+TEST(NetworkTest, ResetStatsZeroesEverything) {
+  Network net(2);
+  PageRequestMsg req;
+  net.Send(Make(0, 1, req));
+  ASSERT_EQ(net.stats().messages, 1u);
+  net.ResetStats();
+  const NetworkStats stats = net.stats();
+  EXPECT_EQ(stats.messages, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.read_notice_bytes, 0u);
+  EXPECT_TRUE(stats.messages_by_kind.empty());
+  EXPECT_TRUE(stats.bytes_by_kind.empty());
+  // The fabric still works after a reset.
+  net.Send(Make(1, 0, req));
+  EXPECT_EQ(net.stats().messages, 1u);
+  EXPECT_TRUE(net.Recv(0).has_value());
+}
+
+TEST(NetworkTest, ObservabilityCountersMirrorStats) {
+  Network net(2);
+  obs::Tracer tracer(2, [] {
+    obs::TraceConfig config;
+    config.trace_enabled = true;
+    return config;
+  }());
+  obs::MetricsRegistry metrics;
+  net.AttachObservability(&tracer, &metrics);
+
+  PageReplyMsg reply;
+  reply.data.assign(256, 0);
+  net.Send(Make(0, 1, reply));
+  net.Send(Make(1, 0, PageRequestMsg{}));
+  (void)net.Recv(1);
+
+  const NetworkStats stats = net.stats();
+  EXPECT_EQ(metrics.counter("net.messages")->value(), stats.messages);
+  EXPECT_EQ(metrics.counter("net.bytes")->value(), stats.bytes);
+  EXPECT_EQ(metrics.histogram("net.msg_bytes")->count(), 2u);
+  // One delivery consumed -> one latency observation.
+  EXPECT_EQ(metrics.histogram("net.msg_latency_ns")->count(), 1u);
+  // Send + recv instants are on the sender's/receiver's rings.
+  EXPECT_EQ(tracer.Collected().size(), 3u);
+}
+
 TEST(MessageTest, PayloadSizesAreConsistent) {
   // Wire size must grow with content and include the header.
   PageRequestMsg req;

@@ -1,0 +1,168 @@
+// End-to-end observability tests: a real DSM run with tracing + metrics
+// enabled must produce events from every layer on every node's track and one
+// metrics row per barrier epoch; with observability off, nothing is
+// allocated.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/dsm/dsm.h"
+#include "src/dsm/handles.h"
+
+namespace cvm {
+namespace {
+
+DsmOptions ObsOptions(int nodes, bool trace, bool metrics) {
+  DsmOptions options;
+  options.num_nodes = nodes;
+  options.page_size = 256;
+  options.max_shared_bytes = 64 * 1024;
+  options.trace.trace_enabled = trace;
+  options.trace.metrics_enabled = metrics;
+  return options;
+}
+
+// A small multi-epoch workload exercising pages, locks, and barriers — with
+// one deliberate unsynchronized write pair so the detector path runs too.
+void BusyApp(NodeContext& ctx, SharedArray<int32_t>& data, SharedVar<int32_t>& total) {
+  const int p = ctx.num_nodes();
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (int i = 0; i < 16; ++i) {
+      data.Set(ctx, ctx.id() * 16 + i, ctx.id() + epoch + i);
+    }
+    ctx.Lock(0);
+    total.Set(ctx, total.Get(ctx) + 1);
+    ctx.Unlock(0);
+    ctx.Barrier();
+    const int next = (ctx.id() + 1) % p;
+    int sum = 0;
+    for (int i = 0; i < 16; ++i) {
+      sum += data.Get(ctx, next * 16 + i);
+    }
+    EXPECT_GE(sum, 0);
+    ctx.Barrier();
+  }
+  // Racy epoch: every node writes word 0 with no synchronization.
+  data.Set(ctx, 0, ctx.id());
+}
+
+TEST(ObsIntegrationTest, TraceCoversAllLayersAndAllNodeTracks) {
+  const int kNodes = 8;
+  DsmOptions options = ObsOptions(kNodes, /*trace=*/true, /*metrics=*/true);
+  DsmSystem system(options);
+  auto data = SharedArray<int32_t>::Alloc(system, "data", 16 * kNodes);
+  auto total = SharedVar<int32_t>::Alloc(system, "total");
+  RunResult result =
+      system.Run([&](NodeContext& ctx) { BusyApp(ctx, data, total); });
+  ASSERT_FALSE(result.races.empty());  // The deliberate race was detected.
+
+  ASSERT_NE(system.tracer(), nullptr);
+  const std::vector<obs::TraceEvent> events = system.tracer()->Collected();
+  ASSERT_FALSE(events.empty());
+
+  std::set<std::string> names;
+  std::set<NodeId> nodes_seen;
+  for (const obs::TraceEvent& e : events) {
+    names.insert(e.name);
+    nodes_seen.insert(e.node);
+  }
+  // The acceptance bar: at least 6 distinct event names across all 8 tracks.
+  EXPECT_GE(names.size(), 6u) << "only " << names.size() << " distinct names";
+  EXPECT_EQ(nodes_seen.size(), static_cast<size_t>(kNodes));
+
+  // Every instrumented layer contributes.
+  for (const char* expected :
+       {"msg.send", "msg.recv", "page.fault.write", "page.fetch", "interval.open",
+        "interval.close", "lock.acquire", "lock.release", "barrier", "detector.overlap",
+        "race.report"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing event " << expected;
+  }
+  EXPECT_EQ(system.tracer()->TotalDropped(), 0u);
+}
+
+TEST(ObsIntegrationTest, MetricsRowsMatchBarrierCount) {
+  DsmOptions options = ObsOptions(4, /*trace=*/false, /*metrics=*/true);
+  DsmSystem system(options);
+  auto data = SharedArray<int32_t>::Alloc(system, "data", 16 * 4);
+  auto total = SharedVar<int32_t>::Alloc(system, "total");
+  RunResult result =
+      system.Run([&](NodeContext& ctx) { BusyApp(ctx, data, total); });
+
+  EXPECT_EQ(system.tracer(), nullptr);  // Tracing was not requested.
+  ASSERT_NE(system.metrics(), nullptr);
+  EXPECT_EQ(system.metrics()->NumRows(), result.barriers);
+  EXPECT_GT(result.barriers, 0u);
+
+  // Cross-check a few counters against the run's own accounting.
+  EXPECT_EQ(system.metrics()->counter("dsm.barriers")->value(),
+            result.barriers * static_cast<uint64_t>(options.num_nodes));
+  EXPECT_EQ(system.metrics()->counter("dsm.page_faults")->value(), result.page_faults);
+  EXPECT_EQ(system.metrics()->counter("net.messages")->value(), result.net.messages);
+  EXPECT_EQ(system.metrics()->counter("net.bytes")->value(), result.net.bytes);
+  EXPECT_EQ(system.metrics()->counter("dsm.intervals")->value(), result.intervals_total);
+
+  // Published overhead matches the timing buckets (published at the last
+  // barrier; integer truncation loses < 1ns per bucket per node per epoch).
+  const uint64_t published =
+      system.metrics()->counter(BucketMetricName(Bucket::kIntervals))->value();
+  EXPECT_GT(published, 0u);
+}
+
+TEST(ObsIntegrationTest, MetricsIntervalThinsSnapshots) {
+  DsmOptions options = ObsOptions(4, /*trace=*/false, /*metrics=*/true);
+  options.trace.metrics_interval = 2;
+  DsmSystem system(options);
+  auto data = SharedArray<int32_t>::Alloc(system, "data", 16 * 4);
+  auto total = SharedVar<int32_t>::Alloc(system, "total");
+  RunResult result =
+      system.Run([&](NodeContext& ctx) { BusyApp(ctx, data, total); });
+  EXPECT_EQ(system.metrics()->NumRows(), result.barriers / 2);
+}
+
+TEST(ObsIntegrationTest, DisabledObservabilityAllocatesNothing) {
+  DsmOptions options = ObsOptions(4, /*trace=*/false, /*metrics=*/false);
+  DsmSystem system(options);
+  auto data = SharedArray<int32_t>::Alloc(system, "data", 16 * 4);
+  auto total = SharedVar<int32_t>::Alloc(system, "total");
+  RunResult result =
+      system.Run([&](NodeContext& ctx) { BusyApp(ctx, data, total); });
+  EXPECT_EQ(system.tracer(), nullptr);
+  EXPECT_EQ(system.metrics(), nullptr);
+  ASSERT_FALSE(result.races.empty());
+}
+
+TEST(ObsIntegrationTest, SimulatedTimeIsUnchangedByObservability) {
+  // Observability must not perturb the deterministic cost model: the same
+  // app with and without tracing lands on the identical simulated time.
+  // Lock-free, and each node's chunk is exactly one 256-byte page, so no
+  // ownership churn: every simulated cost is independent of the real-time
+  // interleaving and the total must be bit-identical across passes.
+  constexpr int kWordsPerPage = 64;  // 256-byte pages / 4-byte words.
+  double sim_times[2] = {0, 0};
+  for (int pass = 0; pass < 2; ++pass) {
+    DsmOptions options = ObsOptions(4, /*trace=*/pass == 1, /*metrics=*/pass == 1);
+    DsmSystem system(options);
+    auto data = SharedArray<int32_t>::Alloc(system, "data", kWordsPerPage * 4);
+    RunResult result = system.Run([&](NodeContext& ctx) {
+      for (int epoch = 0; epoch < 3; ++epoch) {
+        for (int i = 0; i < kWordsPerPage; ++i) {
+          data.Set(ctx, ctx.id() * kWordsPerPage + i, epoch + i);
+        }
+        ctx.Barrier();
+        const int next = (ctx.id() + 1) % ctx.num_nodes();
+        for (int i = 0; i < kWordsPerPage; ++i) {
+          EXPECT_EQ(data.Get(ctx, next * kWordsPerPage + i), epoch + i);
+        }
+        ctx.Barrier();
+      }
+    });
+    sim_times[pass] = result.sim_time_ns;
+  }
+  EXPECT_EQ(sim_times[0], sim_times[1]);
+}
+
+}  // namespace
+}  // namespace cvm

@@ -49,7 +49,13 @@ int Usage() {
       "  --postmortem         §7: trace instead of discarding checked epochs\n"
       "  --trace-out=FILE     write the post-mortem trace file\n"
       "  --trace-in=FILE      analyze an existing trace file (no run)\n"
-      "  --full-report        print every race (default: per-variable summary)\n");
+      "  --full-report        print every race (default: per-variable summary)\n"
+      "\n"
+      "observability (docs/OBSERVABILITY.md):\n"
+      "  --trace-json=FILE    write a Chrome/Perfetto trace-event JSON of the run\n"
+      "  --metrics-out=FILE   write per-epoch metrics (CSV, or JSON if FILE ends .json)\n"
+      "  --metrics-interval=N snapshot metrics every N barrier epochs (default 1)\n"
+      "  --trace-sample=N     keep 1 of every N trace events per node (default 1)\n");
   return 2;
 }
 
@@ -125,6 +131,7 @@ int main(int argc, char** argv) {
       "app",     "nodes",  "page-size",   "protocol",  "size",        "detect",
       "diff-writes", "first-races", "fix-bug", "compare", "record",  "replay",
       "watch",   "watch-epoch", "postmortem", "trace-out", "trace-in", "full-report", "pages",
+      "trace-json", "metrics-out", "metrics-interval", "trace-sample",
       "help"};
   for (const std::string& key : flags.UnknownKeys(accepted)) {
     std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
@@ -156,6 +163,17 @@ int main(int argc, char** argv) {
   options.race_detection = flags.GetBool("detect", true);
   options.first_races_only = flags.GetBool("first-races", false);
   options.postmortem_trace = flags.GetBool("postmortem", false);
+
+  options.trace.trace_enabled = flags.Has("trace-json");
+  options.trace.metrics_enabled = flags.Has("metrics-out");
+  options.trace.metrics_interval = static_cast<int>(flags.GetInt("metrics-interval", 1));
+  options.trace.sample_period = static_cast<uint32_t>(flags.GetInt("trace-sample", 1));
+  if (options.trace.enabled() && !obs::kObsCompiledIn) {
+    std::fprintf(stderr,
+                 "error: this binary was built with -DCVM_OBS=OFF; "
+                 "--trace-json/--metrics-out are unavailable\n");
+    return 1;
+  }
 
   const std::string protocol = flags.GetString("protocol", "lazy");
   if (protocol == "lazy") {
@@ -225,6 +243,29 @@ int main(int argc, char** argv) {
     for (const WatchHit& hit : result.watch_hits) {
       std::printf("  %s\n", hit.ToString().c_str());
     }
+  }
+  if (options.trace.trace_enabled && system.tracer() != nullptr) {
+    const std::string path = flags.GetString("trace-json", "");
+    if (!system.tracer()->WriteChromeJson(path)) {
+      std::fprintf(stderr, "error: cannot write trace JSON to %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("trace JSON written: %s (%lu events, %lu dropped)\n", path.c_str(),
+                static_cast<unsigned long>(system.tracer()->TotalEmitted()),
+                static_cast<unsigned long>(system.tracer()->TotalDropped()));
+  }
+  if (options.trace.metrics_enabled && system.metrics() != nullptr) {
+    const std::string path = flags.GetString("metrics-out", "");
+    const bool as_json =
+        path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+    const bool ok = as_json ? system.metrics()->WriteJson(path)
+                            : system.metrics()->WriteCsv(path);
+    if (!ok) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("metrics written: %s (%zu epoch rows)\n", path.c_str(),
+                system.metrics()->NumRows());
   }
   if (options.postmortem_trace && flags.Has("trace-out")) {
     if (!WriteTraceFile(system.trace(), flags.GetString("trace-out", ""))) {

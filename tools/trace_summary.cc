@@ -1,0 +1,207 @@
+// trace_summary: offline companion to cvm_run's observability outputs.
+//
+// Two modes:
+//   trace_summary --metrics=m.csv       per-epoch overhead table (Figure 3's
+//                                       buckets), from a --metrics-out CSV
+//   trace_summary --trace-json=t.json   event-name census of a --trace-json
+//                                       Chrome trace file
+//
+// Examples:
+//   cvm_run --app=tsp --nodes=8 --metrics-out=m.csv --trace-json=t.json
+//   trace_summary --metrics=m.csv
+//   trace_summary --trace-json=t.json
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/sim/cost_model.h"
+#include "tools/flags.h"
+
+namespace {
+
+using namespace cvm;
+
+int Usage() {
+  std::printf(
+      "usage: trace_summary --metrics=FILE    per-epoch Figure-3 overhead table\n"
+      "       trace_summary --trace-json=FILE event-name counts from a trace\n"
+      "\n"
+      "Inputs are the files written by cvm_run --metrics-out / --trace-json\n"
+      "(see docs/OBSERVABILITY.md).\n");
+  return 2;
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream stream(line);
+  std::string cell;
+  while (std::getline(stream, cell, ',')) {
+    cells.push_back(cell);
+  }
+  if (!line.empty() && line.back() == ',') {
+    cells.emplace_back();
+  }
+  return cells;
+}
+
+// Per-epoch overhead table from a metrics CSV: one row per snapshot, one
+// column per Figure-3 bucket (the overhead.*_ns counters each node publishes
+// at barriers), plus the detection total and its share of simulated time.
+int SummarizeMetrics(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read metrics file %s\n", path.c_str());
+    return 1;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    std::fprintf(stderr, "error: metrics file %s is empty\n", path.c_str());
+    return 1;
+  }
+  const std::vector<std::string> header = SplitCsvLine(line);
+  std::map<std::string, size_t> column;
+  for (size_t i = 0; i < header.size(); ++i) {
+    column[header[i]] = i;
+  }
+
+  // Figure 3's overhead buckets, excluding kNone (base work).
+  std::vector<Bucket> buckets;
+  std::vector<std::string> headers = {"Epoch"};
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const Bucket bucket = static_cast<Bucket>(b);
+    buckets.push_back(bucket);
+    headers.emplace_back(BucketName(bucket));
+  }
+  headers.emplace_back("Total ms");
+  headers.emplace_back("Sim ms");
+  headers.emplace_back("Overhead %");
+
+  auto cell_value = [&column](const std::vector<std::string>& cells,
+                              const std::string& name) -> double {
+    auto it = column.find(name);
+    if (it == column.end() || it->second >= cells.size() || cells[it->second].empty()) {
+      return 0;
+    }
+    try {
+      return std::stod(cells[it->second]);
+    } catch (...) {
+      return 0;
+    }
+  };
+
+  TablePrinter table(headers);
+  size_t rows = 0;
+  double prev_sim_ns = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const std::vector<std::string> cells = SplitCsvLine(line);
+    const double epoch = cell_value(cells, "epoch");
+    const double sim_ns = cell_value(cells, "sim_time_ns");
+    const double epoch_sim_ns = sim_ns - prev_sim_ns;
+    prev_sim_ns = sim_ns;
+    double total_ns = 0;
+    std::vector<std::string> row = {std::to_string(static_cast<long long>(epoch))};
+    for (Bucket bucket : buckets) {
+      const double ns = cell_value(cells, BucketMetricName(bucket));
+      total_ns += ns;
+      row.push_back(TablePrinter::Fixed(ns / 1e6, 2));
+    }
+    row.push_back(TablePrinter::Fixed(total_ns / 1e6, 2));
+    row.push_back(TablePrinter::Fixed(epoch_sim_ns / 1e6, 2));
+    row.push_back(epoch_sim_ns > 0 ? TablePrinter::Percent(total_ns / epoch_sim_ns, 1)
+                                   : std::string("-"));
+    table.AddRow(std::move(row));
+    ++rows;
+  }
+  if (rows == 0) {
+    std::fprintf(stderr, "error: metrics file %s has a header but no rows\n", path.c_str());
+    return 1;
+  }
+  std::printf("per-epoch detection overhead (Figure 3 buckets), %zu epoch(s):\n\n", rows);
+  table.Print();
+  std::printf("\nbucket columns and the total are summed across nodes; 'Sim ms' is the\n"
+              "critical-path simulated time the epoch added.\n");
+  return 0;
+}
+
+// Event-name census: counts `"name":"..."` occurrences in a Chrome trace
+// JSON. Metadata records ('M') name process/thread tracks, not events, so
+// "process_name"/"thread_name" are excluded.
+int SummarizeTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read trace file %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::map<std::string, uint64_t> counts;
+  const std::string key = "\"name\":\"";
+  const std::string args_prefix = "\"args\":{";
+  for (size_t pos = text.find(key); pos != std::string::npos;
+       pos = text.find(key, pos + 1)) {
+    // Skip track-naming metadata ('M' records) and their args payloads
+    // ({"args":{"name":"node 3"}}) — those name tracks, not events.
+    if (pos >= args_prefix.size() &&
+        text.compare(pos - args_prefix.size(), args_prefix.size(), args_prefix) == 0) {
+      continue;
+    }
+    const size_t begin = pos + key.size();
+    const size_t end = text.find('"', begin);
+    if (end == std::string::npos) {
+      break;
+    }
+    const std::string name = text.substr(begin, end - begin);
+    if (name != "process_name" && name != "thread_name") {
+      ++counts[name];
+    }
+  }
+  if (counts.empty()) {
+    std::fprintf(stderr, "error: no trace events found in %s\n", path.c_str());
+    return 1;
+  }
+  uint64_t total = 0;
+  TablePrinter table({"Event", "Count"});
+  for (const auto& [name, count] : counts) {
+    table.AddRow({name, TablePrinter::WithThousands(count)});
+    total += count;
+  }
+  table.AddRow({"total", TablePrinter::WithThousands(total)});
+  std::printf("%zu distinct event name(s) in %s:\n\n", counts.size(), path.c_str());
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::Flags flags;
+  std::string error;
+  if (!flags.Parse(argc, argv, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return Usage();
+  }
+  for (const std::string& key : flags.UnknownKeys({"metrics", "trace-json", "help"})) {
+    std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
+    return Usage();
+  }
+  if (flags.GetBool("help", false) || (!flags.Has("metrics") && !flags.Has("trace-json"))) {
+    return Usage();
+  }
+  int rc = 0;
+  if (flags.Has("metrics")) {
+    rc = SummarizeMetrics(flags.GetString("metrics", ""));
+  }
+  if (rc == 0 && flags.Has("trace-json")) {
+    rc = SummarizeTrace(flags.GetString("trace-json", ""));
+  }
+  return rc;
+}
