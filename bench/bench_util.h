@@ -1,8 +1,11 @@
 // Shared helpers for the evaluation harness: the paper-scale configuration
-// of each application and the DSM options used across tables/figures.
+// of each application, the DSM options used across tables/figures, and the
+// machine-readable result emitter the CI/plotting pipeline consumes.
 #ifndef CVM_BENCH_BENCH_UTIL_H_
 #define CVM_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,6 +67,58 @@ inline std::vector<NamedApp> PaperApps() {
   apps.push_back({"Water", [water] { return std::make_unique<WaterApp>(water); }});
 
   return apps;
+}
+
+// One measured (app, protocol, processor-count) cell of Figure 4, with the
+// raw times behind the slowdown so downstream tooling can recompute or
+// re-aggregate without re-running the bench.
+struct Fig4Row {
+  std::string app;
+  std::string protocol;  // "lazy" | "multi" | "eager"
+  int procs = 0;
+  double slowdown = 0;
+  double sim_ms_detect = 0;  // Simulated critical-path time, detection on.
+  double sim_ms_base = 0;    // ...and off.
+  double wall_s_detect = 0;  // Host wall-clock seconds, detection on.
+  double wall_s_base = 0;    // ...and off.
+};
+
+inline Fig4Row MakeFig4Row(const std::string& app, const std::string& protocol, int procs,
+                           const WorkloadResult& result) {
+  Fig4Row row;
+  row.app = app;
+  row.protocol = protocol;
+  row.procs = procs;
+  row.slowdown = result.Slowdown();
+  row.sim_ms_detect = result.detect.sim_time_ns / 1e6;
+  row.sim_ms_base = result.base.sim_time_ns / 1e6;
+  row.wall_s_detect = result.detect.wall_seconds;
+  row.wall_s_base = result.base.wall_seconds;
+  return row;
+}
+
+// Writes the rows as a JSON array of objects. Hand-rolled: every value is a
+// number or a plain identifier-like string, so no escaping is needed.
+inline bool WriteFig4Json(const std::string& path, const std::vector<Fig4Row>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Fig4Row& row = rows[i];
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "  {\"app\": \"%s\", \"protocol\": \"%s\", \"procs\": %d, "
+                  "\"slowdown\": %.4f, \"sim_ms_detect\": %.3f, \"sim_ms_base\": %.3f, "
+                  "\"wall_s_detect\": %.4f, \"wall_s_base\": %.4f}%s\n",
+                  row.app.c_str(), row.protocol.c_str(), row.procs, row.slowdown,
+                  row.sim_ms_detect, row.sim_ms_base, row.wall_s_detect, row.wall_s_base,
+                  i + 1 < rows.size() ? "," : "");
+    out << buffer;
+  }
+  out << "]\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace bench

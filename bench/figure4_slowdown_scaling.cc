@@ -5,6 +5,10 @@
 // (observable overhead constant in p) while (ii) instrumentation costs run
 // in parallel with the shared accesses, so per-process instrumentation
 // overhead shrinks as work spreads.
+//
+// Besides the printed table (lazy protocol, the paper's prototype), every
+// (app, protocol, procs) cell is appended to BENCH_fig4.json so plots and CI
+// trend checks can consume the numbers without scraping stdout.
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -15,14 +19,33 @@ int main() {
   std::printf("=== Figure 4: Slowdown Factor vs Number of Processors ===\n");
 
   const int procs[] = {2, 4, 8};
+  struct ProtocolConfig {
+    const char* name;
+    ProtocolKind kind;
+    int repeats;  // The printed lazy table keeps the paper's 5-run median.
+  };
+  const ProtocolConfig protocols[] = {
+      {"lazy", ProtocolKind::kSingleWriterLrc, 5},
+      {"multi", ProtocolKind::kMultiWriterHomeLrc, 3},
+      {"eager", ProtocolKind::kEagerRcInvalidate, 3},
+  };
+
+  std::vector<bench::Fig4Row> json_rows;
   TablePrinter table({"App", "2 procs", "4 procs", "8 procs", "Monotone decreasing?"});
   for (const bench::NamedApp& app : bench::PaperApps()) {
     std::vector<std::string> row = {app.name};
     std::vector<double> slowdowns;
-    for (int p : procs) {
-      WorkloadResult result = RunWorkloadMedian(app.factory, bench::PaperOptions(p), 5);
-      slowdowns.push_back(result.Slowdown());
-      row.push_back(TablePrinter::Fixed(result.Slowdown(), 2));
+    for (const ProtocolConfig& protocol : protocols) {
+      for (int p : procs) {
+        DsmOptions options = bench::PaperOptions(p);
+        options.protocol = protocol.kind;
+        WorkloadResult result = RunWorkloadMedian(app.factory, options, protocol.repeats);
+        json_rows.push_back(bench::MakeFig4Row(app.name, protocol.name, p, result));
+        if (protocol.kind == ProtocolKind::kSingleWriterLrc) {
+          slowdowns.push_back(result.Slowdown());
+          row.push_back(TablePrinter::Fixed(result.Slowdown(), 2));
+        }
+      }
     }
     // Noise tolerance: treat within 10% as "not increasing".
     const bool decreasing =
@@ -33,5 +56,12 @@ int main() {
   table.Print();
   std::printf("\nPaper: slowdown decreases toward ~2x at 8 processors for every app\n"
               "(instrumentation parallelizes; master-side comparison stays constant).\n");
+
+  const char* json_path = "BENCH_fig4.json";
+  if (!bench::WriteFig4Json(json_path, json_rows)) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path);
+    return 1;
+  }
+  std::printf("wrote %zu (app, protocol, procs) rows to %s\n", json_rows.size(), json_path);
   return 0;
 }

@@ -29,6 +29,22 @@ DsmSystem::DsmSystem(DsmOptions options) : options_(std::move(options)) {
       network_->AttachObservability(tracer_.get(), metrics_.get());
     }
   }
+  if (options_.fault_plan.enabled()) {
+    fault::FaultPlan plan = options_.fault_plan;
+    // Derive unset transport timings from the cost model so retransmission
+    // timeouts scale with the modeled network.
+    if (plan.rto_base_ns <= 0) {
+      plan.rto_base_ns = 2 * options_.costs.MessageCost(kMessageHeaderBytes + 256);
+    }
+    if (plan.rto_cap_ns <= 0) {
+      plan.rto_cap_ns = 32 * plan.rto_base_ns;
+    }
+    if (plan.delay_hop_ns <= 0) {
+      plan.delay_hop_ns = options_.costs.msg_latency_ns;
+    }
+    injector_ = std::make_unique<fault::FaultInjector>(plan, options_.num_nodes);
+    network_->AttachFaultInjector(injector_.get());
+  }
 }
 
 DsmSystem::~DsmSystem() {
@@ -132,6 +148,7 @@ RunResult DsmSystem::Run(const std::function<void(NodeContext&)>& app) {
   }
 
   result.net = network_->stats();
+  result.fault = network_->fault_stats();
   result.detector = detector_->stats();
   result.shared_bytes_used = segment_->used_bytes();
   for (const auto& node : nodes_) {

@@ -33,6 +33,7 @@ struct RunResult {
 
   // Dynamic metrics.
   NetworkStats net;
+  fault::FaultStats fault;  // All-zero unless a fault plan was enabled.
   DetectorStats detector;
   AccessCounters access;
   uint64_t intervals_total = 0;
@@ -82,6 +83,9 @@ class DsmSystem {
   obs::Tracer* tracer() { return tracer_.get(); }
   obs::MetricsRegistry* metrics() { return metrics_.get(); }
 
+  // Null unless options().fault_plan is enabled.
+  const fault::FaultInjector* fault_injector() const { return injector_.get(); }
+
   // Pre-run shared allocation (single-threaded, before Run).
   GlobalAddr Alloc(const std::string& name, uint64_t bytes, bool page_align = true);
 
@@ -102,6 +106,7 @@ class DsmSystem {
   DsmOptions options_;
   std::unique_ptr<SharedSegment> segment_;
   std::unique_ptr<Network> network_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<RaceDetector> detector_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;

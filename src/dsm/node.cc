@@ -184,7 +184,13 @@ void Node::Send(NodeId to, Payload payload) {
   msg.from = id_;
   msg.to = to;
   msg.payload = std::move(payload);
-  system_->network().Send(std::move(msg));
+  // Under fault injection the reliable transport returns the simulated time
+  // this sender spent in retransmission backoff and injected delay; charge it
+  // to the node's clock like any other network cost. Zero on the clean path.
+  const double penalty_ns = system_->network().Send(std::move(msg));
+  if (penalty_ns > 0) {
+    timing_.Charge(Bucket::kNone, penalty_ns);
+  }
 }
 
 void Node::StartService() {
@@ -416,6 +422,8 @@ void Node::WriteFaultLocked(std::unique_lock<std::mutex>& lk, PageId page) {
 
 void Node::FetchPageLocked(std::unique_lock<std::mutex>& lk, PageId page, bool want_write) {
   CVM_CHECK(!page_reply_.has_value());
+  CVM_CHECK_EQ(page_fetch_pending_, -1);
+  page_fetch_pending_ = page;
   Span span(tracer_, id_, "page.fetch", "mem", timing_, epoch_);
   span.SetArg("page", static_cast<uint64_t>(page));
   if constexpr (obs::kObsCompiledIn) {
@@ -434,6 +442,7 @@ void Node::FetchPageLocked(std::unique_lock<std::mutex>& lk, PageId page, bool w
   cv_.wait(lk, [this] { return page_reply_.has_value(); });
   PageReplyMsg reply = std::move(*page_reply_);
   page_reply_.reset();
+  page_fetch_pending_ = -1;
   CVM_CHECK_EQ(reply.page, page);
 
   // Round-trip cost: request out, page back.
@@ -510,8 +519,7 @@ void Node::EndIntervalLocked(std::unique_lock<std::mutex>& lk) {
   // later synchronization messages instead).
   if (opts_.protocol == ProtocolKind::kEagerRcInvalidate && !record.write_pages.empty() &&
       opts_.num_nodes > 1) {
-    CVM_CHECK_EQ(erc_acks_pending_, 0u);
-    erc_acks_pending_ = static_cast<uint64_t>(opts_.num_nodes - 1);
+    CVM_CHECK(erc_tokens_outstanding_.empty());
     for (NodeId n = 0; n < opts_.num_nodes; ++n) {
       if (n == id_) {
         continue;
@@ -519,13 +527,14 @@ void Node::EndIntervalLocked(std::unique_lock<std::mutex>& lk) {
       ErcUpdateMsg update;
       update.record = record;
       update.token = flush_token_next_++;
+      erc_tokens_outstanding_.insert(update.token);
       const size_t bytes = PayloadByteSize(Payload(update));
       const size_t rn_bytes = PayloadReadNoticeBytes(Payload(update));
       ChargeMessageLocked(bytes, rn_bytes);
       Send(n, std::move(update));
     }
     timing_.Charge(Bucket::kNone, opts_.costs.MessageCost(kMessageHeaderBytes + 8));
-    cv_.wait(lk, [this] { return erc_acks_pending_ == 0; });
+    cv_.wait(lk, [this] { return erc_tokens_outstanding_.empty(); });
   }
 }
 
@@ -564,19 +573,20 @@ void Node::FlushDiffsLocked(std::unique_lock<std::mutex>& lk) {
   }
   twinned_.clear();
 
-  CVM_CHECK_EQ(flush_acks_pending_, 0u);
-  flush_acks_pending_ = by_home.size();
+  CVM_CHECK(flush_tokens_outstanding_.empty());
+  const bool any_flush = !by_home.empty();
   for (auto& [home, diffs] : by_home) {
     DiffFlushMsg flush;
     flush.diffs = std::move(diffs);
     flush.token = flush_token_next_++;
+    flush_tokens_outstanding_.insert(flush.token);
     ChargeMessageLocked(PayloadByteSize(Payload(flush)), 0);
     Send(home, std::move(flush));
   }
-  if (flush_acks_pending_ > 0) {
+  if (any_flush) {
     // One ack round-trip of latency (flushes proceed in parallel).
     timing_.Charge(Bucket::kNone, opts_.costs.MessageCost(kMessageHeaderBytes + 8));
-    cv_.wait(lk, [this] { return flush_acks_pending_ == 0; });
+    cv_.wait(lk, [this] { return flush_tokens_outstanding_.empty(); });
   }
 }
 
@@ -834,7 +844,9 @@ void Node::OnLockRequest(const Message& msg) {
 void Node::OnLockGrant(const Message& msg) {
   const auto& grant = std::get<LockGrantMsg>(msg.payload);
   std::lock_guard<std::mutex> guard(mu_);
-  CVM_CHECK_EQ(waiting_lock_, grant.lock);
+  if (waiting_lock_ != grant.lock || lock_grant_.has_value()) {
+    return;  // Matches no outstanding acquire: stale re-delivery.
+  }
   lock_grant_ = grant;
   cv_.notify_all();
 }
@@ -927,7 +939,9 @@ void Node::OnPageRequest(const Message& msg) {
 void Node::OnPageReply(const Message& msg) {
   const auto& reply = std::get<PageReplyMsg>(msg.payload);
   std::lock_guard<std::mutex> guard(mu_);
-  CVM_CHECK(!page_reply_.has_value());
+  if (reply.page != page_fetch_pending_ || page_reply_.has_value()) {
+    return;  // Matches no outstanding fetch: stale re-delivery.
+  }
   page_reply_ = reply;
   cv_.notify_all();
 }
@@ -971,11 +985,14 @@ void Node::OnDiffFlush(const Message& msg) {
 }
 
 void Node::OnDiffFlushAck(const Message& msg) {
-  (void)std::get<DiffFlushAckMsg>(msg.payload);
+  const auto& ack = std::get<DiffFlushAckMsg>(msg.payload);
   std::lock_guard<std::mutex> guard(mu_);
-  CVM_CHECK_GT(flush_acks_pending_, 0u);
-  --flush_acks_pending_;
-  if (flush_acks_pending_ == 0) {
+  // An ack whose token is no longer outstanding is a stale re-delivery;
+  // consuming it twice would release a later flush wait early.
+  if (flush_tokens_outstanding_.erase(ack.token) == 0) {
+    return;
+  }
+  if (flush_tokens_outstanding_.empty()) {
     cv_.notify_all();
   }
 }
@@ -1050,6 +1067,9 @@ void Node::OnBarrierArrive(const Message& msg) {
   const auto& arrive = std::get<BarrierArriveMsg>(msg.payload);
   std::lock_guard<std::mutex> guard(mu_);
   CVM_CHECK_EQ(id_, 0);
+  if (arrive.epoch < epoch_) {
+    return;  // The master already ran this epoch's barrier: stale re-delivery.
+  }
   ArrivalInfo info;
   info.records = arrive.intervals;
   info.vc = arrive.vc;
@@ -1250,11 +1270,12 @@ void Node::OnErcUpdate(const Message& msg) {
 }
 
 void Node::OnErcAck(const Message& msg) {
-  (void)std::get<ErcAckMsg>(msg.payload);
+  const auto& ack = std::get<ErcAckMsg>(msg.payload);
   std::lock_guard<std::mutex> guard(mu_);
-  CVM_CHECK_GT(erc_acks_pending_, 0u);
-  --erc_acks_pending_;
-  if (erc_acks_pending_ == 0) {
+  if (erc_tokens_outstanding_.erase(ack.token) == 0) {
+    return;  // Stale re-delivery; already consumed.
+  }
+  if (erc_tokens_outstanding_.empty()) {
     cv_.notify_all();
   }
 }
@@ -1262,7 +1283,9 @@ void Node::OnErcAck(const Message& msg) {
 void Node::OnBarrierRelease(const Message& msg) {
   const auto& release = std::get<BarrierReleaseMsg>(msg.payload);
   std::lock_guard<std::mutex> guard(mu_);
-  CVM_CHECK(!barrier_release_.has_value());
+  if (barrier_release_.has_value() || release.epoch < epoch_) {
+    return;  // This epoch's release already landed: stale re-delivery.
+  }
   barrier_release_ = release;
   cv_.notify_all();
 }

@@ -249,15 +249,20 @@ class Node {
   size_t max_retained_pairs_ = 0;
 
   // Reply slots (single outstanding request per kind; the app thread is the
-  // only requester).
+  // only requester). Handlers tolerate replies that match no outstanding
+  // request — the reliable transport already suppresses duplicates, but the
+  // node-level protocol stays safe even if a stale reply ever got through.
   std::optional<PageReplyMsg> page_reply_;
+  PageId page_fetch_pending_ = -1;  // Page of the in-flight fetch, or -1.
   std::optional<LockGrantMsg> lock_grant_;
   bool lock_granted_self_ = false;  // Token granted locally (no payload).
   LockId waiting_lock_ = -1;
   std::optional<BarrierReleaseMsg> barrier_release_;
-  uint64_t flush_acks_pending_ = 0;
+  // Ack matching by token: an ack is consumed at most once, so re-delivered
+  // acks cannot release a wait early.
+  std::set<uint64_t> flush_tokens_outstanding_;
+  std::set<uint64_t> erc_tokens_outstanding_;
   uint64_t flush_token_next_ = 1;
-  uint64_t erc_acks_pending_ = 0;
   // Records whose write notices were applied ONLY eagerly (ERC push). An
   // eager invalidation can race with an in-flight page fetch — the install
   // revalidates the copy after the invalidation landed — so the notice must

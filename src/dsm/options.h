@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "src/common/types.h"
+#include "src/fault/fault.h"
 #include "src/obs/trace_config.h"
 #include "src/race/detector.h"
 #include "src/sim/cost_model.h"
@@ -63,6 +64,11 @@ struct DsmOptions {
   // default; near-zero-cost when off and compiled out entirely with
   // -DCVM_OBS=OFF.
   obs::TraceConfig trace;
+
+  // Fault injection (src/fault/): a non-off profile routes every send through
+  // the reliable transport, which retransmits around the injected faults.
+  // Zero rto_base_ns/rto_cap_ns/delay_hop_ns fields are derived from `costs`.
+  fault::FaultPlan fault_plan;
 
   // Synchronization-order record/replay (§6.1).
   bool record_sync_order = false;

@@ -1,0 +1,208 @@
+#include "src/fault/fault.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace cvm::fault {
+
+namespace {
+
+// SplitMix64 finalizer over a combined key. Decisions must be pure functions
+// of their arguments, so the injector hashes instead of drawing from a
+// stateful generator (state would make decisions interleaving-dependent).
+uint64_t Mix(uint64_t a, uint64_t b) {
+  uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double U01(uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+// Domain-separation salts: one per independent decision stream.
+enum Salt : uint64_t {
+  kDrop = 1,
+  kDup = 2,
+  kDelay = 3,
+  kDelayHops = 4,
+  kCorrupt = 5,
+  kAck = 6,
+  kBurst = 7,
+  kPartitionCut = 8,
+  kStallNode = 9,
+};
+
+uint64_t Key(const FaultPlan& plan, uint64_t salt, NodeId from, NodeId to, uint64_t seq,
+             uint32_t attempt) {
+  const uint64_t pair = (static_cast<uint64_t>(static_cast<uint32_t>(from + 1)) << 32) |
+                        static_cast<uint32_t>(to + 1);
+  return Mix(Mix(plan.seed, salt), Mix(pair, Mix(seq, attempt)));
+}
+
+bool Chance(const FaultPlan& plan, uint64_t salt, NodeId from, NodeId to, uint64_t seq,
+            uint32_t attempt, double p) {
+  if (p <= 0) {
+    return false;
+  }
+  return U01(Key(plan, salt, from, to, seq, attempt)) < p;
+}
+
+}  // namespace
+
+std::optional<FaultProfile> ParseProfile(const std::string& name) {
+  if (name == "off") {
+    return FaultProfile::kOff;
+  }
+  if (name == "lossy") {
+    return FaultProfile::kLossy;
+  }
+  if (name == "bursty") {
+    return FaultProfile::kBursty;
+  }
+  if (name == "partition") {
+    return FaultProfile::kPartition;
+  }
+  if (name == "stress") {
+    return FaultProfile::kStress;
+  }
+  return std::nullopt;
+}
+
+const char* ProfileName(FaultProfile profile) {
+  switch (profile) {
+    case FaultProfile::kOff:
+      return "off";
+    case FaultProfile::kLossy:
+      return "lossy";
+    case FaultProfile::kBursty:
+      return "bursty";
+    case FaultProfile::kPartition:
+      return "partition";
+    case FaultProfile::kStress:
+      return "stress";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::FromProfile(FaultProfile profile, uint64_t seed) {
+  FaultPlan plan;
+  plan.profile = profile;
+  plan.seed = seed;
+  switch (profile) {
+    case FaultProfile::kOff:
+      break;
+    case FaultProfile::kLossy:
+      plan.drop_prob = 0.02;
+      plan.dup_prob = 0.01;
+      plan.delay_prob = 0.01;
+      plan.ack_drop_prob = 0.01;
+      break;
+    case FaultProfile::kBursty:
+      plan.drop_prob = 0.005;
+      plan.dup_prob = 0.005;
+      plan.burst_len = 16;
+      plan.burst_prob = 0.08;
+      plan.burst_attempts = 2;
+      break;
+    case FaultProfile::kPartition:
+      plan.drop_prob = 0.005;
+      plan.partition = true;
+      plan.partition_seq_start = 32;
+      plan.partition_seq_len = 96;
+      plan.partition_attempts = 3;
+      break;
+    case FaultProfile::kStress:
+      plan.drop_prob = 0.05;
+      plan.dup_prob = 0.02;
+      plan.delay_prob = 0.02;
+      plan.corrupt_prob = 0.01;
+      plan.ack_drop_prob = 0.02;
+      plan.stall_period = 256;
+      plan.stall_len = 32;
+      plan.stall_attempts = 2;
+      break;
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int num_nodes)
+    : plan_(plan), num_nodes_(num_nodes) {
+  CVM_CHECK_GT(num_nodes, 0);
+  if (num_nodes > 1) {
+    partition_cut_ =
+        1 + static_cast<NodeId>(Mix(plan_.seed, kPartitionCut) %
+                                static_cast<uint64_t>(num_nodes - 1));
+  }
+  stall_node_ =
+      static_cast<NodeId>(Mix(plan_.seed, kStallNode) % static_cast<uint64_t>(num_nodes));
+}
+
+FaultDecision FaultInjector::OnSendAttempt(NodeId from, NodeId to, uint64_t seq,
+                                           uint32_t attempt) const {
+  FaultDecision decision;
+  if (!plan_.enabled()) {
+    return decision;
+  }
+
+  // Structural faults first — they model correlated outages, so they override
+  // the independent per-frame coin flips.
+  if (plan_.partition && attempt < plan_.partition_attempts &&
+      seq >= plan_.partition_seq_start &&
+      seq < plan_.partition_seq_start + plan_.partition_seq_len) {
+    const bool from_left = from < partition_cut_;
+    const bool to_left = to < partition_cut_;
+    if (from_left != to_left) {
+      decision.deliver = false;
+      return decision;
+    }
+  }
+  if (plan_.stall_period > 0 && from == stall_node_ && attempt < plan_.stall_attempts &&
+      (seq % plan_.stall_period) < plan_.stall_len) {
+    decision.deliver = false;
+    return decision;
+  }
+  if (plan_.burst_len > 0 && attempt < plan_.burst_attempts &&
+      Chance(plan_, kBurst, from, to, seq / plan_.burst_len, 0, plan_.burst_prob)) {
+    decision.deliver = false;
+    return decision;
+  }
+
+  if (Chance(plan_, kDrop, from, to, seq, attempt, plan_.drop_prob)) {
+    decision.deliver = false;
+    return decision;
+  }
+  // Delay only the first attempt: a retransmission raced with a still-held
+  // copy already models the interesting case (stale duplicate in flight).
+  if (attempt == 0 && plan_.max_delay_hops > 0 &&
+      Chance(plan_, kDelay, from, to, seq, attempt, plan_.delay_prob)) {
+    decision.delay_hops = 1 + static_cast<uint32_t>(
+                                  Key(plan_, kDelayHops, from, to, seq, attempt) %
+                                  plan_.max_delay_hops);
+    return decision;
+  }
+  if (Chance(plan_, kCorrupt, from, to, seq, attempt, plan_.corrupt_prob)) {
+    decision.corrupt = true;
+    return decision;
+  }
+  decision.duplicate = Chance(plan_, kDup, from, to, seq, attempt, plan_.dup_prob);
+  return decision;
+}
+
+bool FaultInjector::DropAck(NodeId from, NodeId to, uint64_t seq, uint32_t attempt) const {
+  return Chance(plan_, kAck, from, to, seq, attempt, plan_.ack_drop_prob);
+}
+
+double FaultInjector::BackoffNs(uint32_t attempt) const {
+  const double base = plan_.rto_base_ns > 0 ? plan_.rto_base_ns : 120000.0;
+  const double cap = plan_.rto_cap_ns > 0 ? plan_.rto_cap_ns : 64 * base;
+  const double scaled = base * static_cast<double>(1ull << std::min<uint32_t>(attempt, 30));
+  return std::min(scaled, cap);
+}
+
+double FaultInjector::DelayNs(uint32_t hops) const {
+  const double per_hop = plan_.delay_hop_ns > 0 ? plan_.delay_hop_ns : 60000.0;
+  return per_hop * static_cast<double>(hops);
+}
+
+}  // namespace cvm::fault

@@ -1,6 +1,7 @@
 #include "src/net/network.h"
 
 #include <chrono>
+#include <thread>
 
 #include "src/common/check.h"
 
@@ -13,6 +14,10 @@ uint64_t WallNs() {
                                    std::chrono::steady_clock::now().time_since_epoch())
                                    .count());
 }
+
+// Retransmission is statistically bounded (per-attempt loss < 1), so hitting
+// this cap means a plan with deterministic total loss — a configuration bug.
+constexpr uint32_t kMaxAttempts = 512;
 
 }  // namespace
 
@@ -38,27 +43,38 @@ void Network::AttachObservability(obs::Tracer* tracer, obs::MetricsRegistry* met
   }
 }
 
-void Network::Send(Message message) {
-  CVM_CHECK_GE(message.to, 0);
-  CVM_CHECK_LT(message.to, num_nodes_);
-  if (closed_.load(std::memory_order_acquire)) {
+void Network::AttachFaultInjector(const fault::FaultInjector* injector) {
+  if (injector == nullptr || !injector->plan().enabled()) {
+    injector_ = nullptr;
     return;
   }
-  message.wire_bytes = PayloadByteSize(message.payload);
-  const char* kind = message.KindName();
+  injector_ = injector;
+  pairs_.assign(static_cast<size_t>(num_nodes_) * static_cast<size_t>(num_nodes_),
+                PairState{});
+  if constexpr (obs::kObsCompiledIn) {
+    if (metrics_ != nullptr) {
+      fault_drops_ = metrics_->counter("net.fault.drops");
+      fault_retransmits_ = metrics_->counter("net.fault.retransmits");
+      fault_dup_drops_ = metrics_->counter("net.fault.dup_drops");
+      fault_corrupt_ = metrics_->counter("net.fault.corrupt_quarantined");
+      fault_backoff_hist_ = metrics_->histogram("net.fault.backoff_ns");
+    }
+  }
+}
 
+void Network::AccountWire(const Message& message, const char* kind,
+                          size_t read_notice_bytes) {
   {
     // Totals and per-kind maps move together: one critical section.
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.messages += 1;
     stats_.bytes += message.wire_bytes;
-    stats_.read_notice_bytes += PayloadReadNoticeBytes(message.payload);
+    stats_.read_notice_bytes += read_notice_bytes;
     stats_.messages_by_kind[kind] += 1;
     stats_.bytes_by_kind[kind] += message.wire_bytes;
   }
 
   if constexpr (obs::kObsCompiledIn) {
-    message.send_wall_ns = WallNs();
     if (msgs_total_ != nullptr) {
       msgs_total_->Increment();
       bytes_total_->Add(message.wire_bytes);
@@ -79,13 +95,203 @@ void Network::Send(Message message) {
       tracer_->Emit(event);
     }
   }
+}
 
+void Network::PushInbox(Message message) {
   Inbox& inbox = *inboxes_[message.to];
   {
     std::lock_guard<std::mutex> lock(inbox.mu);
     inbox.queue.push_back(std::move(message));
   }
   inbox.cv.notify_all();
+}
+
+double Network::Send(Message message) {
+  CVM_CHECK_GE(message.to, 0);
+  CVM_CHECK_LT(message.to, num_nodes_);
+  if (closed_.load(std::memory_order_acquire)) {
+    return 0;
+  }
+  if (injector_ != nullptr) {
+    return SendReliable(std::move(message));
+  }
+  SendDirect(std::move(message));
+  return 0;
+}
+
+void Network::SendDirect(Message message) {
+  message.wire_bytes = PayloadByteSize(message.payload);
+  if constexpr (obs::kObsCompiledIn) {
+    message.send_wall_ns = WallNs();
+  }
+  AccountWire(message, message.KindName(), PayloadReadNoticeBytes(message.payload));
+  PushInbox(std::move(message));
+}
+
+double Network::SendReliable(Message message) {
+  const NodeId from = message.from;
+  const NodeId to = message.to;
+  CVM_CHECK_GE(from, 0);
+  CVM_CHECK_LT(from, num_nodes_);
+  message.wire_bytes = PayloadByteSize(message.payload);
+  if constexpr (obs::kObsCompiledIn) {
+    message.send_wall_ns = WallNs();
+  }
+  const char* kind = message.KindName();
+  const size_t rn_bytes = PayloadReadNoticeBytes(message.payload);
+  PairState& pair =
+      pairs_[static_cast<size_t>(from) * static_cast<size_t>(num_nodes_) +
+             static_cast<size_t>(to)];
+
+  std::unique_lock<std::mutex> lock(fault_mu_);
+  const uint64_t seq = pair.next_seq++;
+  double penalty_ns = 0;
+  uint32_t attempt = 0;
+  while (true) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return penalty_ns;  // Shutdown: the frame dies with the fabric.
+    }
+    CVM_CHECK_LT(attempt, kMaxAttempts)
+        << "fault plan starves " << kind << " " << from << "->" << to << " seq " << seq;
+    const fault::FaultDecision decision = injector_->OnSendAttempt(from, to, seq, attempt);
+    ++fstats_.data_frames;
+    bool acked = false;
+    if (!decision.deliver) {
+      ++fstats_.drops;
+      AccountWire(message, kind, rn_bytes);  // It left the sender's NIC.
+      if constexpr (obs::kObsCompiledIn) {
+        if (fault_drops_ != nullptr) {
+          fault_drops_->Increment();
+        }
+      }
+    } else if (decision.delay_hops > 0) {
+      // Held in the network; released (as a stale duplicate) once
+      // delay_hops more frames have been delivered on this pair.
+      ++fstats_.delayed;
+      penalty_ns += injector_->DelayNs(decision.delay_hops);
+      AccountWire(message, kind, rn_bytes);
+      pair.held.push_back(
+          PairState::Held{message, seq, pair.delivery_ticks + decision.delay_hops});
+    } else {
+      AccountWire(message, kind, rn_bytes);
+      acked = DeliverFrameLocked(pair, message, seq, decision.corrupt, attempt);
+      if (decision.duplicate) {
+        ++fstats_.dup_frames;
+        AccountWire(message, kind, rn_bytes);
+        acked = DeliverFrameLocked(pair, message, seq, false, attempt) || acked;
+      }
+    }
+    if (acked) {
+      break;
+    }
+    // The (simulated) retransmission timeout fires: capped exponential
+    // backoff, charged to the sender's clock by the caller.
+    ++fstats_.retransmits;
+    const double backoff_ns = injector_->BackoffNs(attempt);
+    fstats_.backoff_ns += backoff_ns;
+    penalty_ns += backoff_ns;
+    if constexpr (obs::kObsCompiledIn) {
+      if (fault_retransmits_ != nullptr) {
+        fault_retransmits_->Increment();
+        fault_backoff_hist_->Observe(static_cast<uint64_t>(backoff_ns));
+      }
+      if (tracer_ != nullptr) {
+        obs::TraceEvent event;
+        event.name = "msg.retransmit";
+        event.cat = "net";
+        event.phase = 'i';
+        event.node = from;
+        event.arg_name = "attempt";
+        event.arg_value = attempt + 1;
+        event.arg2_name = "to";
+        event.arg2_value = static_cast<uint64_t>(to);
+        event.str_arg_name = "kind";
+        event.str_arg_value = kind;
+        tracer_->Emit(event);
+      }
+    }
+    ++attempt;
+    // Let concurrent senders interleave between attempts — this is what
+    // makes later sequence numbers overtake a stuck frame and exercises the
+    // receiver's reorder buffer. Counters stay deterministic: decisions are
+    // keyed by (seq, attempt), never by arrival order.
+    lock.unlock();
+    std::this_thread::yield();
+    lock.lock();
+  }
+  return penalty_ns;
+}
+
+bool Network::DeliverFrameLocked(PairState& pair, Message frame, uint64_t seq,
+                                 bool corrupt, uint32_t attempt) {
+  const NodeId from = frame.from;
+  const NodeId to = frame.to;
+  if (corrupt) {
+    // Checksum failure: the receiver quarantines the frame (never visible to
+    // the DSM handlers) and sends no ack, so the sender retransmits.
+    ++fstats_.corrupted;
+    if constexpr (obs::kObsCompiledIn) {
+      if (fault_corrupt_ != nullptr) {
+        fault_corrupt_->Increment();
+      }
+    }
+    return false;
+  }
+  if (seq < pair.expected_seq) {
+    // Duplicate (retransmit after a lost ack, injected dup, or a late-released
+    // held frame): suppress, but re-ack so the sender stops resending.
+    ++fstats_.dup_dropped;
+    if constexpr (obs::kObsCompiledIn) {
+      if (fault_dup_drops_ != nullptr) {
+        fault_dup_drops_->Increment();
+      }
+    }
+  } else if (seq == pair.expected_seq) {
+    EnqueueInOrderLocked(pair, std::move(frame));
+  } else {
+    // Gap: a lower sequence number is still in flight on another thread.
+    // Park the frame; EnqueueInOrderLocked drains it once the gap fills.
+    ++fstats_.reorder_buffered;
+    pair.reorder.emplace(seq, std::move(frame));
+  }
+  const bool ack_lost = injector_->DropAck(from, to, seq, attempt);
+  if (ack_lost) {
+    ++fstats_.acks_dropped;
+  }
+  return !ack_lost;
+}
+
+void Network::EnqueueInOrderLocked(PairState& pair, Message frame) {
+  PushInbox(std::move(frame));
+  ++pair.expected_seq;
+  ++pair.delivery_ticks;
+  // Drain any parked frames whose gap just filled.
+  for (auto it = pair.reorder.begin();
+       it != pair.reorder.end() && it->first == pair.expected_seq;
+       it = pair.reorder.erase(it)) {
+    PushInbox(std::move(it->second));
+    ++pair.expected_seq;
+    ++pair.delivery_ticks;
+  }
+  // Release held frames that have aged out AND whose sequence number has
+  // been superseded (the sender's retransmitted copy was delivered first —
+  // the delayed original is modeled as always slower than the retransmit).
+  // They surface as suppressed duplicates; their wire bytes were accounted
+  // when they were first transmitted.
+  for (size_t i = 0; i < pair.held.size();) {
+    if (pair.held[i].release_at <= pair.delivery_ticks &&
+        pair.held[i].seq < pair.expected_seq) {
+      ++fstats_.dup_dropped;
+      if constexpr (obs::kObsCompiledIn) {
+        if (fault_dup_drops_ != nullptr) {
+          fault_dup_drops_->Increment();
+        }
+      }
+      pair.held.erase(pair.held.begin() + static_cast<int64_t>(i));
+    } else {
+      ++i;
+    }
+  }
 }
 
 void Network::OnDelivered(const Message& message) {
@@ -158,9 +364,16 @@ NetworkStats Network::stats() const {
   return stats_;
 }
 
+fault::FaultStats Network::fault_stats() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return fstats_;
+}
+
 void Network::ResetStats() {
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_ = NetworkStats{};
+  std::lock_guard<std::mutex> fault_lock(fault_mu_);
+  fstats_ = fault::FaultStats{};
 }
 
 }  // namespace cvm

@@ -1,6 +1,16 @@
 // In-process message fabric connecting the DSM nodes: one inbox per node,
 // FIFO per sender-receiver pair (delivery is FIFO overall per inbox), with
 // global byte/count accounting used by the evaluation harness.
+//
+// With a FaultInjector attached (src/fault/), every send runs through a
+// reliable transport: per-pair sequence numbers, synchronous acks that the
+// injector may destroy, timeout-driven retransmission with capped exponential
+// backoff (timeouts are simulated time, derived from the cost model, so the
+// retransmit schedule is deterministic in the fault seed), receiver-side
+// duplicate suppression, and in-order reassembly. The inboxes therefore see
+// exactly-once FIFO delivery per pair even under loss — the guarantee the
+// race-detection protocol assumes. Without an injector the send path is
+// byte-for-byte identical to the clean fabric.
 #ifndef CVM_NET_NETWORK_H_
 #define CVM_NET_NETWORK_H_
 
@@ -15,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault.h"
 #include "src/net/message.h"
 #include "src/obs/metrics.h"
 #include "src/obs/tracer.h"
@@ -24,7 +35,9 @@ namespace cvm {
 // Aggregate traffic statistics; snapshot with Network::stats(). The totals
 // and the per-kind maps are updated together under one critical section, so
 // any snapshot satisfies messages == sum(messages_by_kind) and
-// bytes == sum(bytes_by_kind).
+// bytes == sum(bytes_by_kind). Under fault injection these count every
+// transmission attempt (retransmits and duplicates are real wire traffic);
+// the clean path counts each message exactly once, as before.
 struct NetworkStats {
   uint64_t messages = 0;
   uint64_t bytes = 0;
@@ -43,8 +56,15 @@ class Network {
   // network). Either pointer may be null. Call before traffic starts.
   void AttachObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
+  // Enables the reliable transport, consulting `injector` (caller-owned,
+  // outliving the network) on every transmission attempt. Call before
+  // traffic starts. A null injector or a disabled plan keeps the clean path.
+  void AttachFaultInjector(const fault::FaultInjector* injector);
+
   // Sends `message` to message.to; fills in wire_bytes and updates stats.
-  void Send(Message message);
+  // Returns the simulated-time penalty (retransmission backoff + injected
+  // delay) the sender should charge to its clock; 0 on the clean path.
+  double Send(Message message);
 
   // Blocking receive for `node`; returns nullopt after Close().
   std::optional<Message> Recv(NodeId node);
@@ -56,6 +76,7 @@ class Network {
   void Close();
 
   NetworkStats stats() const;
+  fault::FaultStats fault_stats() const;
 
   // Zeroes the aggregate statistics (multi-run tools reusing one fabric).
   void ResetStats();
@@ -67,7 +88,36 @@ class Network {
     std::deque<Message> queue;
   };
 
+  // Per-(sender, receiver) reliable-transport state, guarded by fault_mu_.
+  struct PairState {
+    uint64_t next_seq = 0;       // Sender: next sequence number to assign.
+    uint64_t expected_seq = 0;   // Receiver: next in-order sequence.
+    uint64_t delivery_ticks = 0; // Frames enqueued on this pair (release clock).
+    std::map<uint64_t, Message> reorder;  // Accepted, waiting for their gap.
+    struct Held {
+      Message msg;
+      uint64_t seq = 0;
+      uint64_t release_at = 0;  // delivery_ticks threshold for late release.
+    };
+    std::vector<Held> held;
+  };
+
   void OnDelivered(const Message& message);
+
+  // Clean path: the pre-fault send, byte-for-byte.
+  void SendDirect(Message message);
+  // Reliable path; returns the simulated penalty for the sender's clock.
+  double SendReliable(Message message);
+
+  // Wire accounting + msg.send trace event for one transmission attempt.
+  void AccountWire(const Message& message, const char* kind, size_t read_notice_bytes);
+  // Receiver-side acceptance of one frame (fault_mu_ held): duplicate
+  // suppression, reorder buffering, in-order enqueue, held-frame release.
+  // Returns true iff the frame was accepted AND its ack survived.
+  bool DeliverFrameLocked(PairState& pair, Message frame, uint64_t seq, bool corrupt,
+                          uint32_t attempt);
+  void EnqueueInOrderLocked(PairState& pair, Message frame);
+  void PushInbox(Message message);
 
   const int num_nodes_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
@@ -79,12 +129,24 @@ class Network {
   mutable std::mutex stats_mu_;
   NetworkStats stats_;
 
+  // Reliable transport (null injector = clean path). Lock order:
+  // fault_mu_ -> stats_mu_ / inbox.mu; Recv takes only inbox.mu.
+  const fault::FaultInjector* injector_ = nullptr;
+  mutable std::mutex fault_mu_;
+  std::vector<PairState> pairs_;  // num_nodes^2, indexed from * n + to.
+  fault::FaultStats fstats_;
+
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* msgs_total_ = nullptr;
   obs::Counter* bytes_total_ = nullptr;
   obs::Histogram* msg_bytes_hist_ = nullptr;
   obs::Histogram* msg_latency_hist_ = nullptr;
+  obs::Counter* fault_drops_ = nullptr;
+  obs::Counter* fault_retransmits_ = nullptr;
+  obs::Counter* fault_dup_drops_ = nullptr;
+  obs::Counter* fault_corrupt_ = nullptr;
+  obs::Histogram* fault_backoff_hist_ = nullptr;
 };
 
 }  // namespace cvm

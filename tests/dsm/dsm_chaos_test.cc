@@ -1,0 +1,120 @@
+// End-to-end fault-injection tests: full DSM runs under lossy/partition
+// profiles must verify and produce race reports identical to the fault-free
+// run — the guarantee the reliable transport owes the detection protocol
+// (faults may change timing, never observable protocol behavior).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/sor.h"
+#include "src/apps/water.h"
+#include "src/dsm/dsm.h"
+#include "src/fault/fault.h"
+#include "src/race/race_report.h"
+
+namespace cvm {
+namespace {
+
+struct Outcome {
+  bool verified = false;
+  std::vector<RaceSummaryLine> summary;
+  fault::FaultStats fstats;
+};
+
+template <typename App>
+Outcome RunApp(typename App::Params params, const fault::FaultPlan& plan, int nodes) {
+  DsmOptions options;
+  options.num_nodes = nodes;
+  options.fault_plan = plan;
+  auto app = std::make_unique<App>(params);
+  DsmSystem system(options);
+  app->Setup(system);
+  RunResult result = system.Run([&app](NodeContext& ctx) { app->Run(ctx); });
+  Outcome outcome;
+  outcome.verified = app->Verify();
+  outcome.summary = SummarizeRaces(result.races);
+  outcome.fstats = result.fault;
+  return outcome;
+}
+
+void ExpectSameSummary(const std::vector<RaceSummaryLine>& clean,
+                       const std::vector<RaceSummaryLine>& faulty) {
+  ASSERT_EQ(clean.size(), faulty.size());
+  for (size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(clean[i].symbol, faulty[i].symbol);
+    EXPECT_EQ(clean[i].write_write, faulty[i].write_write);
+    EXPECT_EQ(clean[i].read_write, faulty[i].read_write);
+    EXPECT_EQ(clean[i].first_epoch, faulty[i].first_epoch);
+  }
+}
+
+SorApp::Params SmallSor() {
+  SorApp::Params params;
+  params.rows = 34;
+  params.cols = 32;
+  params.iters = 2;
+  return params;
+}
+
+WaterApp::Params SmallWater() {
+  WaterApp::Params params;
+  params.molecules = 64;
+  params.iters = 2;
+  return params;
+}
+
+TEST(DsmChaosTest, SorVerifiesCleanUnderFivePercentLoss) {
+  const auto off = fault::FaultPlan::FromProfile(fault::FaultProfile::kOff, 1);
+  const Outcome clean = RunApp<SorApp>(SmallSor(), off, 4);
+  ASSERT_TRUE(clean.verified);
+  ASSERT_TRUE(clean.summary.empty());
+
+  fault::FaultPlan lossy = fault::FaultPlan::FromProfile(fault::FaultProfile::kLossy, 7);
+  lossy.drop_prob = 0.05;
+  const Outcome faulty = RunApp<SorApp>(SmallSor(), lossy, 4);
+  EXPECT_TRUE(faulty.verified);
+  EXPECT_TRUE(faulty.summary.empty());
+  EXPECT_GT(faulty.fstats.drops, 0u);
+  EXPECT_GT(faulty.fstats.retransmits, 0u);
+}
+
+TEST(DsmChaosTest, BuggyWaterReportsIdenticalRacesUnderLoss) {
+  // Water keeps its virial bug: the interesting direction is that REPORTED
+  // races survive injection unchanged, not just that clean apps stay clean.
+  const auto off = fault::FaultPlan::FromProfile(fault::FaultProfile::kOff, 1);
+  const Outcome clean = RunApp<WaterApp>(SmallWater(), off, 4);
+  ASSERT_TRUE(clean.verified);
+  ASSERT_FALSE(clean.summary.empty());
+
+  fault::FaultPlan lossy = fault::FaultPlan::FromProfile(fault::FaultProfile::kLossy, 11);
+  lossy.drop_prob = 0.05;
+  const Outcome faulty = RunApp<WaterApp>(SmallWater(), lossy, 4);
+  EXPECT_TRUE(faulty.verified);
+  EXPECT_GT(faulty.fstats.drops, 0u);
+  ExpectSameSummary(clean.summary, faulty.summary);
+}
+
+TEST(DsmChaosTest, SorSurvivesPartitionProfile) {
+  const auto off = fault::FaultPlan::FromProfile(fault::FaultProfile::kOff, 1);
+  const Outcome clean = RunApp<SorApp>(SmallSor(), off, 4);
+  ASSERT_TRUE(clean.verified);
+
+  const auto partition =
+      fault::FaultPlan::FromProfile(fault::FaultProfile::kPartition, 3);
+  const Outcome faulty = RunApp<SorApp>(SmallSor(), partition, 4);
+  EXPECT_TRUE(faulty.verified);
+  EXPECT_TRUE(faulty.summary.empty());
+}
+
+TEST(DsmChaosTest, FaultStatsAreZeroWithoutPlan) {
+  const auto off = fault::FaultPlan::FromProfile(fault::FaultProfile::kOff, 1);
+  const Outcome clean = RunApp<SorApp>(SmallSor(), off, 2);
+  EXPECT_TRUE(clean.verified);
+  EXPECT_EQ(clean.fstats.data_frames, 0u);
+  EXPECT_EQ(clean.fstats.retransmits, 0u);
+}
+
+}  // namespace
+}  // namespace cvm

@@ -1,0 +1,178 @@
+// Tests for the deterministic fault-injection engine (src/fault/): profile
+// parsing, decision purity/determinism, statistical rates, and the seeded
+// structural faults (partition cut, stall node).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/fault/fault.h"
+
+namespace cvm::fault {
+namespace {
+
+TEST(FaultProfileTest, ParseRoundTripsEveryProfile) {
+  for (const FaultProfile profile :
+       {FaultProfile::kOff, FaultProfile::kLossy, FaultProfile::kBursty,
+        FaultProfile::kPartition, FaultProfile::kStress}) {
+    const auto parsed = ParseProfile(ProfileName(profile));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, profile);
+  }
+  EXPECT_FALSE(ParseProfile("flaky").has_value());
+  EXPECT_FALSE(ParseProfile("").has_value());
+}
+
+TEST(FaultProfileTest, OnlyOffIsDisabled) {
+  EXPECT_FALSE(FaultPlan::FromProfile(FaultProfile::kOff, 1).enabled());
+  for (const FaultProfile profile : {FaultProfile::kLossy, FaultProfile::kBursty,
+                                     FaultProfile::kPartition, FaultProfile::kStress}) {
+    EXPECT_TRUE(FaultPlan::FromProfile(profile, 1).enabled()) << ProfileName(profile);
+  }
+}
+
+TEST(FaultInjectorTest, DecisionsArePureFunctionsOfArguments) {
+  const FaultPlan plan = FaultPlan::FromProfile(FaultProfile::kStress, 99);
+  const FaultInjector a(plan, 8);
+  const FaultInjector b(plan, 8);  // Independent instance, same plan.
+  for (uint64_t seq = 0; seq < 200; ++seq) {
+    for (uint32_t attempt = 0; attempt < 3; ++attempt) {
+      const FaultDecision da = a.OnSendAttempt(2, 5, seq, attempt);
+      const FaultDecision db = b.OnSendAttempt(2, 5, seq, attempt);
+      EXPECT_EQ(da.deliver, db.deliver);
+      EXPECT_EQ(da.duplicate, db.duplicate);
+      EXPECT_EQ(da.corrupt, db.corrupt);
+      EXPECT_EQ(da.delay_hops, db.delay_hops);
+      EXPECT_EQ(a.DropAck(2, 5, seq, attempt), b.DropAck(2, 5, seq, attempt));
+    }
+  }
+  EXPECT_EQ(a.partition_cut(), b.partition_cut());
+  EXPECT_EQ(a.stall_node(), b.stall_node());
+}
+
+TEST(FaultInjectorTest, DifferentSeedsGiveDifferentSchedules) {
+  const FaultInjector a(FaultPlan::FromProfile(FaultProfile::kLossy, 1), 4);
+  const FaultInjector b(FaultPlan::FromProfile(FaultProfile::kLossy, 2), 4);
+  int differing = 0;
+  for (uint64_t seq = 0; seq < 2000; ++seq) {
+    if (a.OnSendAttempt(0, 1, seq, 0).deliver != b.OnSendAttempt(0, 1, seq, 0).deliver) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjectorTest, DropRateMatchesPlanStatistically) {
+  FaultPlan plan;
+  plan.profile = FaultProfile::kLossy;
+  plan.seed = 42;
+  plan.drop_prob = 0.1;
+  const FaultInjector injector(plan, 4);
+  int drops = 0;
+  const int kTrials = 20000;
+  for (uint64_t seq = 0; seq < kTrials; ++seq) {
+    if (!injector.OnSendAttempt(0, 1, seq, 0).deliver) {
+      ++drops;
+    }
+  }
+  const double rate = static_cast<double>(drops) / kTrials;
+  EXPECT_GT(rate, 0.08);
+  EXPECT_LT(rate, 0.12);
+}
+
+TEST(FaultInjectorTest, ZeroRatePlanNeverInjects) {
+  FaultPlan plan;
+  plan.profile = FaultProfile::kLossy;  // Enabled, but every rate is zero.
+  const FaultInjector injector(plan, 4);
+  for (uint64_t seq = 0; seq < 500; ++seq) {
+    const FaultDecision d = injector.OnSendAttempt(0, 1, seq, 0);
+    EXPECT_TRUE(d.deliver);
+    EXPECT_FALSE(d.duplicate);
+    EXPECT_FALSE(d.corrupt);
+    EXPECT_EQ(d.delay_hops, 0u);
+    EXPECT_FALSE(injector.DropAck(0, 1, seq, 0));
+  }
+}
+
+TEST(FaultInjectorTest, PartitionDropsCrossCutTrafficThenHeals) {
+  FaultPlan plan;
+  plan.profile = FaultProfile::kPartition;
+  plan.seed = 7;
+  plan.partition = true;
+  plan.partition_seq_start = 10;
+  plan.partition_seq_len = 20;
+  plan.partition_attempts = 3;
+  const FaultInjector injector(plan, 8);
+  const NodeId cut = injector.partition_cut();
+  ASSERT_GT(cut, 0);
+  ASSERT_LT(cut, 8);
+
+  const NodeId left = 0;
+  const NodeId right = cut;  // First node on the other side.
+  // Inside the sequence window, cross-cut frames lose their early attempts...
+  for (uint64_t seq = 10; seq < 30; ++seq) {
+    EXPECT_FALSE(injector.OnSendAttempt(left, right, seq, 0).deliver);
+    EXPECT_FALSE(injector.OnSendAttempt(right, left, seq, 2).deliver);
+    // ...but retransmission outlasts the outage (the heal).
+    EXPECT_TRUE(injector.OnSendAttempt(left, right, seq, 3).deliver);
+  }
+  // Outside the window, and on same-side pairs, the partition is invisible.
+  EXPECT_TRUE(injector.OnSendAttempt(left, right, 9, 0).deliver);
+  EXPECT_TRUE(injector.OnSendAttempt(left, right, 30, 0).deliver);
+  if (cut > 1) {
+    EXPECT_TRUE(injector.OnSendAttempt(0, 1, 15, 0).deliver);
+  }
+}
+
+TEST(FaultInjectorTest, StallNodeLosesEarlyAttemptsInWindows) {
+  FaultPlan plan;
+  plan.profile = FaultProfile::kStress;
+  plan.seed = 11;
+  plan.stall_period = 100;
+  plan.stall_len = 10;
+  plan.stall_attempts = 2;
+  const FaultInjector injector(plan, 4);
+  const NodeId stalled = injector.stall_node();
+  const NodeId other = (stalled + 1) % 4;
+  for (uint64_t seq = 0; seq < 10; ++seq) {
+    EXPECT_FALSE(injector.OnSendAttempt(stalled, other, seq, 0).deliver);
+    EXPECT_FALSE(injector.OnSendAttempt(stalled, other, seq, 1).deliver);
+    EXPECT_TRUE(injector.OnSendAttempt(stalled, other, seq, 2).deliver);
+    // Frames from other nodes are unaffected.
+    EXPECT_TRUE(injector.OnSendAttempt(other, stalled, seq, 0).deliver);
+  }
+  // Between windows the stalled node sends freely.
+  for (uint64_t seq = 10; seq < 100; ++seq) {
+    EXPECT_TRUE(injector.OnSendAttempt(stalled, other, seq, 0).deliver);
+  }
+  // The window recurs every stall_period sequence numbers.
+  EXPECT_FALSE(injector.OnSendAttempt(stalled, other, 100, 0).deliver);
+}
+
+TEST(FaultInjectorTest, BackoffIsMonotoneAndCapped) {
+  FaultPlan plan;
+  plan.profile = FaultProfile::kLossy;
+  plan.rto_base_ns = 1000;
+  plan.rto_cap_ns = 16000;
+  const FaultInjector injector(plan, 2);
+  double prev = 0;
+  for (uint32_t attempt = 0; attempt < 40; ++attempt) {
+    const double backoff = injector.BackoffNs(attempt);
+    EXPECT_GE(backoff, prev);
+    EXPECT_LE(backoff, 16000.0);
+    prev = backoff;
+  }
+  EXPECT_EQ(injector.BackoffNs(0), 1000.0);
+  EXPECT_EQ(injector.BackoffNs(39), 16000.0);
+}
+
+TEST(FaultInjectorTest, DelayScalesLinearlyWithHops) {
+  FaultPlan plan;
+  plan.profile = FaultProfile::kLossy;
+  plan.delay_hop_ns = 500;
+  const FaultInjector injector(plan, 2);
+  EXPECT_EQ(injector.DelayNs(1), 500.0);
+  EXPECT_EQ(injector.DelayNs(3), 1500.0);
+}
+
+}  // namespace
+}  // namespace cvm::fault

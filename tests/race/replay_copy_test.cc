@@ -1,0 +1,72 @@
+// Copy/assignment semantics of SyncSchedule: copies share the recorded
+// grants but must start replay from the first grant (cursors reset), so a
+// schedule captured from one run can drive many replay runs.
+#include <gtest/gtest.h>
+
+#include "src/race/replay.h"
+
+namespace cvm {
+namespace {
+
+SyncSchedule Recorded() {
+  SyncSchedule schedule;
+  schedule.RecordGrant(0, 2);
+  schedule.RecordGrant(0, 1);
+  schedule.RecordGrant(0, 2);
+  schedule.RecordGrant(5, 3);
+  return schedule;
+}
+
+TEST(SyncScheduleCopyTest, CopyStartsReplayFromFirstGrant) {
+  SyncSchedule original = Recorded();
+  // Advance the original's replay cursor past the first grant.
+  EXPECT_EQ(original.NextGrantee(0), 2);
+  original.ConsumeGrant(0, 2);
+  EXPECT_EQ(original.NextGrantee(0), 1);
+
+  SyncSchedule copy(original);
+  EXPECT_EQ(copy.TotalGrants(), original.TotalGrants());
+  // The copy's cursor is fresh even though the original's was advanced.
+  EXPECT_EQ(copy.NextGrantee(0), 2);
+  // And the original's position is untouched by the copy.
+  EXPECT_EQ(original.NextGrantee(0), 1);
+}
+
+TEST(SyncScheduleCopyTest, AssignmentResetsCursors) {
+  SyncSchedule source = Recorded();
+  SyncSchedule target;
+  target.RecordGrant(9, 7);
+  // Advance target's cursor on its own lock before overwriting it.
+  target.ConsumeGrant(9, 7);
+
+  target = source;
+  EXPECT_EQ(target.TotalGrants(), 4u);
+  EXPECT_EQ(target.GrantsFor(0).size(), 3u);
+  // Replay after assignment starts from the first grant of every lock.
+  EXPECT_EQ(target.NextGrantee(0), 2);
+  EXPECT_EQ(target.NextGrantee(5), 3);
+  // The overwritten lock is gone.
+  EXPECT_TRUE(target.GrantsFor(9).empty());
+}
+
+TEST(SyncScheduleCopyTest, CopiedScheduleReplaysFully) {
+  SyncSchedule original = Recorded();
+  // Exhaust the original completely.
+  while (original.NextGrantee(0) != kNoNode) {
+    original.ConsumeGrant(0, original.NextGrantee(0));
+  }
+  EXPECT_EQ(original.NextGrantee(0), kNoNode);
+
+  SyncSchedule copy = original;
+  // The copy replays the full grant order again.
+  EXPECT_EQ(copy.NextGrantee(0), 2);
+  copy.ConsumeGrant(0, 2);
+  EXPECT_EQ(copy.NextGrantee(0), 1);
+  copy.ConsumeGrant(0, 1);
+  EXPECT_EQ(copy.NextGrantee(0), 2);
+  copy.ConsumeGrant(0, 2);
+  EXPECT_EQ(copy.NextGrantee(0), kNoNode);
+}
+
+}  // namespace
+}  // namespace cvm

@@ -12,8 +12,10 @@
 //   cvm_run --trace-in=run.cvmt            # offline analysis only
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "src/apps/fft.h"
+#include "src/fault/fault.h"
 #include "src/apps/lu.h"
 #include "src/apps/sor.h"
 #include "src/apps/tsp.h"
@@ -50,6 +52,13 @@ int Usage() {
       "  --trace-out=FILE     write the post-mortem trace file\n"
       "  --trace-in=FILE      analyze an existing trace file (no run)\n"
       "  --full-report        print every race (default: per-variable summary)\n"
+      "  --seed=N             workload seed (tsp/water/lu inputs; also the\n"
+      "                       default fault seed); 0 = per-app defaults\n"
+      "\n"
+      "fault injection (docs/FAULTS.md):\n"
+      "  --fault-profile=P    off | lossy | bursty | partition | stress\n"
+      "  --fault-seed=N       injection schedule seed (default: --seed, else 1)\n"
+      "  --fault-drop=P       override the profile's random frame-loss rate\n"
       "\n"
       "observability (docs/OBSERVABILITY.md):\n"
       "  --trace-json=FILE    write a Chrome/Perfetto trace-event JSON of the run\n"
@@ -59,8 +68,10 @@ int Usage() {
   return 2;
 }
 
+// seed == 0 keeps each app's historical default input, so runs without
+// --seed are unchanged from older versions of this tool.
 std::unique_ptr<ParallelApp> MakeApp(const std::string& name, int64_t size, bool fix_bug,
-                                     uint64_t page_size) {
+                                     uint64_t page_size, uint64_t seed) {
   if (name == "fft") {
     FftApp::Params params;
     params.rows = size > 0 ? static_cast<int>(size) : 64;
@@ -79,6 +90,9 @@ std::unique_ptr<ParallelApp> MakeApp(const std::string& name, int64_t size, bool
     TspApp::Params params;
     params.num_cities = size > 0 ? static_cast<int>(size) : 12;
     params.page_size = page_size;
+    if (seed != 0) {
+      params.seed = seed;
+    }
     return std::make_unique<TspApp>(params);
   }
   if (name == "water") {
@@ -87,12 +101,18 @@ std::unique_ptr<ParallelApp> MakeApp(const std::string& name, int64_t size, bool
     params.iters = 3;
     params.fix_virial_bug = fix_bug;
     params.page_size = page_size;
+    if (seed != 0) {
+      params.seed = seed;
+    }
     return std::make_unique<WaterApp>(params);
   }
   if (name == "lu") {
     LuApp::Params params;
     params.n = size > 0 ? static_cast<int>(size) : 64;
     params.block = 8;
+    if (seed != 0) {
+      params.seed = seed;
+    }
     return std::make_unique<LuApp>(params);
   }
   return nullptr;
@@ -132,6 +152,7 @@ int main(int argc, char** argv) {
       "diff-writes", "first-races", "fix-bug", "compare", "record",  "replay",
       "watch",   "watch-epoch", "postmortem", "trace-out", "trace-in", "full-report", "pages",
       "trace-json", "metrics-out", "metrics-interval", "trace-sample",
+      "seed", "fault-profile", "fault-seed", "fault-drop",
       "help"};
   for (const std::string& key : flags.UnknownKeys(accepted)) {
     std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
@@ -206,8 +227,24 @@ int main(int argc, char** argv) {
     options.watch = watch;
   }
 
+  // One top-level seed feeds both the app workloads and (by default) the
+  // fault injector, so a whole faulty run reproduces from a single number.
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 0));
+  const uint64_t fault_seed =
+      static_cast<uint64_t>(flags.GetInt("fault-seed", seed != 0 ? static_cast<int64_t>(seed) : 1));
+  const std::string profile_name = flags.GetString("fault-profile", "off");
+  const auto profile = fault::ParseProfile(profile_name);
+  if (!profile.has_value()) {
+    std::fprintf(stderr, "error: unknown fault profile '%s'\n", profile_name.c_str());
+    return Usage();
+  }
+  options.fault_plan = fault::FaultPlan::FromProfile(*profile, fault_seed);
+  if (flags.Has("fault-drop")) {
+    options.fault_plan.drop_prob = std::stod(flags.GetString("fault-drop", "0"));
+  }
+
   auto app = MakeApp(app_name, flags.GetInt("size", -1), flags.GetBool("fix-bug", false),
-                     options.page_size);
+                     options.page_size, seed);
   if (app == nullptr) {
     std::fprintf(stderr, "error: unknown or missing --app\n");
     return Usage();
@@ -217,6 +254,16 @@ int main(int argc, char** argv) {
               app->name().c_str(), app->input_description().c_str(),
               app->sync_description().c_str(), options.num_nodes, protocol.c_str(),
               options.race_detection ? "on" : "off");
+  if (seed != 0) {
+    std::printf("seed: %lu\n", static_cast<unsigned long>(seed));
+  } else {
+    std::printf("seed: app-default\n");
+  }
+  if (options.fault_plan.enabled()) {
+    std::printf("faults: profile %s, seed %lu, drop %.4f\n",
+                fault::ProfileName(options.fault_plan.profile),
+                static_cast<unsigned long>(fault_seed), options.fault_plan.drop_prob);
+  }
 
   DsmSystem system(options);
   app->Setup(system);
@@ -230,6 +277,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long>(result.page_faults),
               static_cast<unsigned long>(result.net.messages),
               static_cast<double>(result.net.bytes) / 1e6);
+  if (options.fault_plan.enabled()) {
+    std::printf("fault stats: %lu attempts, %lu drops, %lu retransmits, %lu dup-drops, "
+                "%lu corrupt, %lu acks lost, %.1f ms backoff\n",
+                static_cast<unsigned long>(result.fault.data_frames),
+                static_cast<unsigned long>(result.fault.drops),
+                static_cast<unsigned long>(result.fault.retransmits),
+                static_cast<unsigned long>(result.fault.dup_dropped),
+                static_cast<unsigned long>(result.fault.corrupted),
+                static_cast<unsigned long>(result.fault.acks_dropped),
+                result.fault.backoff_ns / 1e6);
+  }
 
   if (options.record_sync_order) {
     if (!WriteScheduleFile(result.recorded_schedule, flags.GetString("record", ""))) {
@@ -280,7 +338,7 @@ int main(int argc, char** argv) {
     base_options.race_detection = false;
     base_options.record_sync_order = false;
     auto base_app = MakeApp(app_name, flags.GetInt("size", -1),
-                            flags.GetBool("fix-bug", false), options.page_size);
+                            flags.GetBool("fix-bug", false), options.page_size, seed);
     DsmSystem base_system(base_options);
     base_app->Setup(base_system);
     RunResult base = base_system.Run([&base_app](NodeContext& ctx) { base_app->Run(ctx); });

@@ -67,6 +67,17 @@ int SummarizeMetrics(const std::string& path) {
   for (size_t i = 0; i < header.size(); ++i) {
     column[header[i]] = i;
   }
+  // A metrics CSV always carries these two columns; their absence means the
+  // file is not a cvm_run metrics file (or its header line was cut short).
+  for (const char* required : {"epoch", "sim_time_ns"}) {
+    if (column.find(required) == column.end()) {
+      std::fprintf(stderr,
+                   "error: %s is not a metrics CSV (missing '%s' column; "
+                   "expected a file written by cvm_run --metrics-out)\n",
+                   path.c_str(), required);
+      return 1;
+    }
+  }
 
   // Figure 3's overhead buckets, excluding kNone (base work).
   std::vector<Bucket> buckets;
@@ -95,12 +106,21 @@ int SummarizeMetrics(const std::string& path) {
 
   TablePrinter table(headers);
   size_t rows = 0;
+  size_t line_number = 1;  // Header was line 1.
   double prev_sim_ns = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty()) {
       continue;
     }
     const std::vector<std::string> cells = SplitCsvLine(line);
+    if (cells.size() < header.size()) {
+      std::fprintf(stderr,
+                   "error: metrics file %s is truncated at line %zu "
+                   "(%zu of %zu columns)\n",
+                   path.c_str(), line_number, cells.size(), header.size());
+      return 1;
+    }
     const double epoch = cell_value(cells, "epoch");
     const double sim_ns = cell_value(cells, "sim_time_ns");
     const double epoch_sim_ns = sim_ns - prev_sim_ns;
