@@ -166,6 +166,9 @@ RunResult DsmSystem::Run(const std::function<void(NodeContext&)>& app) {
     }
   }
   result.barriers = nodes_.empty() ? 0 : nodes_[0]->barriers();
+  if (!nodes_.empty()) {
+    result.pipeline = nodes_[0]->pipeline_stats();  // The master runs the pipeline.
+  }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   return result;

@@ -35,6 +35,10 @@ struct RunResult {
   NetworkStats net;
   fault::FaultStats fault;  // All-zero unless a fault plan was enabled.
   DetectorStats detector;
+  // How the detection pipeline ran (sharding, bitmap-wire compression,
+  // distributed compares) — all-zero under the serial default with raw
+  // encoding, except detect_epochs/shards_used.
+  PipelineStats pipeline;
   AccessCounters access;
   uint64_t intervals_total = 0;
   uint64_t barriers = 0;                 // Per node (all nodes see the same count).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <tuple>
 
 #include "src/common/check.h"
 #include "src/dsm/dsm.h"
@@ -64,6 +65,17 @@ class Span {
   uint64_t wall_start_ns_ = 0;
 };
 
+// Payload bytes of one bitmap-round entry as actually encoded, and at the
+// legacy raw encoding — the difference is what the codec saved on the wire.
+size_t ReplyEntryWireBytes(const BitmapReplyEntry& e) {
+  return sizeof(IntervalId) + sizeof(PageId) + e.read.WireBytes() + e.write.WireBytes();
+}
+
+size_t ReplyEntryRawBytes(const BitmapReplyEntry& e) {
+  return sizeof(IntervalId) + sizeof(PageId) + EncodedBitmap::RawWireBytes(e.read.num_bits) +
+         EncodedBitmap::RawWireBytes(e.write.num_bits);
+}
+
 }  // namespace
 
 Node::Node(NodeId id, DsmSystem* system)
@@ -118,6 +130,13 @@ void Node::InitObservability() {
     mh_.checklist_entries = metrics_->counter("race.checklist_entries");
     mh_.bitmap_pairs_compared = metrics_->counter("race.bitmap_pairs_compared");
     mh_.races_reported = metrics_->counter("race.races_reported");
+    mh_.shard_count = metrics_->counter("race.shard.count");
+    mh_.bitmap_bytes_raw = metrics_->counter("net.bitmap.bytes_raw");
+    mh_.bitmap_bytes_wire = metrics_->counter("net.bitmap.bytes_wire");
+    mh_.bitmap_bytes_saved = metrics_->counter("net.bitmap.bytes_saved");
+    mh_.overlap_saved_ns = metrics_->counter("race.overlap.saved_ns");
+    mh_.remote_pairs = metrics_->counter("race.remote.pairs_compared");
+    mh_.remote_reports = metrics_->counter("race.remote.reports");
     for (int b = 0; b < kNumBuckets; ++b) {
       mh_.overhead[static_cast<size_t>(b)] =
           metrics_->counter(BucketMetricName(static_cast<Bucket>(b)));
@@ -227,6 +246,12 @@ void Node::ServiceLoop() {
       OnBitmapRequest(*msg);
     } else if (std::get_if<BitmapReplyMsg>(&msg->payload) != nullptr) {
       OnBitmapReply(*msg);
+    } else if (std::get_if<CompareRequestMsg>(&msg->payload) != nullptr) {
+      OnCompareRequest(*msg);
+    } else if (std::get_if<BitmapShipMsg>(&msg->payload) != nullptr) {
+      OnBitmapShip(*msg);
+    } else if (std::get_if<CompareReplyMsg>(&msg->payload) != nullptr) {
+      OnCompareReply(*msg);
     } else if (std::get_if<BarrierReleaseMsg>(&msg->payload) != nullptr) {
       OnBarrierRelease(*msg);
     } else if (std::get_if<ErcUpdateMsg>(&msg->payload) != nullptr) {
@@ -1119,38 +1144,93 @@ void Node::MasterRunBarrierLocked(std::unique_lock<std::mutex>& lk, EpochId epoc
   }
 }
 
+int Node::DetectShardCount() const {
+  if (opts_.detect_shards > 0) {
+    return opts_.detect_shards;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(hw == 0 ? 4 : static_cast<int>(hw), 1, 8);
+}
+
+void Node::PublishReportsLocked(std::vector<RaceReport> reports) {
+  for (RaceReport& report : reports) {
+    report.addr = static_cast<GlobalAddr>(report.page) * opts_.page_size +
+                  static_cast<GlobalAddr>(report.word) * kWordSize;
+    report.symbol = system_->segment().Symbolize(report.addr);
+    // Numeric args only: the report's strings move into the system-wide
+    // report vector, so pointers into them must not outlive this scope.
+    TraceInstant("race.report", "race", "addr", report.addr);
+  }
+  system_->AddReports(std::move(reports));
+}
+
 void Node::RunRaceDetectionLocked(std::unique_lock<std::mutex>& lk, EpochId epoch,
                                   const std::vector<IntervalRecord>& epoch_intervals) {
   RaceDetector& detector = system_->detector();
   const DetectorStats before = detector.stats();
+  // Master sim time spent in the check, whatever exit path is taken — the
+  // quantity the pipeline ablation compares across modes.
+  struct DetectTimer {
+    const NodeTiming& timing;
+    double start_ns;
+    double* out;
+    ~DetectTimer() { *out += timing.now_ns() - start_ns; }
+  } detect_timer{timing_, timing_.now_ns(), &pipeline_stats_.detect_ns};
+  const bool overlapped = opts_.detection_pipeline != DetectionPipeline::kSerial;
+  const int shards_wanted = overlapped ? DetectShardCount() : 1;
+  std::vector<DetectorStats> per_shard;
   std::vector<CheckPair> pairs;
   {
-    Span overlap_span(tracer_, id_, "detector.overlap", "race", timing_, epoch);
-    pairs = detector.BuildCheckList(epoch_intervals);
-    const DetectorStats& after = detector.stats();
-    timing_.Charge(
-        Bucket::kIntervals,
-        opts_.costs.interval_cmp_ns *
-                static_cast<double>(after.interval_comparisons - before.interval_comparisons) +
-            opts_.costs.page_overlap_ns *
-                static_cast<double>(after.page_overlap_probes - before.page_overlap_probes));
+    Span overlap_span(tracer_, id_, overlapped ? "detector.shard" : "detector.overlap", "race",
+                      timing_, epoch);
+    pairs = detector.BuildCheckListSharded(epoch_intervals, shards_wanted, &per_shard);
+    // The parallel critical path: the most loaded shard, plus a fork/join
+    // cost per worker actually spawned. One shard degenerates to the serial
+    // charge (sum of every comparison, no fork cost).
+    double worst_shard_ns = 0;
+    for (const DetectorStats& s : per_shard) {
+      worst_shard_ns =
+          std::max(worst_shard_ns,
+                   opts_.costs.interval_cmp_ns * static_cast<double>(s.interval_comparisons) +
+                       opts_.costs.page_overlap_ns * static_cast<double>(s.page_overlap_probes));
+    }
+    if (per_shard.size() > 1) {
+      worst_shard_ns += opts_.costs.shard_fork_ns * static_cast<double>(per_shard.size());
+    }
+    timing_.Charge(Bucket::kIntervals, worst_shard_ns);
     overlap_span.SetArg("pairs", pairs.size());
   }
   if constexpr (obs::kObsCompiledIn) {
     if (metrics_ != nullptr) {
       const DetectorStats& after = detector.stats();
       mh_.check_pairs->Add(after.overlapping_pairs - before.overlapping_pairs);
-      mh_.checklist_entries->Add(after.checklist_entries - before.checklist_entries);
+      mh_.shard_count->Add(per_shard.size());
     }
   }
   if (pairs.empty()) {
     return;
   }
+  pipeline_stats_.shards_used = std::max<uint64_t>(pipeline_stats_.shards_used, per_shard.size());
+  ++pipeline_stats_.detect_epochs;
+
+  // The check list fixes the distinct (interval, page) bitmaps step 5 needs;
+  // every pipeline mode accounts them once here (§4 step 3).
+  const auto needed = RaceDetector::BitmapsNeeded(pairs);
+  if constexpr (obs::kObsCompiledIn) {
+    if (metrics_ != nullptr) {
+      mh_.checklist_entries->Add(needed.size());
+    }
+  }
+
+  if (opts_.detection_pipeline == DetectionPipeline::kDistributed) {
+    PublishReportsLocked(RunDistributedCompareLocked(lk, epoch, pairs, needed.size()));
+    return;
+  }
+
   Span bitmaps_span(tracer_, id_, "detector.bitmaps", "race", timing_, epoch);
 
   // Bitmap-retrieval round (§4 step 4): ask each constituent node for the
   // word bitmaps of its listed intervals; the master's own resolve locally.
-  const auto needed = RaceDetector::BitmapsNeeded(pairs);
   collected_bitmaps_.clear();
   std::map<NodeId, std::vector<CheckEntry>> by_node;
   for (const auto& [interval, page] : needed) {
@@ -1166,17 +1246,26 @@ void Node::RunRaceDetectionLocked(std::unique_lock<std::mutex>& lk, EpochId epoc
   CVM_CHECK_EQ(bitmap_replies_pending_, 0);
   bitmap_replies_pending_ = static_cast<int>(by_node.size());
   bitmap_round_bytes_ = 0;
+  bitmap_round_raw_bytes_ = 0;
   for (auto& [node, entries] : by_node) {
     BitmapRequestMsg request;
     request.epoch = epoch;
     request.entries = std::move(entries);
     Send(node, std::move(request));
   }
+  double round_ns = 0;
   if (bitmap_replies_pending_ > 0) {
-    timing_.Charge(Bucket::kBitmaps, 2 * opts_.costs.msg_latency_ns);
+    if (!overlapped) {
+      timing_.Charge(Bucket::kBitmaps, 2 * opts_.costs.msg_latency_ns);
+    }
     cv_.wait(lk, [this] { return bitmap_replies_pending_ == 0; });
-    timing_.Charge(Bucket::kBitmaps,
-                   opts_.costs.per_byte_ns * static_cast<double>(bitmap_round_bytes_));
+    if (!overlapped) {
+      timing_.Charge(Bucket::kBitmaps,
+                     opts_.costs.per_byte_ns * static_cast<double>(bitmap_round_bytes_));
+    } else {
+      round_ns = 2 * opts_.costs.msg_latency_ns +
+                 opts_.costs.per_byte_ns * static_cast<double>(bitmap_round_bytes_);
+    }
   }
 
   const uint64_t compared_before = detector.stats().bitmap_pairs_compared;
@@ -1184,29 +1273,216 @@ void Node::RunRaceDetectionLocked(std::unique_lock<std::mutex>& lk, EpochId epoc
     auto it = collected_bitmaps_.find(std::make_pair(interval, page));
     return it == collected_bitmaps_.end() ? nullptr : &it->second;
   };
-  std::vector<RaceReport> reports = detector.CompareBitmaps(pairs, lookup, epoch);
+  std::vector<RaceReport> reports = detector.CompareBitmaps(pairs, lookup, epoch, needed.size());
   const uint64_t compared = detector.stats().bitmap_pairs_compared - compared_before;
   const double chunks = static_cast<double>((opts_.page_size / kWordSize + 63) / 64);
-  timing_.Charge(Bucket::kBitmaps,
-                 opts_.costs.bitmap_cmp_word_ns * chunks * static_cast<double>(compared));
+  const double compare_ns =
+      opts_.costs.bitmap_cmp_word_ns * chunks * static_cast<double>(compared);
+  if (!overlapped) {
+    timing_.Charge(Bucket::kBitmaps, compare_ns);
+  } else {
+    // §6.2's overlap idea: the master compares pairs whose bitmaps are
+    // already local while the retrieval round is still in flight. Perfect
+    // overlap — the epoch pays the longer of the two legs, not their sum.
+    timing_.Charge(Bucket::kBitmaps, std::max(round_ns, compare_ns));
+    const double saved_ns = std::min(round_ns, compare_ns);
+    pipeline_stats_.overlap_saved_ns += saved_ns;
+    if constexpr (obs::kObsCompiledIn) {
+      if (metrics_ != nullptr) {
+        mh_.overlap_saved_ns->Add(static_cast<uint64_t>(saved_ns));
+      }
+    }
+  }
+  pipeline_stats_.bitmap_bytes_wire += bitmap_round_bytes_;
+  pipeline_stats_.bitmap_bytes_raw += bitmap_round_raw_bytes_;
 
   bitmaps_span.SetArg("compared", compared);
   if constexpr (obs::kObsCompiledIn) {
     if (metrics_ != nullptr) {
       mh_.bitmap_pairs_compared->Add(compared);
       mh_.races_reported->Add(reports.size());
+      mh_.bitmap_bytes_wire->Add(bitmap_round_bytes_);
+      mh_.bitmap_bytes_raw->Add(bitmap_round_raw_bytes_);
+      mh_.bitmap_bytes_saved->Add(bitmap_round_raw_bytes_ - bitmap_round_bytes_);
     }
   }
-  for (RaceReport& report : reports) {
-    report.addr = static_cast<GlobalAddr>(report.page) * opts_.page_size +
-                  static_cast<GlobalAddr>(report.word) * kWordSize;
-    report.symbol = system_->segment().Symbolize(report.addr);
-    // Numeric args only: the report's strings move into the system-wide
-    // report vector, so pointers into them must not outlive this scope.
-    TraceInstant("race.report", "race", "addr", report.addr);
-  }
-  system_->AddReports(std::move(reports));
+  PublishReportsLocked(std::move(reports));
   collected_bitmaps_.clear();
+}
+
+std::vector<RaceReport> Node::RunDistributedCompareLocked(std::unique_lock<std::mutex>& lk,
+                                                          EpochId epoch,
+                                                          const std::vector<CheckPair>& pairs,
+                                                          size_t checklist_entries) {
+  RaceDetector& detector = system_->detector();
+  Span span(tracer_, id_, "detector.compare.remote", "race", timing_, epoch);
+
+  // Assign every check pair to one of its two member nodes. The master owns
+  // any pair it participates in (its bitmaps never leave node 0); remaining
+  // pairs alternate between the members by index so the compare load spreads
+  // evenly. Ownership is a pure function of the (deterministic) check list,
+  // so the partition is reproducible run to run.
+  struct OwnedPair {
+    uint32_t index;
+    const CheckPair* pair;
+  };
+  std::vector<OwnedPair> master_pairs;
+  std::map<NodeId, CompareRequestMsg> requests;
+  std::set<std::tuple<NodeId, NodeId, IntervalId, PageId>> planned;  // (src, dst, interval, page)
+  auto plan_ship = [&](NodeId source, NodeId dest, const IntervalId& interval, PageId page) {
+    if (source == dest) {
+      return;  // The owner already holds its own bitmaps.
+    }
+    if (!planned.insert({source, dest, interval, page}).second) {
+      return;  // Another pair already ships this entry there.
+    }
+    requests[source].ships.push_back(ShipDirective{dest, interval, page});
+  };
+  uint32_t index = 0;
+  for (const CheckPair& pair : pairs) {
+    const NodeId na = pair.a.id.node;
+    const NodeId nb = pair.b.id.node;
+    const NodeId owner = (na == id_ || nb == id_)
+                             ? id_
+                             : (index % 2 == 0 ? std::min(na, nb) : std::max(na, nb));
+    for (PageId page : pair.pages) {
+      if (pair.a.WritesPage(page) || pair.a.ReadsPage(page)) {
+        plan_ship(na, owner, pair.a.id, page);
+      }
+      if (pair.b.WritesPage(page) || pair.b.ReadsPage(page)) {
+        plan_ship(nb, owner, pair.b.id, page);
+      }
+    }
+    if (owner == id_) {
+      master_pairs.push_back(OwnedPair{index, &pair});
+    } else {
+      ComparePairEntry entry;
+      entry.pair_index = index;
+      entry.a = pair.a.id;
+      entry.b = pair.b.id;
+      entry.pages = pair.pages;
+      requests[owner].pairs.push_back(std::move(entry));
+    }
+    ++index;
+  }
+  // One BitmapShipMsg travels per distinct (source, dest) edge, so a dest
+  // expects as many ship messages as it has distinct sources.
+  std::map<NodeId, std::set<NodeId>> ship_sources;
+  for (const auto& [src, dst, interval, page] : planned) {
+    ship_sources[dst].insert(src);
+  }
+
+  CVM_CHECK_EQ(compare_replies_pending_, 0);
+  CVM_CHECK_EQ(master_ships_pending_, 0);
+  compare_replies_.clear();
+  collected_bitmaps_.clear();
+  master_ship_target_ns_ = 0;
+  master_ship_bytes_wire_ = 0;
+  master_ship_bytes_raw_ = 0;
+  {
+    auto it = ship_sources.find(id_);
+    master_ships_pending_ = it == ship_sources.end() ? 0 : static_cast<int>(it->second.size());
+  }
+  compare_replies_pending_ = static_cast<int>(requests.size());
+  const uint64_t request_time = static_cast<uint64_t>(timing_.now_ns());
+  for (auto& [node, request] : requests) {
+    request.epoch = epoch;
+    request.request_time_ns = request_time;
+    auto it = ship_sources.find(node);
+    request.expected_ship_msgs =
+        it == ship_sources.end() ? 0 : static_cast<uint32_t>(it->second.size());
+    Send(node, std::move(request));
+  }
+
+  // The master's own compares need only the peers' shipped bitmaps; its own
+  // side resolves from local storage. Compare as soon as the inbound ships
+  // land — the remote owners' replies overlap this work (the Lamport merge
+  // below takes the max of the two legs, not their sum).
+  cv_.wait(lk, [this] { return master_ships_pending_ == 0; });
+  if (master_ship_target_ns_ > timing_.now_ns()) {
+    timing_.Charge(Bucket::kBitmaps, master_ship_target_ns_ - timing_.now_ns());
+  }
+  BitmapLookup lookup = [this](const IntervalId& interval, PageId page) -> const PageAccessBitmaps* {
+    if (interval.node == id_) {
+      return bitmaps_.Find(interval.index, page);
+    }
+    auto it = collected_bitmaps_.find(std::make_pair(interval, page));
+    return it == collected_bitmaps_.end() ? nullptr : &it->second;
+  };
+  uint64_t master_compared = 0;
+  std::vector<std::pair<uint32_t, RaceReport>> tagged;
+  for (const OwnedPair& owned : master_pairs) {
+    std::vector<RaceReport> pair_reports = RaceDetector::CompareOnePair(
+        owned.pair->a.id, owned.pair->b.id, owned.pair->pages, lookup, epoch, &master_compared);
+    for (RaceReport& report : pair_reports) {
+      tagged.emplace_back(owned.index, std::move(report));
+    }
+  }
+  const double chunks = static_cast<double>((opts_.page_size / kWordSize + 63) / 64);
+  timing_.Charge(Bucket::kBitmaps,
+                 opts_.costs.bitmap_cmp_word_ns * chunks * static_cast<double>(master_compared));
+
+  cv_.wait(lk, [this] { return compare_replies_pending_ == 0; });
+  // The distributed round's cost is its critical path: the slowest node's
+  // reply arrival, not the sum over nodes.
+  double target_ns = timing_.now_ns();
+  uint64_t remote_compared = 0;
+  uint64_t remote_report_count = 0;
+  uint64_t ship_bytes_wire = master_ship_bytes_wire_;
+  uint64_t ship_bytes_raw = master_ship_bytes_raw_;
+  for (const CompareReplyInfo& info : compare_replies_) {
+    target_ns = std::max(target_ns, static_cast<double>(info.msg.reply_time_ns) +
+                                        opts_.costs.MessageCost(info.wire_bytes));
+    remote_compared += info.msg.pairs_compared;
+    remote_report_count += info.msg.reports.size();
+    ship_bytes_wire += info.msg.ship_bytes_wire;
+    ship_bytes_raw += info.msg.ship_bytes_raw;
+    for (const RemoteReportEntry& e : info.msg.reports) {
+      RaceReport report;
+      report.kind = static_cast<RaceKind>(e.kind);
+      report.page = e.page;
+      report.word = e.word;
+      report.interval_a = e.interval_a;
+      report.interval_b = e.interval_b;
+      report.epoch = epoch;
+      tagged.emplace_back(e.pair_index, std::move(report));
+    }
+  }
+  if (target_ns > timing_.now_ns()) {
+    timing_.Charge(Bucket::kBitmaps, target_ns - timing_.now_ns());
+  }
+  compare_replies_.clear();
+  collected_bitmaps_.clear();
+
+  // Deterministic merge: check-list order is pair_index order, and each
+  // node (master included) emitted its reports in pair order via
+  // CompareOnePair, so a stable sort reproduces the serial report stream.
+  std::stable_sort(tagged.begin(), tagged.end(),
+                   [](const auto& x, const auto& y) { return x.first < y.first; });
+  std::vector<RaceReport> reports;
+  reports.reserve(tagged.size());
+  for (auto& [pair_index, report] : tagged) {
+    reports.push_back(std::move(report));
+  }
+
+  detector.AccumulateCompare(checklist_entries, master_compared + remote_compared);
+  pipeline_stats_.bitmap_bytes_wire += ship_bytes_wire;
+  pipeline_stats_.bitmap_bytes_raw += ship_bytes_raw;
+  pipeline_stats_.remote_pairs_compared += remote_compared;
+  pipeline_stats_.remote_reports += remote_report_count;
+  span.SetArg("remote_pairs", remote_compared);
+  if constexpr (obs::kObsCompiledIn) {
+    if (metrics_ != nullptr) {
+      mh_.bitmap_pairs_compared->Add(master_compared + remote_compared);
+      mh_.races_reported->Add(reports.size());
+      mh_.bitmap_bytes_wire->Add(ship_bytes_wire);
+      mh_.bitmap_bytes_raw->Add(ship_bytes_raw);
+      mh_.bitmap_bytes_saved->Add(ship_bytes_raw - ship_bytes_wire);
+      mh_.remote_pairs->Add(remote_compared);
+      mh_.remote_reports->Add(remote_report_count);
+    }
+  }
+  return reports;
 }
 
 void Node::OnBitmapRequest(const Message& msg) {
@@ -1221,7 +1497,9 @@ void Node::OnBitmapRequest(const Message& msg) {
       continue;
     }
     reply.entries.push_back(
-        BitmapReplyEntry{entry.interval, entry.page, bitmaps->read, bitmaps->write});
+        BitmapReplyEntry{entry.interval, entry.page,
+                         BitmapCodec::Encode(bitmaps->read, opts_.compress_bitmaps),
+                         BitmapCodec::Encode(bitmaps->write, opts_.compress_bitmaps)});
   }
   Send(msg.from, std::move(reply));
 }
@@ -1229,14 +1507,165 @@ void Node::OnBitmapRequest(const Message& msg) {
 void Node::OnBitmapReply(const Message& msg) {
   const auto& reply = std::get<BitmapReplyMsg>(msg.payload);
   std::lock_guard<std::mutex> guard(mu_);
+  size_t wire_entry_bytes = 0;
+  size_t raw_entry_bytes = 0;
   for (const BitmapReplyEntry& entry : reply.entries) {
+    wire_entry_bytes += ReplyEntryWireBytes(entry);
+    raw_entry_bytes += ReplyEntryRawBytes(entry);
     collected_bitmaps_.emplace(std::make_pair(entry.interval, entry.page),
-                               PageAccessBitmaps{entry.read, entry.write});
+                               PageAccessBitmaps{BitmapCodec::Decode(entry.read),
+                                                 BitmapCodec::Decode(entry.write)});
   }
   bitmap_round_bytes_ += msg.wire_bytes;
+  bitmap_round_raw_bytes_ += msg.wire_bytes + (raw_entry_bytes - wire_entry_bytes);
   CVM_CHECK_GT(bitmap_replies_pending_, 0);
   --bitmap_replies_pending_;
   if (bitmap_replies_pending_ == 0) {
+    cv_.notify_all();
+  }
+}
+
+void Node::OnCompareRequest(const Message& msg) {
+  const auto& request = std::get<CompareRequestMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  if (request.epoch < epoch_) {
+    return;  // Stale re-delivery of a finished round.
+  }
+  // Drop leftover state from rounds that already completed.
+  remote_compare_.erase(remote_compare_.begin(), remote_compare_.lower_bound(epoch_));
+  RemoteCompareState& state = remote_compare_[request.epoch];
+  if (state.have_request) {
+    return;  // Duplicate.
+  }
+  state.have_request = true;
+  timing_.ObserveAtLeast(static_cast<double>(request.request_time_ns) +
+                         opts_.costs.MessageCost(msg.wire_bytes));
+
+  // Execute the ship directives immediately: one BitmapShipMsg per distinct
+  // destination, sent even when every listed bitmap is gone, so destinations
+  // can count messages rather than entries.
+  std::map<NodeId, std::vector<BitmapReplyEntry>> by_dest;
+  for (const ShipDirective& ship : request.ships) {
+    CVM_CHECK_EQ(ship.interval.node, id_);
+    std::vector<BitmapReplyEntry>& entries = by_dest[ship.dest];
+    const PageAccessBitmaps* bitmaps = bitmaps_.Find(ship.interval.index, ship.page);
+    if (bitmaps == nullptr) {
+      continue;
+    }
+    entries.push_back(BitmapReplyEntry{ship.interval, ship.page,
+                                       BitmapCodec::Encode(bitmaps->read, opts_.compress_bitmaps),
+                                       BitmapCodec::Encode(bitmaps->write, opts_.compress_bitmaps)});
+  }
+  for (auto& [dest, entries] : by_dest) {
+    for (const BitmapReplyEntry& entry : entries) {
+      state.ship_bytes_wire += ReplyEntryWireBytes(entry);
+      state.ship_bytes_raw += ReplyEntryRawBytes(entry);
+    }
+    BitmapShipMsg out;
+    out.epoch = request.epoch;
+    out.entries = std::move(entries);
+    out.send_time_ns = static_cast<uint64_t>(timing_.now_ns());
+    Send(dest, std::move(out));
+  }
+  state.request = request;
+  TryFinishRemoteCompareLocked(request.epoch);
+}
+
+void Node::OnBitmapShip(const Message& msg) {
+  const auto& ship = std::get<BitmapShipMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  if (id_ == 0) {
+    // Master side: peers shipping the bitmaps for master-owned pairs.
+    if (master_ships_pending_ <= 0 || ship.epoch != epoch_) {
+      return;  // Stale re-delivery.
+    }
+    for (const BitmapReplyEntry& entry : ship.entries) {
+      master_ship_bytes_wire_ += ReplyEntryWireBytes(entry);
+      master_ship_bytes_raw_ += ReplyEntryRawBytes(entry);
+      collected_bitmaps_.emplace(std::make_pair(entry.interval, entry.page),
+                                 PageAccessBitmaps{BitmapCodec::Decode(entry.read),
+                                                   BitmapCodec::Decode(entry.write)});
+    }
+    master_ship_target_ns_ =
+        std::max(master_ship_target_ns_,
+                 static_cast<double>(ship.send_time_ns) + opts_.costs.MessageCost(msg.wire_bytes));
+    --master_ships_pending_;
+    if (master_ships_pending_ == 0) {
+      cv_.notify_all();
+    }
+    return;
+  }
+  if (ship.epoch < epoch_) {
+    return;  // Stale re-delivery.
+  }
+  // Ships can land before this node's own CompareRequest; park them.
+  RemoteCompareState& state = remote_compare_[ship.epoch];
+  timing_.ObserveAtLeast(static_cast<double>(ship.send_time_ns) +
+                         opts_.costs.MessageCost(msg.wire_bytes));
+  for (const BitmapReplyEntry& entry : ship.entries) {
+    state.shipped.emplace(std::make_pair(entry.interval, entry.page),
+                          PageAccessBitmaps{BitmapCodec::Decode(entry.read),
+                                            BitmapCodec::Decode(entry.write)});
+  }
+  ++state.ships_received;
+  TryFinishRemoteCompareLocked(ship.epoch);
+}
+
+void Node::TryFinishRemoteCompareLocked(EpochId epoch) {
+  auto it = remote_compare_.find(epoch);
+  if (it == remote_compare_.end()) {
+    return;
+  }
+  RemoteCompareState& state = it->second;
+  if (!state.have_request || state.ships_received < state.request.expected_ship_msgs) {
+    return;
+  }
+  Span span(tracer_, id_, "detector.compare.remote", "race", timing_, epoch);
+
+  BitmapLookup lookup = [this, &state](const IntervalId& interval,
+                                       PageId page) -> const PageAccessBitmaps* {
+    if (interval.node == id_) {
+      return bitmaps_.Find(interval.index, page);
+    }
+    auto sit = state.shipped.find(std::make_pair(interval, page));
+    return sit == state.shipped.end() ? nullptr : &sit->second;
+  };
+  CompareReplyMsg reply;
+  reply.epoch = epoch;
+  reply.node = id_;
+  uint64_t compared = 0;
+  for (const ComparePairEntry& pair : state.request.pairs) {
+    std::vector<RaceReport> reports =
+        RaceDetector::CompareOnePair(pair.a, pair.b, pair.pages, lookup, epoch, &compared);
+    for (const RaceReport& report : reports) {
+      reply.reports.push_back(RemoteReportEntry{pair.pair_index,
+                                                static_cast<uint8_t>(report.kind), report.page,
+                                                report.word, report.interval_a,
+                                                report.interval_b});
+    }
+  }
+  const double chunks = static_cast<double>((opts_.page_size / kWordSize + 63) / 64);
+  timing_.Charge(Bucket::kBitmaps,
+                 opts_.costs.bitmap_cmp_word_ns * chunks * static_cast<double>(compared));
+  span.SetArg("pairs", compared);
+  reply.pairs_compared = compared;
+  reply.ship_bytes_wire = state.ship_bytes_wire;
+  reply.ship_bytes_raw = state.ship_bytes_raw;
+  reply.reply_time_ns = static_cast<uint64_t>(timing_.now_ns());
+  remote_compare_.erase(it);
+  Send(0, std::move(reply));
+}
+
+void Node::OnCompareReply(const Message& msg) {
+  const auto& reply = std::get<CompareReplyMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  CVM_CHECK_EQ(id_, 0);
+  if (compare_replies_pending_ <= 0 || reply.epoch != epoch_) {
+    return;  // Stale re-delivery.
+  }
+  compare_replies_.push_back(CompareReplyInfo{reply, msg.wire_bytes});
+  --compare_replies_pending_;
+  if (compare_replies_pending_ == 0) {
     cv_.notify_all();
   }
 }

@@ -38,6 +38,21 @@ namespace cvm {
 
 class DsmSystem;
 
+// Detection-pipeline accounting for one run, collected on the barrier master
+// (node 0): how the check was sharded/distributed and what the compressed
+// bitmap wire format saved. The ablation bench reports these side by side
+// for serial vs sharded vs distributed.
+struct PipelineStats {
+  uint64_t shards_used = 0;            // Workers used by the check-list build.
+  uint64_t detect_epochs = 0;          // Epochs with a non-empty check list.
+  double detect_ns = 0;                // Master sim time inside the barrier check.
+  uint64_t bitmap_bytes_raw = 0;       // Bitmap-round payloads at legacy raw size.
+  uint64_t bitmap_bytes_wire = 0;      // Actual (possibly compressed) bytes.
+  double overlap_saved_ns = 0;         // Sim ns saved by overlapping round+compare.
+  uint64_t remote_pairs_compared = 0;  // Bitmap pairs compared off-master.
+  uint64_t remote_reports = 0;         // Race reports shipped back by peers.
+};
+
 class Node {
  public:
   Node(NodeId id, DsmSystem* system);
@@ -114,6 +129,8 @@ class Node {
   // story (§6.3 consolidation, §6.4: discard only after checking).
   size_t max_interval_log_size() const { return max_log_size_; }
   size_t max_retained_bitmap_pairs() const { return max_retained_pairs_; }
+  // Meaningful on node 0 only (the barrier master runs the pipeline).
+  const PipelineStats& pipeline_stats() const { return pipeline_stats_; }
 
  private:
   friend class DsmSystem;
@@ -129,6 +146,9 @@ class Node {
   void OnBarrierArrive(const Message& msg);
   void OnBitmapRequest(const Message& msg);
   void OnBitmapReply(const Message& msg);
+  void OnCompareRequest(const Message& msg);
+  void OnBitmapShip(const Message& msg);
+  void OnCompareReply(const Message& msg);
   void OnBarrierRelease(const Message& msg);
   void OnErcUpdate(const Message& msg);
   void OnErcAck(const Message& msg);
@@ -166,6 +186,21 @@ class Node {
   void MasterRunBarrierLocked(std::unique_lock<std::mutex>& lk, EpochId epoch);
   void RunRaceDetectionLocked(std::unique_lock<std::mutex>& lk, EpochId epoch,
                               const std::vector<IntervalRecord>& epoch_intervals);
+  // kDistributed step 5: partition the check pairs over their member nodes,
+  // orchestrate the ship/compare/reply round, merge remote reports back into
+  // serial order. Returns the merged, ordered reports.
+  std::vector<RaceReport> RunDistributedCompareLocked(std::unique_lock<std::mutex>& lk,
+                                                      EpochId epoch,
+                                                      const std::vector<CheckPair>& pairs,
+                                                      size_t checklist_entries);
+  // Emits reports (addr/symbol resolution + trace) and hands them to the
+  // system. Shared tail of all three pipeline modes.
+  void PublishReportsLocked(std::vector<RaceReport> reports);
+  // Worker count for the sharded check-list build (>= 1).
+  int DetectShardCount() const;
+  // Constituent side of the distributed compare: runs once this node has the
+  // master's CompareRequest AND all expected inbound ships for `epoch`.
+  void TryFinishRemoteCompareLocked(EpochId epoch);
 
   // ---- Cost helpers (mu_ held) ----
   void ChargeMessageLocked(size_t bytes, size_t read_notice_bytes);
@@ -231,6 +266,14 @@ class Node {
     obs::Counter* checklist_entries = nullptr;
     obs::Counter* bitmap_pairs_compared = nullptr;
     obs::Counter* races_reported = nullptr;
+    // Detection-pipeline instrumentation (tentpole metrics).
+    obs::Counter* shard_count = nullptr;
+    obs::Counter* bitmap_bytes_raw = nullptr;
+    obs::Counter* bitmap_bytes_wire = nullptr;
+    obs::Counter* bitmap_bytes_saved = nullptr;
+    obs::Counter* overlap_saved_ns = nullptr;
+    obs::Counter* remote_pairs = nullptr;
+    obs::Counter* remote_reports = nullptr;
     std::array<obs::Counter*, kNumBuckets> overhead = {};
   };
   MetricHandles mh_;
@@ -302,6 +345,36 @@ class Node {
   std::map<std::pair<IntervalId, PageId>, PageAccessBitmaps> collected_bitmaps_;
   int bitmap_replies_pending_ = 0;
   uint64_t bitmap_round_bytes_ = 0;
+  // What the round's messages would have cost at the legacy raw encoding
+  // (identical to bitmap_round_bytes_ when compression is off).
+  uint64_t bitmap_round_raw_bytes_ = 0;
+
+  // Master-side state for the distributed compare round (kDistributed).
+  struct CompareReplyInfo {
+    CompareReplyMsg msg;
+    size_t wire_bytes = 0;
+  };
+  std::vector<CompareReplyInfo> compare_replies_;
+  int compare_replies_pending_ = 0;
+  int master_ships_pending_ = 0;          // BitmapShipMsg rounds inbound to master.
+  double master_ship_target_ns_ = 0;      // Latest modeled ship-arrival time.
+  uint64_t master_ship_bytes_wire_ = 0;
+  uint64_t master_ship_bytes_raw_ = 0;
+
+  // Constituent-node state for the distributed compare, keyed by epoch:
+  // ships can arrive before the master's CompareRequest (sources race each
+  // other), so both handlers funnel into TryFinishRemoteCompareLocked.
+  struct RemoteCompareState {
+    bool have_request = false;
+    CompareRequestMsg request;
+    uint32_t ships_received = 0;
+    std::map<std::pair<IntervalId, PageId>, PageAccessBitmaps> shipped;
+    uint64_t ship_bytes_wire = 0;  // Entry bytes this node shipped out.
+    uint64_t ship_bytes_raw = 0;
+  };
+  std::map<EpochId, RemoteCompareState> remote_compare_;
+
+  PipelineStats pipeline_stats_;  // Node 0 only.
 };
 
 // The application-facing name for a node handle.

@@ -24,6 +24,22 @@ enum class ProtocolKind : uint8_t {
   kEagerRcInvalidate,
 };
 
+// How the barrier-time race check is executed (§6.2–§6.3 discuss both the
+// overlap-method cost and distributing the check across nodes).
+enum class DetectionPipeline : uint8_t {
+  // The paper's prototype: the whole check runs serially on the barrier
+  // master, with one blocking full-bitmap retrieval round.
+  kSerial,
+  // The check-list pair loop is sharded across a worker pool (deterministic
+  // merge; reports byte-identical to serial) and the master's bitmap
+  // comparisons overlap the retrieval round instead of waiting for it.
+  kSharded,
+  // Additionally distributes step 5: each check pair is assigned to one of
+  // its member nodes, which compares the bitmaps it already owns locally and
+  // ships back only race reports; cross-node bitmaps travel compressed.
+  kDistributed,
+};
+
 // How write accesses are discovered for race detection (§6.5).
 enum class WriteDetection : uint8_t {
   kInstrumentation,  // Store instructions instrumented (word-exact).
@@ -55,6 +71,16 @@ struct DsmOptions {
   bool postmortem_trace = false;
   WriteDetection write_detection = WriteDetection::kInstrumentation;
   OverlapMethod overlap_method = OverlapMethod::kPageLists;
+  // Barrier-time check execution: serial master (the paper's prototype),
+  // sharded+overlapped master, or distributed across constituent nodes.
+  DetectionPipeline detection_pipeline = DetectionPipeline::kSerial;
+  // Worker count for the sharded check-list build (kSharded/kDistributed).
+  // 0 = derive from std::thread::hardware_concurrency(), clamped to [1, 8].
+  int detect_shards = 0;
+  // Encode bitmap-round payloads with the sparse/run-length codec instead of
+  // shipping raw page bitmaps. Off by default so the serial baseline keeps
+  // the paper's byte accounting.
+  bool compress_bitmaps = false;
   // §6.4: report only races from the earliest racy epoch.
   bool first_races_only = false;
 

@@ -44,12 +44,30 @@ struct SizeVisitor {
   size_t operator()(const BitmapRequestMsg& m) const {
     return 8 + m.entries.size() * (sizeof(IntervalId) + sizeof(PageId));
   }
-  size_t operator()(const BitmapReplyMsg& m) const {
-    size_t n = 8;
-    for (const BitmapReplyEntry& e : m.entries) {
-      n += sizeof(IntervalId) + sizeof(PageId) + e.read.ByteSize() + e.write.ByteSize();
+  static size_t BitmapEntriesBytes(const std::vector<BitmapReplyEntry>& entries) {
+    size_t n = 0;
+    for (const BitmapReplyEntry& e : entries) {
+      n += sizeof(IntervalId) + sizeof(PageId) + e.read.WireBytes() + e.write.WireBytes();
     }
     return n;
+  }
+  size_t operator()(const BitmapReplyMsg& m) const { return 8 + BitmapEntriesBytes(m.entries); }
+  size_t operator()(const CompareRequestMsg& m) const {
+    size_t n = 8 + sizeof(uint32_t) + sizeof(uint64_t);
+    for (const ComparePairEntry& p : m.pairs) {
+      n += sizeof(uint32_t) + 2 * sizeof(IntervalId) + sizeof(uint32_t) +
+           p.pages.size() * sizeof(PageId);
+    }
+    n += m.ships.size() * (sizeof(NodeId) + sizeof(IntervalId) + sizeof(PageId));
+    return n;
+  }
+  size_t operator()(const BitmapShipMsg& m) const {
+    return 8 + sizeof(uint64_t) + BitmapEntriesBytes(m.entries);
+  }
+  size_t operator()(const CompareReplyMsg& m) const {
+    return 8 + sizeof(NodeId) + 4 * sizeof(uint64_t) +
+           m.reports.size() * (sizeof(uint32_t) + 1 + sizeof(PageId) + sizeof(uint32_t) +
+                               2 * sizeof(IntervalId));
   }
   size_t operator()(const BarrierReleaseMsg& m) const {
     return 16 + m.merged_vc.ByteSize() + IntervalsByteSize(m.intervals);
@@ -84,6 +102,9 @@ struct KindNameVisitor {
   const char* operator()(const BarrierArriveMsg&) const { return "BarrierArrive"; }
   const char* operator()(const BitmapRequestMsg&) const { return "BitmapRequest"; }
   const char* operator()(const BitmapReplyMsg&) const { return "BitmapReply"; }
+  const char* operator()(const CompareRequestMsg&) const { return "CompareRequest"; }
+  const char* operator()(const BitmapShipMsg&) const { return "BitmapShip"; }
+  const char* operator()(const CompareReplyMsg&) const { return "CompareReply"; }
   const char* operator()(const BarrierReleaseMsg&) const { return "BarrierRelease"; }
   const char* operator()(const ErcUpdateMsg&) const { return "ErcUpdate"; }
   const char* operator()(const ErcAckMsg&) const { return "ErcAck"; }

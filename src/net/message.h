@@ -13,6 +13,7 @@
 #include "src/common/types.h"
 #include "src/mem/diff.h"
 #include "src/protocol/interval.h"
+#include "src/race/bitmap_codec.h"
 #include "src/vc/vector_clock.h"
 
 namespace cvm {
@@ -84,16 +85,84 @@ struct BitmapRequestMsg {
   std::vector<CheckEntry> entries;
 };
 
+// One (interval, page) bitmap pair on the wire. Bitmaps travel encoded
+// (src/race/bitmap_codec.h): kRaw reproduces the legacy full-page payload;
+// with compression enabled the codec picks the smallest of the sparse /
+// run-length / raw encodings per bitmap.
 struct BitmapReplyEntry {
   IntervalId interval;
   PageId page = -1;
-  Bitmap read;
-  Bitmap write;
+  EncodedBitmap read;
+  EncodedBitmap write;
 };
 
 struct BitmapReplyMsg {
   EpochId epoch = -1;
   std::vector<BitmapReplyEntry> entries;
+};
+
+// ---- Distributed barrier-time compare (§6.3 "distributing the check") ----
+
+// One check pair assigned to a constituent node: the node compares the two
+// intervals' bitmaps over `pages` locally and ships back only reports.
+// `pair_index` is the pair's position in the master's check list; the master
+// merges remote reports back in pair_index order so the distributed report
+// stream is byte-identical to the serial one.
+struct ComparePairEntry {
+  uint32_t pair_index = 0;
+  IntervalId a;
+  IntervalId b;
+  std::vector<PageId> pages;
+};
+
+// Directs the receiving node to ship the bitmaps of one of its own
+// (interval, page) entries to `dest`, the owner of a pair that needs them.
+struct ShipDirective {
+  NodeId dest = kNoNode;
+  IntervalId interval;
+  PageId page = -1;
+};
+
+// Master -> constituent node, one per epoch: the pairs this node owns, the
+// bitmaps it must ship to other owners, and how many BitmapShipMsg messages
+// to expect before its own compare can run.
+struct CompareRequestMsg {
+  EpochId epoch = -1;
+  std::vector<ComparePairEntry> pairs;
+  std::vector<ShipDirective> ships;
+  uint32_t expected_ship_msgs = 0;
+  uint64_t request_time_ns = 0;  // Master's simulated clock at send.
+};
+
+// Peer -> pair owner: the encoded bitmaps the owner's compare needs.
+struct BitmapShipMsg {
+  EpochId epoch = -1;
+  std::vector<BitmapReplyEntry> entries;
+  uint64_t send_time_ns = 0;  // Shipper's simulated clock at send.
+};
+
+// One remote race report, compactly: the master re-derives address/symbol.
+struct RemoteReportEntry {
+  uint32_t pair_index = 0;
+  uint8_t kind = 0;  // RaceKind.
+  PageId page = -1;
+  uint32_t word = 0;
+  IntervalId interval_a;
+  IntervalId interval_b;
+};
+
+// Constituent node -> master: compare results plus accounting. Exactly one
+// reply per CompareRequestMsg. `reply_time_ns` is the node's simulated clock
+// after its compare work, so the master's Lamport-observe models the
+// distributed round's critical path (max over nodes, not sum).
+struct CompareReplyMsg {
+  EpochId epoch = -1;
+  NodeId node = kNoNode;
+  std::vector<RemoteReportEntry> reports;
+  uint64_t pairs_compared = 0;        // Bitmap pairs this node compared.
+  uint64_t ship_bytes_wire = 0;       // Encoded bytes this node shipped out.
+  uint64_t ship_bytes_raw = 0;        // Same entries at the legacy raw size.
+  uint64_t reply_time_ns = 0;
 };
 
 struct BarrierReleaseMsg {
@@ -118,8 +187,8 @@ struct ShutdownMsg {};
 
 using Payload = std::variant<PageRequestMsg, PageReplyMsg, DiffFlushMsg, DiffFlushAckMsg,
                              LockRequestMsg, LockGrantMsg, BarrierArriveMsg, BitmapRequestMsg,
-                             BitmapReplyMsg, BarrierReleaseMsg, ErcUpdateMsg, ErcAckMsg,
-                             ShutdownMsg>;
+                             BitmapReplyMsg, CompareRequestMsg, BitmapShipMsg, CompareReplyMsg,
+                             BarrierReleaseMsg, ErcUpdateMsg, ErcAckMsg, ShutdownMsg>;
 
 struct Message {
   NodeId from = kNoNode;

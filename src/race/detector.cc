@@ -1,6 +1,7 @@
 #include "src/race/detector.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "src/common/bitmap.h"
 #include "src/common/check.h"
@@ -42,19 +43,20 @@ void CollectConflictPages(const std::vector<PageId>& writes, const std::vector<P
   }
 }
 
-}  // namespace
-
-bool RaceDetector::PagesOverlap(const IntervalRecord& a, const IntervalRecord& b,
-                                std::vector<PageId>* overlap) {
+// True (and fills `overlap`) if the two intervals share any page with at
+// least one writer. Free of detector state so check-list shards can probe
+// concurrently, each into its own DetectorStats.
+bool PagesOverlap(OverlapMethod method, int num_pages, const IntervalRecord& a,
+                  const IntervalRecord& b, std::vector<PageId>* overlap, DetectorStats* stats) {
   overlap->clear();
-  if (method_ == OverlapMethod::kPageLists) {
+  if (method == OverlapMethod::kPageLists) {
     CollectConflictPages(a.write_pages, a.read_pages, b.write_pages, b.read_pages, overlap,
-                         &stats_.page_overlap_probes);
+                         &stats->page_overlap_probes);
   } else {
     // Dense page bitmaps: O(pages) regardless of list length (§6.2).
     // conflict = (a.writes & b.access) | (b.writes & a.access).
-    Bitmap a_writes(num_pages_);
-    Bitmap a_access(num_pages_);
+    Bitmap a_writes(num_pages);
+    Bitmap a_access(num_pages);
     for (PageId p : a.write_pages) {
       a_writes.Set(static_cast<uint32_t>(p));
       a_access.Set(static_cast<uint32_t>(p));
@@ -62,8 +64,8 @@ bool RaceDetector::PagesOverlap(const IntervalRecord& a, const IntervalRecord& b
     for (PageId p : a.read_pages) {
       a_access.Set(static_cast<uint32_t>(p));
     }
-    Bitmap b_writes(num_pages_);
-    Bitmap b_access(num_pages_);
+    Bitmap b_writes(num_pages);
+    Bitmap b_access(num_pages);
     for (PageId p : b.write_pages) {
       b_writes.Set(static_cast<uint32_t>(p));
       b_access.Set(static_cast<uint32_t>(p));
@@ -71,7 +73,7 @@ bool RaceDetector::PagesOverlap(const IntervalRecord& a, const IntervalRecord& b
     for (PageId p : b.read_pages) {
       b_access.Set(static_cast<uint32_t>(p));
     }
-    stats_.page_overlap_probes += static_cast<uint64_t>(num_pages_);
+    stats->page_overlap_probes += static_cast<uint64_t>(num_pages);
     Bitmap conflict = a_writes;
     conflict.IntersectWith(b_access);
     b_writes.IntersectWith(a_access);
@@ -86,35 +88,92 @@ bool RaceDetector::PagesOverlap(const IntervalRecord& a, const IntervalRecord& b
   return !overlap->empty();
 }
 
-std::vector<CheckPair> RaceDetector::BuildCheckList(
-    const std::vector<IntervalRecord>& epoch_intervals) {
-  std::vector<CheckPair> pairs;
-  std::set<IntervalId> in_overlap;
-  stats_.intervals_total += epoch_intervals.size();
-
-  for (size_t i = 0; i < epoch_intervals.size(); ++i) {
-    for (size_t j = i + 1; j < epoch_intervals.size(); ++j) {
-      const IntervalRecord& a = epoch_intervals[i];
-      const IntervalRecord& b = epoch_intervals[j];
+// The inner pair loop for the rows of the triangle assigned to one shard:
+// row i is compared against every j > i. Appends row i's pairs to rows[i]
+// (in ascending-j order, as the serial loop would emit them).
+void BuildRowsForShard(const std::vector<IntervalRecord>& intervals, OverlapMethod method,
+                       int num_pages, int shard, int num_shards,
+                       std::vector<std::vector<CheckPair>>* rows, DetectorStats* stats) {
+  for (size_t i = static_cast<size_t>(shard); i < intervals.size();
+       i += static_cast<size_t>(num_shards)) {
+    for (size_t j = i + 1; j < intervals.size(); ++j) {
+      const IntervalRecord& a = intervals[i];
+      const IntervalRecord& b = intervals[j];
       if (a.id.node == b.id.node) {
         continue;  // Program order; never concurrent.
       }
-      ++stats_.interval_comparisons;
+      ++stats->interval_comparisons;
       if (!IntervalsConcurrent(a.id, a.vc, b.id, b.vc)) {
         continue;
       }
-      ++stats_.concurrent_pairs;
+      ++stats->concurrent_pairs;
       std::vector<PageId> overlap;
-      if (!PagesOverlap(a, b, &overlap)) {
+      if (!PagesOverlap(method, num_pages, a, b, &overlap, stats)) {
         continue;
       }
-      ++stats_.overlapping_pairs;
-      in_overlap.insert(a.id);
-      in_overlap.insert(b.id);
-      pairs.push_back(CheckPair{a, b, std::move(overlap)});
+      ++stats->overlapping_pairs;
+      (*rows)[i].push_back(CheckPair{a, b, std::move(overlap)});
     }
   }
+}
+
+}  // namespace
+
+std::vector<CheckPair> RaceDetector::BuildCheckList(
+    const std::vector<IntervalRecord>& epoch_intervals) {
+  return BuildCheckListSharded(epoch_intervals, 1, nullptr);
+}
+
+std::vector<CheckPair> RaceDetector::BuildCheckListSharded(
+    const std::vector<IntervalRecord>& epoch_intervals, int num_shards,
+    std::vector<DetectorStats>* per_shard) {
+  num_shards = std::max(1, num_shards);
+  // More shards than rows would leave workers idle; cap to the row count.
+  if (static_cast<size_t>(num_shards) > epoch_intervals.size()) {
+    num_shards = std::max<int>(1, static_cast<int>(epoch_intervals.size()));
+  }
+  std::vector<std::vector<CheckPair>> rows(epoch_intervals.size());
+  std::vector<DetectorStats> shard_stats(static_cast<size_t>(num_shards));
+
+  if (num_shards == 1) {
+    BuildRowsForShard(epoch_intervals, method_, num_pages_, 0, 1, &rows, &shard_stats[0]);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(num_shards));
+    for (int shard = 0; shard < num_shards; ++shard) {
+      workers.emplace_back([this, &epoch_intervals, shard, num_shards, &rows, &shard_stats] {
+        BuildRowsForShard(epoch_intervals, method_, num_pages_, shard, num_shards, &rows,
+                          &shard_stats[static_cast<size_t>(shard)]);
+      });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  }
+
+  // Deterministic merge: row order = outer-loop order of the serial scan, so
+  // the sharded check list is byte-identical to BuildCheckList's.
+  std::vector<CheckPair> pairs;
+  std::set<IntervalId> in_overlap;
+  for (std::vector<CheckPair>& row : rows) {
+    for (CheckPair& pair : row) {
+      in_overlap.insert(pair.a.id);
+      in_overlap.insert(pair.b.id);
+      pairs.push_back(std::move(pair));
+    }
+  }
+
+  stats_.intervals_total += epoch_intervals.size();
   stats_.intervals_in_overlap += in_overlap.size();
+  for (const DetectorStats& s : shard_stats) {
+    stats_.interval_comparisons += s.interval_comparisons;
+    stats_.concurrent_pairs += s.concurrent_pairs;
+    stats_.overlapping_pairs += s.overlapping_pairs;
+    stats_.page_overlap_probes += s.page_overlap_probes;
+  }
+  if (per_shard != nullptr) {
+    *per_shard = std::move(shard_stats);
+  }
   return pairs;
 }
 
@@ -135,38 +194,52 @@ std::vector<std::pair<IntervalId, PageId>> RaceDetector::BitmapsNeeded(
   return std::vector<std::pair<IntervalId, PageId>>(needed.begin(), needed.end());
 }
 
-std::vector<RaceReport> RaceDetector::CompareBitmaps(const std::vector<CheckPair>& pairs,
-                                                     const BitmapLookup& lookup, EpochId epoch) {
+std::vector<RaceReport> RaceDetector::CompareOnePair(const IntervalId& a, const IntervalId& b,
+                                                     const std::vector<PageId>& pages,
+                                                     const BitmapLookup& lookup, EpochId epoch,
+                                                     uint64_t* bitmap_pairs_compared) {
   std::vector<RaceReport> reports;
-  stats_.checklist_entries += BitmapsNeeded(pairs).size();
-
   auto report_hits = [&](RaceKind kind, const Bitmap& x, const Bitmap& y, PageId page,
-                         const IntervalId& a, const IntervalId& b) {
-    ++stats_.bitmap_pairs_compared;
+                         const IntervalId& ia, const IntervalId& ib) {
+    ++*bitmap_pairs_compared;
     for (uint32_t word : x.IntersectionBits(y)) {
       RaceReport r;
       r.kind = kind;
       r.page = page;
       r.word = word;
-      r.interval_a = a;
-      r.interval_b = b;
+      r.interval_a = ia;
+      r.interval_b = ib;
       r.epoch = epoch;
       reports.push_back(std::move(r));
     }
   };
 
+  for (PageId page : pages) {
+    const PageAccessBitmaps* bm_a = lookup(a, page);
+    const PageAccessBitmaps* bm_b = lookup(b, page);
+    if (bm_a == nullptr || bm_b == nullptr) {
+      continue;  // The interval never truly touched the page (stale notice).
+    }
+    // Write-write overlap.
+    report_hits(RaceKind::kWriteWrite, bm_a->write, bm_b->write, page, a, b);
+    // Read-write overlaps, writer first.
+    report_hits(RaceKind::kReadWrite, bm_a->write, bm_b->read, page, a, b);
+    report_hits(RaceKind::kReadWrite, bm_b->write, bm_a->read, page, b, a);
+  }
+  return reports;
+}
+
+std::vector<RaceReport> RaceDetector::CompareBitmaps(const std::vector<CheckPair>& pairs,
+                                                     const BitmapLookup& lookup, EpochId epoch,
+                                                     size_t checklist_entries) {
+  std::vector<RaceReport> reports;
+  stats_.checklist_entries += checklist_entries;
+
   for (const CheckPair& pair : pairs) {
-    for (PageId page : pair.pages) {
-      const PageAccessBitmaps* bm_a = lookup(pair.a.id, page);
-      const PageAccessBitmaps* bm_b = lookup(pair.b.id, page);
-      if (bm_a == nullptr || bm_b == nullptr) {
-        continue;  // The interval never truly touched the page (stale notice).
-      }
-      // Write-write overlap.
-      report_hits(RaceKind::kWriteWrite, bm_a->write, bm_b->write, page, pair.a.id, pair.b.id);
-      // Read-write overlaps, writer first.
-      report_hits(RaceKind::kReadWrite, bm_a->write, bm_b->read, page, pair.a.id, pair.b.id);
-      report_hits(RaceKind::kReadWrite, bm_b->write, bm_a->read, page, pair.b.id, pair.a.id);
+    std::vector<RaceReport> pair_reports = CompareOnePair(
+        pair.a.id, pair.b.id, pair.pages, lookup, epoch, &stats_.bitmap_pairs_compared);
+    for (RaceReport& report : pair_reports) {
+      reports.push_back(std::move(report));
     }
   }
   return reports;

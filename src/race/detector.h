@@ -3,6 +3,12 @@
 // pairs (vector-timestamp test), winnow to pairs with overlapping page
 // accesses (the check list), then compare word-granularity bitmaps to
 // separate false sharing from true data races.
+//
+// The check-list build (the O(n²) pair loop) can run sharded across a worker
+// pool: rows of the pair triangle are dealt round-robin to shards and the
+// per-row results merged back in row order, so the sharded check list is
+// byte-identical to the serial one (same pairs, same order) — reports stay
+// reproducible no matter how many workers ran.
 #ifndef CVM_RACE_DETECTOR_H_
 #define CVM_RACE_DETECTOR_H_
 
@@ -65,24 +71,52 @@ class RaceDetector {
   // vector-timestamp test prunes synchronized pairs in constant time.
   std::vector<CheckPair> BuildCheckList(const std::vector<IntervalRecord>& epoch_intervals);
 
+  // Same result, same order, but the pair loop runs on `num_shards` worker
+  // threads (row i of the triangle goes to shard i % num_shards, which keeps
+  // the triangular work balanced). When `per_shard` is non-null it receives
+  // one DetectorStats per shard, so the caller can charge simulated time for
+  // the *largest* shard (the parallel critical path) rather than the sum.
+  // num_shards <= 1 degenerates to the serial loop on the calling thread.
+  std::vector<CheckPair> BuildCheckListSharded(
+      const std::vector<IntervalRecord>& epoch_intervals, int num_shards,
+      std::vector<DetectorStats>* per_shard = nullptr);
+
   // Distinct (interval, page) entries whose bitmaps step 5 needs.
   static std::vector<std::pair<IntervalId, PageId>> BitmapsNeeded(
       const std::vector<CheckPair>& pairs);
 
   // Step 5: word-level comparison. Emits one report per racing word per
   // interval pair per kind. interval_a is the writer in read-write reports.
+  // `checklist_entries` is the number of distinct (interval, page) bitmap
+  // requests behind `pairs` — i.e. BitmapsNeeded(pairs).size(), which every
+  // caller has already computed to run the retrieval round; it is threaded
+  // through instead of being recomputed here.
   std::vector<RaceReport> CompareBitmaps(const std::vector<CheckPair>& pairs,
-                                         const BitmapLookup& lookup, EpochId epoch);
+                                         const BitmapLookup& lookup, EpochId epoch,
+                                         size_t checklist_entries);
+
+  // The word-level comparison of ONE check pair (all its pages), shared by
+  // CompareBitmaps and by constituent nodes running the distributed compare:
+  // both sides must emit reports in exactly this order (per page: W/W words
+  // ascending, then R/W with a writing, then R/W with b writing) for the
+  // merged distributed report stream to be byte-identical to the serial one.
+  // `bitmap_pairs_compared` is incremented per bitmap pair examined.
+  static std::vector<RaceReport> CompareOnePair(const IntervalId& a, const IntervalId& b,
+                                                const std::vector<PageId>& pages,
+                                                const BitmapLookup& lookup, EpochId epoch,
+                                                uint64_t* bitmap_pairs_compared);
+
+  // Folds compare work done away from this detector (the distributed
+  // pipeline's constituent-node compares) into the run totals.
+  void AccumulateCompare(uint64_t checklist_entries, uint64_t bitmap_pairs_compared) {
+    stats_.checklist_entries += checklist_entries;
+    stats_.bitmap_pairs_compared += bitmap_pairs_compared;
+  }
 
   const DetectorStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DetectorStats{}; }
 
  private:
-  // True (and fills `overlap`) if the two intervals share any page with at
-  // least one writer.
-  bool PagesOverlap(const IntervalRecord& a, const IntervalRecord& b,
-                    std::vector<PageId>* overlap);
-
   int num_pages_;
   OverlapMethod method_;
   DetectorStats stats_;

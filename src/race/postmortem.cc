@@ -55,7 +55,8 @@ PostMortemTrace::AnalysisResult PostMortemTrace::Analyze(int num_pages,
 
   for (const auto& [epoch, records] : by_epoch) {
     const std::vector<CheckPair> pairs = detector.BuildCheckList(records);
-    std::vector<RaceReport> races = detector.CompareBitmaps(pairs, lookup, epoch);
+    const size_t checklist_entries = RaceDetector::BitmapsNeeded(pairs).size();
+    std::vector<RaceReport> races = detector.CompareBitmaps(pairs, lookup, epoch, checklist_entries);
     for (RaceReport& race : races) {
       // Deduplicate, matching the online system's reporting.
       const bool duplicate = std::any_of(result.races.begin(), result.races.end(),

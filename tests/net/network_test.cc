@@ -154,13 +154,28 @@ TEST(MessageTest, PayloadSizesAreConsistent) {
   PageRequestMsg req;
   EXPECT_EQ(PayloadByteSize(Payload(req)), kMessageHeaderBytes + 13);
 
+  // A raw-encoded bitmap entry costs the legacy full-page payload plus the
+  // codec's per-bitmap header (tag byte + bit count).
   BitmapReplyMsg reply;
-  reply.entries.push_back(BitmapReplyEntry{IntervalId{0, 0}, 0, Bitmap(1024), Bitmap(1024)});
+  reply.entries.push_back(BitmapReplyEntry{IntervalId{0, 0}, 0,
+                                           BitmapCodec::Encode(Bitmap(1024), false),
+                                           BitmapCodec::Encode(Bitmap(1024), false)});
   EXPECT_EQ(PayloadByteSize(Payload(reply)),
-            kMessageHeaderBytes + 8 + sizeof(IntervalId) + sizeof(PageId) + 2 * 128);
+            kMessageHeaderBytes + 8 + sizeof(IntervalId) + sizeof(PageId) +
+                2 * (EncodedBitmap::kHeaderBytes + 128));
 
   Message m = Make(0, 0, reply);
   EXPECT_STREQ(m.KindName(), "BitmapReply");
+
+  // An empty bitmap compresses to just the codec header.
+  BitmapShipMsg ship;
+  ship.entries.push_back(BitmapReplyEntry{IntervalId{0, 0}, 0,
+                                          BitmapCodec::Encode(Bitmap(1024), true),
+                                          BitmapCodec::Encode(Bitmap(1024), true)});
+  EXPECT_EQ(PayloadByteSize(Payload(ship)),
+            kMessageHeaderBytes + 8 + sizeof(uint64_t) + sizeof(IntervalId) + sizeof(PageId) +
+                2 * EncodedBitmap::kHeaderBytes);
+  EXPECT_STREQ(Make(0, 0, ship).KindName(), "BitmapShip");
 }
 
 TEST(MessageTest, SendToInvalidNodeAborts) {

@@ -1,0 +1,114 @@
+// BitmapCodec: lossless round-trips for every encoding, smallest-encoding
+// selection, and the wire-byte accounting the bitmap round's byte metrics
+// are built on.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/race/bitmap_codec.h"
+
+namespace cvm {
+namespace {
+
+Bitmap MakeBitmap(uint32_t num_bits, const std::vector<uint32_t>& set_bits) {
+  Bitmap bitmap(num_bits);
+  for (uint32_t bit : set_bits) {
+    bitmap.Set(bit);
+  }
+  return bitmap;
+}
+
+void ExpectRoundTrip(const Bitmap& original) {
+  const EncodedBitmap encoded = BitmapCodec::Encode(original, true);
+  const Bitmap decoded = BitmapCodec::Decode(encoded);
+  ASSERT_EQ(decoded.size(), original.size());
+  EXPECT_EQ(decoded.words(), original.words());
+}
+
+TEST(BitmapCodecTest, EmptyBitmapIsHeaderOnly) {
+  const Bitmap empty(1024);
+  const EncodedBitmap encoded = BitmapCodec::Encode(empty, true);
+  EXPECT_EQ(encoded.encoding, BitmapEncoding::kEmpty);
+  EXPECT_EQ(encoded.WireBytes(), EncodedBitmap::kHeaderBytes);
+  ExpectRoundTrip(empty);
+}
+
+TEST(BitmapCodecTest, SparseBitmapEncodesIndices) {
+  const Bitmap sparse = MakeBitmap(1024, {3, 100, 1023});
+  const EncodedBitmap encoded = BitmapCodec::Encode(sparse, true);
+  EXPECT_EQ(encoded.encoding, BitmapEncoding::kSparse);
+  EXPECT_EQ(encoded.WireBytes(), EncodedBitmap::kHeaderBytes + 3 * sizeof(uint16_t));
+  ExpectRoundTrip(sparse);
+}
+
+TEST(BitmapCodecTest, DenseRunEncodesAsRuns) {
+  // One maximal run of 512 bits: 2 uint16 values vs 512 sparse indices.
+  Bitmap dense(1024);
+  for (uint32_t bit = 100; bit < 612; ++bit) {
+    dense.Set(bit);
+  }
+  const EncodedBitmap encoded = BitmapCodec::Encode(dense, true);
+  EXPECT_EQ(encoded.encoding, BitmapEncoding::kRuns);
+  EXPECT_EQ(encoded.WireBytes(), EncodedBitmap::kHeaderBytes + 2 * sizeof(uint16_t));
+  ExpectRoundTrip(dense);
+}
+
+TEST(BitmapCodecTest, PathologicalBitmapFallsBackToRaw) {
+  // Alternating bits: sparse needs 2 bytes per set bit, runs need 4 bytes
+  // per 1-bit run — both exceed the raw words, so raw must win.
+  Bitmap alternating(1024);
+  for (uint32_t bit = 0; bit < 1024; bit += 2) {
+    alternating.Set(bit);
+  }
+  const EncodedBitmap encoded = BitmapCodec::Encode(alternating, true);
+  EXPECT_EQ(encoded.encoding, BitmapEncoding::kRaw);
+  EXPECT_EQ(encoded.WireBytes(), EncodedBitmap::RawWireBytes(1024));
+  ExpectRoundTrip(alternating);
+}
+
+TEST(BitmapCodecTest, CompressionDisabledAlwaysYieldsRaw) {
+  for (const Bitmap& bitmap :
+       {Bitmap(512), MakeBitmap(512, {1, 2, 3}), MakeBitmap(512, {0})}) {
+    const EncodedBitmap encoded = BitmapCodec::Encode(bitmap, false);
+    EXPECT_EQ(encoded.encoding, BitmapEncoding::kRaw);
+    EXPECT_EQ(encoded.WireBytes(), EncodedBitmap::RawWireBytes(512));
+    const Bitmap decoded = BitmapCodec::Decode(encoded);
+    EXPECT_EQ(decoded.words(), bitmap.words());
+  }
+}
+
+TEST(BitmapCodecTest, CompressedNeverLargerThanRaw) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint32_t num_bits = 64 + (rng() % 2048);
+    Bitmap bitmap(num_bits);
+    const uint32_t set_count = rng() % num_bits;
+    for (uint32_t i = 0; i < set_count; ++i) {
+      bitmap.Set(rng() % num_bits);
+    }
+    // Occasionally splice in a dense run so kRuns gets exercised.
+    if (trial % 3 == 0) {
+      const uint32_t start = rng() % (num_bits / 2);
+      for (uint32_t bit = start; bit < start + num_bits / 4; ++bit) {
+        bitmap.Set(bit);
+      }
+    }
+    const EncodedBitmap encoded = BitmapCodec::Encode(bitmap, true);
+    EXPECT_LE(encoded.WireBytes(), EncodedBitmap::RawWireBytes(num_bits));
+    const Bitmap decoded = BitmapCodec::Decode(encoded);
+    ASSERT_EQ(decoded.words(), bitmap.words()) << "trial " << trial;
+  }
+}
+
+TEST(BitmapCodecTest, EncodingIsDeterministic) {
+  const Bitmap bitmap = MakeBitmap(1024, {5, 6, 7, 300});
+  const EncodedBitmap a = BitmapCodec::Encode(bitmap, true);
+  const EncodedBitmap b = BitmapCodec::Encode(bitmap, true);
+  EXPECT_EQ(a.encoding, b.encoding);
+  EXPECT_EQ(a.num_bits, b.num_bits);
+  EXPECT_EQ(a.raw, b.raw);
+  EXPECT_EQ(a.values, b.values);
+}
+
+}  // namespace
+}  // namespace cvm

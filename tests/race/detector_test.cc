@@ -102,7 +102,7 @@ TEST_P(DetectorTest, FalseSharingIsClearedByBitmaps) {
   const auto pairs = detector.BuildCheckList(fx.records());
   ASSERT_EQ(pairs.size(), 1u);
   EXPECT_EQ(pairs[0].pages, std::vector<PageId>{5});
-  const auto races = detector.CompareBitmaps(pairs, fx.Lookup(), 0);
+  const auto races = detector.CompareBitmaps(pairs, fx.Lookup(), 0, RaceDetector::BitmapsNeeded(pairs).size());
   EXPECT_TRUE(races.empty());
   EXPECT_GT(detector.stats().bitmap_pairs_compared, 0u);
 }
@@ -115,7 +115,7 @@ TEST_P(DetectorTest, TrueSharingWriteWrite) {
   fx.Touch({1, 0}, 5, {}, {3});
   RaceDetector detector(16, GetParam());
   const auto pairs = detector.BuildCheckList(fx.records());
-  const auto races = detector.CompareBitmaps(pairs, fx.Lookup(), 7);
+  const auto races = detector.CompareBitmaps(pairs, fx.Lookup(), 7, RaceDetector::BitmapsNeeded(pairs).size());
   ASSERT_EQ(races.size(), 1u);
   EXPECT_EQ(races[0].kind, RaceKind::kWriteWrite);
   EXPECT_EQ(races[0].page, 5);
@@ -131,7 +131,7 @@ TEST_P(DetectorTest, TrueSharingReadWriteIdentifiesWriterFirst) {
   fx.Touch({1, 0}, 5, {9}, {});
   RaceDetector detector(16, GetParam());
   const auto pairs = detector.BuildCheckList(fx.records());
-  const auto races = detector.CompareBitmaps(pairs, fx.Lookup(), 0);
+  const auto races = detector.CompareBitmaps(pairs, fx.Lookup(), 0, RaceDetector::BitmapsNeeded(pairs).size());
   ASSERT_EQ(races.size(), 1u);
   EXPECT_EQ(races[0].kind, RaceKind::kReadWrite);
   EXPECT_EQ(races[0].interval_a, (IntervalId{0, 0}));  // The writer.
@@ -150,7 +150,7 @@ TEST_P(DetectorTest, ThreeWayConcurrencyComparesAllPairs) {
   const auto pairs = detector.BuildCheckList(fx.records());
   EXPECT_EQ(pairs.size(), 3u);  // All three pairs overlap.
   EXPECT_EQ(detector.stats().intervals_in_overlap, 3u);
-  EXPECT_TRUE(detector.CompareBitmaps(pairs, fx.Lookup(), 0).empty());
+  EXPECT_TRUE(detector.CompareBitmaps(pairs, fx.Lookup(), 0, RaceDetector::BitmapsNeeded(pairs).size()).empty());
 }
 
 TEST_P(DetectorTest, BitmapsNeededDeduplicates) {

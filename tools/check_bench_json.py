@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Validates the schema of BENCH_detector.json (and knows BENCH_fig4.json).
+
+Used by the CI bench-smoke step: after running
+`ablation_detection_pipeline --smoke`, this asserts the JSON parses, every
+cell carries the full column set with sane types/values, and the modes'
+relative claims hold (compressed-distributed wire bytes <= raw bytes;
+reports match serial where required). Stdlib only.
+
+Usage: tools/check_bench_json.py BENCH_detector.json
+       tools/check_bench_json.py --fig4 BENCH_fig4.json
+"""
+
+import json
+import sys
+
+DETECTOR_FIELDS = {
+    "app": str,
+    "mode": str,
+    "procs": int,
+    "compress": bool,
+    "detect_epochs": int,
+    "detect_ns_per_epoch": (int, float),
+    "bitmap_bytes_raw_per_epoch": (int, float),
+    "bitmap_bytes_wire_per_epoch": (int, float),
+    "overlap_saved_ns_per_epoch": (int, float),
+    "shards": int,
+    "remote_pairs_compared": int,
+    "remote_reports": int,
+    "races": int,
+    "reports_exact_match": bool,
+    "reports_structural_match": bool,
+}
+
+FIG4_FIELDS = {
+    "app": str,
+    "protocol": str,
+    "procs": int,
+    "slowdown": (int, float),
+    "sim_ms_detect": (int, float),
+    "sim_ms_base": (int, float),
+    "wall_s_detect": (int, float),
+    "wall_s_base": (int, float),
+}
+
+MODES = {"serial", "sharded", "distributed"}
+
+
+def fail(msg):
+    print(f"SCHEMA ERROR: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_fields(cell, index, fields):
+    for name, kind in fields.items():
+        if name not in cell:
+            return f"cell {index}: missing field '{name}'"
+        value = cell[name]
+        # bool is an int subclass; keep int fields strictly non-bool.
+        if fields[name] is int and isinstance(value, bool):
+            return f"cell {index}: field '{name}' is bool, expected int"
+        if not isinstance(value, kind):
+            return f"cell {index}: field '{name}' has type {type(value).__name__}"
+    return None
+
+
+def check_detector(cells):
+    if not cells:
+        return fail("no cells")
+    by_app = {}
+    for i, cell in enumerate(cells):
+        err = check_fields(cell, i, DETECTOR_FIELDS)
+        if err:
+            return fail(err)
+        if cell["mode"] not in MODES:
+            return fail(f"cell {i}: unknown mode '{cell['mode']}'")
+        if cell["procs"] <= 0:
+            return fail(f"cell {i}: procs must be positive")
+        if cell["bitmap_bytes_wire_per_epoch"] > cell["bitmap_bytes_raw_per_epoch"]:
+            return fail(f"cell {i}: wire bytes exceed raw bytes")
+        if cell["detect_ns_per_epoch"] < 0 or cell["detect_epochs"] < 0:
+            return fail(f"cell {i}: negative time/epoch count")
+        by_app.setdefault(cell["app"], {})[cell["mode"]] = cell
+    for app, modes in by_app.items():
+        missing = MODES - set(modes)
+        if missing:
+            return fail(f"app {app}: missing mode(s) {sorted(missing)}")
+        serial = modes["serial"]
+        if not serial["reports_exact_match"]:
+            return fail(f"app {app}: serial cell must self-match")
+        for mode in ("sharded", "distributed"):
+            cell = modes[mode]
+            # Deterministic apps must reproduce the serial report stream
+            # byte-for-byte; TSP's schedule-dependent search only structurally.
+            required = (
+                cell["reports_structural_match"]
+                if app == "TSP"
+                else cell["reports_exact_match"]
+            )
+            if not required:
+                return fail(f"app {app}/{mode}: reports diverge from serial")
+        if modes["distributed"]["compress"]:
+            if (
+                serial["bitmap_bytes_raw_per_epoch"] > 0
+                and modes["distributed"]["bitmap_bytes_wire_per_epoch"]
+                >= serial["bitmap_bytes_wire_per_epoch"]
+            ):
+                return fail(f"app {app}: compressed-distributed wire bytes not below serial")
+    print(f"OK: {len(cells)} detector cells, {len(by_app)} app(s), all checks pass")
+    return 0
+
+
+def check_fig4(cells):
+    if not cells:
+        return fail("no cells")
+    for i, cell in enumerate(cells):
+        err = check_fields(cell, i, FIG4_FIELDS)
+        if err:
+            return fail(err)
+        if cell["slowdown"] < 0:
+            return fail(f"cell {i}: negative slowdown")
+    print(f"OK: {len(cells)} fig4 cells")
+    return 0
+
+
+def main():
+    args = sys.argv[1:]
+    fig4 = "--fig4" in args
+    paths = [a for a in args if not a.startswith("--")]
+    if len(paths) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(paths[0], encoding="utf-8") as f:
+            cells = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot load {paths[0]}: {e}")
+    if not isinstance(cells, list):
+        return fail("top level must be a JSON array")
+    return check_fig4(cells) if fig4 else check_detector(cells)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Checks intra-repo markdown links in README.md and docs/.
+
+Scans every markdown file for [text](target) links, ignores external URLs
+(http/https/mailto) and pure #fragments, and verifies that relative targets
+resolve to a file or directory in the repository. Exits non-zero listing
+every dead link. Stdlib only — runs anywhere python3 exists.
+
+Usage: tools/check_doc_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — target captured up to the first unescaped ')'. Markdown
+# images ![alt](src) match too, which is what we want.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(root):
+    files = [os.path.join(root, "README.md")]
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs_dir, name))
+    return [f for f in files if os.path.isfile(f)]
+
+
+def strip_code_blocks(text):
+    """Removes fenced code blocks so example snippets aren't link-checked."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def check_file(path, root):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        text = strip_code_blocks(f.read())
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        # Drop any #fragment; resolve relative to the linking file.
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), rel))
+        if not os.path.exists(resolved):
+            errors.append((os.path.relpath(path, root), target))
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    files = doc_files(root)
+    if not files:
+        print(f"error: no markdown files found under {root}", file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in files:
+        all_errors.extend(check_file(path, root))
+    if all_errors:
+        for source, target in all_errors:
+            print(f"DEAD LINK: {source} -> {target}", file=sys.stderr)
+        print(f"{len(all_errors)} dead link(s) in {len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {len(files)} file(s), all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

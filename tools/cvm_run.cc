@@ -40,6 +40,10 @@ int Usage() {
       "  --protocol=P         lazy | multi | eager (default lazy)\n"
       "  --size=N             app problem size (app-specific scale knob)\n"
       "  --no-detect          run without race detection\n"
+      "  --pipeline=P         serial | sharded | distributed barrier-time check\n"
+      "                       (docs/DETECTOR.md; default serial)\n"
+      "  --detect-shards=N    workers for the sharded check-list build (0 = auto)\n"
+      "  --compress-bitmaps   sparse/run-length encode bitmap-round payloads\n"
       "  --diff-writes        §6.5: mine writes from diffs (implies --protocol=multi)\n"
       "  --first-races        §6.4: report only the earliest racy epoch\n"
       "  --fix-bug            water only: repaired virial update\n"
@@ -149,6 +153,7 @@ int main(int argc, char** argv) {
   }
   const std::vector<std::string> accepted = {
       "app",     "nodes",  "page-size",   "protocol",  "size",        "detect",
+      "pipeline", "detect-shards", "compress-bitmaps",
       "diff-writes", "first-races", "fix-bug", "compare", "record",  "replay",
       "watch",   "watch-epoch", "postmortem", "trace-out", "trace-in", "full-report", "pages",
       "trace-json", "metrics-out", "metrics-interval", "trace-sample",
@@ -183,6 +188,19 @@ int main(int argc, char** argv) {
   options.max_shared_bytes = 64ull << 20;
   options.race_detection = flags.GetBool("detect", true);
   options.first_races_only = flags.GetBool("first-races", false);
+  const std::string pipeline = flags.GetString("pipeline", "serial");
+  if (pipeline == "serial") {
+    options.detection_pipeline = DetectionPipeline::kSerial;
+  } else if (pipeline == "sharded") {
+    options.detection_pipeline = DetectionPipeline::kSharded;
+  } else if (pipeline == "distributed") {
+    options.detection_pipeline = DetectionPipeline::kDistributed;
+  } else {
+    std::fprintf(stderr, "error: unknown pipeline '%s'\n", pipeline.c_str());
+    return Usage();
+  }
+  options.detect_shards = static_cast<int>(flags.GetInt("detect-shards", 0));
+  options.compress_bitmaps = flags.GetBool("compress-bitmaps", false);
   options.postmortem_trace = flags.GetBool("postmortem", false);
 
   options.trace.trace_enabled = flags.Has("trace-json");

@@ -147,6 +147,45 @@ int SummarizeMetrics(const std::string& path) {
   table.Print();
   std::printf("\nbucket columns and the total are summed across nodes; 'Sim ms' is the\n"
               "critical-path simulated time the epoch added.\n");
+
+  // Detection-pipeline table: shard fan-out, bitmap-round bytes (raw vs on
+  // the wire after BitmapCodec), and §6.2 overlap savings. Only printed when
+  // the run recorded the pipeline counters (any pipeline mode emits them).
+  if (column.count("net.bitmap.bytes_raw") != 0) {
+    in.clear();
+    in.seekg(0);
+    std::getline(in, line);  // Header.
+    TablePrinter pipeline_table({"Epoch", "Shards", "Checks", "Raw B", "Wire B", "Saved B",
+                                 "Overlap ms", "Remote cmp"});
+    bool any_activity = false;
+    while (std::getline(in, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      const std::vector<std::string> cells = SplitCsvLine(line);
+      const double raw = cell_value(cells, "net.bitmap.bytes_raw");
+      const double wire = cell_value(cells, "net.bitmap.bytes_wire");
+      const double saved = cell_value(cells, "net.bitmap.bytes_saved");
+      const double overlap_ns = cell_value(cells, "race.overlap.saved_ns");
+      const double remote = cell_value(cells, "race.remote.pairs_compared");
+      any_activity = any_activity || raw > 0 || wire > 0 || remote > 0;
+      pipeline_table.AddRow(
+          {std::to_string(static_cast<long long>(cell_value(cells, "epoch"))),
+           TablePrinter::Fixed(cell_value(cells, "race.shard.count"), 0),
+           TablePrinter::Fixed(cell_value(cells, "race.checklist_entries"), 0),
+           TablePrinter::Fixed(raw, 0), TablePrinter::Fixed(wire, 0),
+           TablePrinter::Fixed(saved, 0), TablePrinter::Fixed(overlap_ns / 1e6, 3),
+           TablePrinter::Fixed(remote, 0)});
+    }
+    if (any_activity) {
+      std::printf("\nper-epoch detection pipeline (see docs/DETECTOR.md):\n\n");
+      pipeline_table.Print();
+      std::printf("\n'Raw B' is what the bitmap round would cost uncompressed; 'Wire B' is\n"
+                  "what it sent; 'Overlap ms' is compare time hidden under the round\n"
+                  "(sharded mode); 'Remote cmp' counts pairs compared on constituents\n"
+                  "(distributed mode).\n");
+    }
+  }
   return 0;
 }
 
