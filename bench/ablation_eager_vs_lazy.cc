@@ -15,12 +15,18 @@ int main() {
 
   TablePrinter table({"App", "Consistency", "Messages", "MBytes", "Slowdown", "Races"});
   for (const bench::NamedApp& app : bench::PaperApps()) {
-    for (ProtocolKind protocol :
-         {ProtocolKind::kSingleWriterLrc, ProtocolKind::kEagerRcInvalidate}) {
+    const struct {
+      ProtocolKind kind;
+      bool lazy;
+    } kProtocols[] = {
+        {ProtocolKind::kSingleWriterLrc, true},
+        {ProtocolKind::kEagerRcInvalidate, false},
+    };
+    for (const auto& protocol : kProtocols) {
       DsmOptions options = bench::PaperOptions(8);
-      options.protocol = protocol;
+      options.protocol = protocol.kind;
       WorkloadResult result = RunWorkloadMedian(app.factory, options, 3);
-      const bool lazy = protocol == ProtocolKind::kSingleWriterLrc;
+      const bool lazy = protocol.lazy;
       uint64_t erc_msgs = 0;
       auto it = result.detect.net.messages_by_kind.find("ErcUpdate");
       if (it != result.detect.net.messages_by_kind.end()) {

@@ -14,14 +14,19 @@ int main() {
   TablePrinter table({"App", "Protocol", "Page faults", "Messages", "MBytes", "Slowdown",
                       "Races"});
   for (const bench::NamedApp& app : bench::PaperApps()) {
-    for (ProtocolKind protocol :
-         {ProtocolKind::kSingleWriterLrc, ProtocolKind::kMultiWriterHomeLrc}) {
+    const struct {
+      ProtocolKind kind;
+      const char* label;
+      bool leads_group;  // First row of an app group carries the app name.
+    } kProtocols[] = {
+        {ProtocolKind::kSingleWriterLrc, "single-writer", true},
+        {ProtocolKind::kMultiWriterHomeLrc, "multi-writer home", false},
+    };
+    for (const auto& protocol : kProtocols) {
       DsmOptions options = bench::PaperOptions(8);
-      options.protocol = protocol;
+      options.protocol = protocol.kind;
       WorkloadResult result = RunWorkloadMedian(app.factory, options, 3);
-      table.AddRow({protocol == ProtocolKind::kSingleWriterLrc ? result.app_name : "",
-                    protocol == ProtocolKind::kSingleWriterLrc ? "single-writer"
-                                                               : "multi-writer home",
+      table.AddRow({protocol.leads_group ? result.app_name : "", protocol.label,
                     TablePrinter::WithThousands(result.detect.page_faults),
                     TablePrinter::WithThousands(result.detect.net.messages),
                     TablePrinter::Fixed(static_cast<double>(result.detect.net.bytes) / 1e6, 1),

@@ -1,0 +1,700 @@
+#include "src/dsm/barrier_coordinator.h"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/dsm/dsm.h"
+#include "src/dsm/node.h"
+#include "src/obs/span.h"
+#include "src/race/bitmap_codec.h"
+
+namespace cvm {
+
+namespace {
+
+// Payload bytes of one bitmap-round entry as actually encoded, and at the
+// legacy raw encoding — the difference is what the codec saved on the wire.
+size_t ReplyEntryWireBytes(const BitmapReplyEntry& e) {
+  return sizeof(IntervalId) + sizeof(PageId) + e.read.WireBytes() + e.write.WireBytes();
+}
+
+size_t ReplyEntryRawBytes(const BitmapReplyEntry& e) {
+  return sizeof(IntervalId) + sizeof(PageId) + EncodedBitmap::RawWireBytes(e.read.num_bits) +
+         EncodedBitmap::RawWireBytes(e.write.num_bits);
+}
+
+}  // namespace
+
+BarrierCoordinator::BarrierCoordinator(Node& node) : node_(node) {}
+
+void BarrierCoordinator::RegisterHandlers(MessageDispatcher& dispatcher) {
+  dispatcher.Register<BarrierArriveMsg>([this](const Message& msg) { OnBarrierArrive(msg); });
+  dispatcher.Register<BarrierReleaseMsg>([this](const Message& msg) { OnBarrierRelease(msg); });
+  dispatcher.Register<BitmapRequestMsg>([this](const Message& msg) { OnBitmapRequest(msg); });
+  dispatcher.Register<BitmapReplyMsg>([this](const Message& msg) { OnBitmapReply(msg); });
+  dispatcher.Register<CompareRequestMsg>([this](const Message& msg) { OnCompareRequest(msg); });
+  dispatcher.Register<BitmapShipMsg>([this](const Message& msg) { OnBitmapShip(msg); });
+  dispatcher.Register<CompareReplyMsg>([this](const Message& msg) { OnCompareReply(msg); });
+}
+
+void BarrierCoordinator::InitObservability(obs::MetricsRegistry* metrics) {
+  if constexpr (!obs::kObsCompiledIn) {
+    return;
+  }
+  if (metrics == nullptr) {
+    return;
+  }
+  mh_.check_pairs = metrics->counter("race.check_pairs");
+  mh_.checklist_entries = metrics->counter("race.checklist_entries");
+  mh_.bitmap_pairs_compared = metrics->counter("race.bitmap_pairs_compared");
+  mh_.races_reported = metrics->counter("race.races_reported");
+  mh_.shard_count = metrics->counter("race.shard.count");
+  mh_.bitmap_bytes_raw = metrics->counter("net.bitmap.bytes_raw");
+  mh_.bitmap_bytes_wire = metrics->counter("net.bitmap.bytes_wire");
+  mh_.bitmap_bytes_saved = metrics->counter("net.bitmap.bytes_saved");
+  mh_.overlap_saved_ns = metrics->counter("race.overlap.saved_ns");
+  mh_.remote_pairs = metrics->counter("race.remote.pairs_compared");
+  mh_.remote_reports = metrics->counter("race.remote.reports");
+  have_metrics_ = true;
+}
+
+void BarrierCoordinator::RunBarrier(std::unique_lock<std::mutex>& lk, EpochId epoch) {
+  if (node_.id_ == 0) {
+    node_.cv_.wait(lk, [this, epoch] {
+      return arrivals_[epoch].size() == static_cast<size_t>(node_.opts_.num_nodes - 1);
+    });
+    MasterRunBarrier(lk, epoch);
+    return;
+  }
+  BarrierArriveMsg arrive;
+  arrive.epoch = epoch;
+  arrive.node = node_.id_;
+  arrive.intervals = node_.log_.All();
+  arrive.vc = node_.vc_;
+  arrive.arrive_time_ns = static_cast<uint64_t>(node_.timing_.now_ns());
+  // Publish this epoch's overhead before arriving so the master's snapshot
+  // (taken once every arrival is in) sees a consistent cross-node view.
+  node_.PublishOverheadLocked();
+  node_.Send(0, std::move(arrive));
+  node_.cv_.wait(lk, [this, epoch] {
+    return barrier_release_.has_value() && barrier_release_->epoch == epoch;
+  });
+  BarrierReleaseMsg release = std::move(*barrier_release_);
+  barrier_release_.reset();
+  const size_t bytes = PayloadByteSize(Payload(release));
+  const size_t rn_bytes = PayloadReadNoticeBytes(Payload(release));
+  node_.timing_.ObserveAtLeast(static_cast<double>(release.release_time_ns) +
+                               node_.opts_.costs.MessageCost(bytes - rn_bytes));
+  if (rn_bytes > 0) {
+    node_.timing_.Charge(Bucket::kCvmMods,
+                         node_.opts_.costs.per_byte_ns * static_cast<double>(rn_bytes));
+  }
+  node_.ApplyIntervalRecordsLocked(release.intervals);
+  node_.vc_.MergeWith(release.merged_vc);
+  node_.GarbageCollectLocked();
+}
+
+void BarrierCoordinator::MasterRunBarrier(std::unique_lock<std::mutex>& lk, EpochId epoch) {
+  std::map<NodeId, ArrivalInfo> arrivals = std::move(arrivals_[epoch]);
+  arrivals_.erase(epoch);
+
+  for (auto& [node, info] : arrivals) {
+    node_.timing_.ObserveAtLeast(
+        info.time_ns + node_.opts_.costs.MessageCost(info.wire_bytes - info.read_notice_bytes));
+    if (info.read_notice_bytes > 0) {
+      node_.timing_.Charge(Bucket::kCvmMods,
+                           node_.opts_.costs.per_byte_ns *
+                               static_cast<double>(info.read_notice_bytes));
+    }
+    node_.ApplyIntervalRecordsLocked(info.records);
+    node_.vc_.MergeWith(info.vc);
+  }
+
+  if (node_.opts_.race_detection && node_.opts_.online_detection) {
+    RunRaceDetection(lk, epoch, node_.log_.All());
+  }
+
+  for (NodeId node = 1; node < node_.opts_.num_nodes; ++node) {
+    BarrierReleaseMsg release;
+    release.epoch = epoch;
+    release.intervals = node_.log_.UnseenBy(arrivals[node].vc);
+    release.merged_vc = node_.vc_;
+    release.release_time_ns = static_cast<uint64_t>(node_.timing_.now_ns());
+    node_.Send(node, std::move(release));
+  }
+  node_.GarbageCollectLocked();
+  if constexpr (obs::kObsCompiledIn) {
+    if (node_.metrics_ != nullptr) {
+      node_.PublishOverheadLocked();
+      const int interval = std::max(1, node_.opts_.trace.metrics_interval);
+      if ((epoch + 1) % interval == 0) {
+        node_.metrics_->SnapshotEpoch(epoch, node_.timing_.now_ns());
+      }
+    }
+  }
+}
+
+int BarrierCoordinator::DetectShardCount() const {
+  if (node_.opts_.detect_shards > 0) {
+    return node_.opts_.detect_shards;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(hw == 0 ? 4 : static_cast<int>(hw), 1, 8);
+}
+
+void BarrierCoordinator::PublishReports(std::vector<RaceReport> reports) {
+  for (RaceReport& report : reports) {
+    report.addr = static_cast<GlobalAddr>(report.page) * node_.opts_.page_size +
+                  static_cast<GlobalAddr>(report.word) * kWordSize;
+    report.symbol = node_.system_->segment().Symbolize(report.addr);
+    // Numeric args only: the report's strings move into the system-wide
+    // report vector, so pointers into them must not outlive this scope.
+    node_.TraceInstant("race.report", "race", "addr", report.addr);
+  }
+  node_.system_->AddReports(std::move(reports));
+}
+
+void BarrierCoordinator::RunRaceDetection(std::unique_lock<std::mutex>& lk, EpochId epoch,
+                                          const std::vector<IntervalRecord>& epoch_intervals) {
+  RaceDetector& detector = node_.system_->detector();
+  const DetectorStats before = detector.stats();
+  const DsmOptions& opts = node_.opts_;
+  NodeTiming& timing = node_.timing_;
+  // Master sim time spent in the check, whatever exit path is taken — the
+  // quantity the pipeline ablation compares across modes.
+  struct DetectTimer {
+    const NodeTiming& timing;
+    double start_ns;
+    double* out;
+    ~DetectTimer() { *out += timing.now_ns() - start_ns; }
+  } detect_timer{timing, timing.now_ns(), &pipeline_stats_.detect_ns};
+  const bool overlapped = opts.detection_pipeline != DetectionPipeline::kSerial;
+  const int shards_wanted = overlapped ? DetectShardCount() : 1;
+  std::vector<DetectorStats> per_shard;
+  std::vector<CheckPair> pairs;
+  {
+    obs::Span overlap_span(node_.tracer_, node_.id_,
+                           overlapped ? "detector.shard" : "detector.overlap", "race", timing,
+                           epoch);
+    pairs = detector.BuildCheckListSharded(epoch_intervals, shards_wanted, &per_shard);
+    // The parallel critical path: the most loaded shard, plus a fork/join
+    // cost per worker actually spawned. One shard degenerates to the serial
+    // charge (sum of every comparison, no fork cost).
+    double worst_shard_ns = 0;
+    for (const DetectorStats& s : per_shard) {
+      worst_shard_ns =
+          std::max(worst_shard_ns,
+                   opts.costs.interval_cmp_ns * static_cast<double>(s.interval_comparisons) +
+                       opts.costs.page_overlap_ns * static_cast<double>(s.page_overlap_probes));
+    }
+    if (per_shard.size() > 1) {
+      worst_shard_ns += opts.costs.shard_fork_ns * static_cast<double>(per_shard.size());
+    }
+    timing.Charge(Bucket::kIntervals, worst_shard_ns);
+    overlap_span.SetArg("pairs", pairs.size());
+  }
+  if constexpr (obs::kObsCompiledIn) {
+    if (have_metrics_) {
+      const DetectorStats& after = detector.stats();
+      mh_.check_pairs->Add(after.overlapping_pairs - before.overlapping_pairs);
+      mh_.shard_count->Add(per_shard.size());
+    }
+  }
+  if (pairs.empty()) {
+    return;
+  }
+  pipeline_stats_.shards_used = std::max<uint64_t>(pipeline_stats_.shards_used, per_shard.size());
+  ++pipeline_stats_.detect_epochs;
+
+  // The check list fixes the distinct (interval, page) bitmaps step 5 needs;
+  // every pipeline mode accounts them once here (§4 step 3).
+  const auto needed = RaceDetector::BitmapsNeeded(pairs);
+  if constexpr (obs::kObsCompiledIn) {
+    if (have_metrics_) {
+      mh_.checklist_entries->Add(needed.size());
+    }
+  }
+
+  if (opts.detection_pipeline == DetectionPipeline::kDistributed) {
+    PublishReports(RunDistributedCompare(lk, epoch, pairs, needed.size()));
+    return;
+  }
+
+  obs::Span bitmaps_span(node_.tracer_, node_.id_, "detector.bitmaps", "race", timing, epoch);
+
+  // Bitmap-retrieval round (§4 step 4): ask each constituent node for the
+  // word bitmaps of its listed intervals; the master's own resolve locally.
+  collected_bitmaps_.clear();
+  std::map<NodeId, std::vector<CheckEntry>> by_node;
+  for (const auto& [interval, page] : needed) {
+    if (interval.node == node_.id_) {
+      const PageAccessBitmaps* local = node_.bitmaps_.Find(interval.index, page);
+      if (local != nullptr) {
+        collected_bitmaps_.emplace(std::make_pair(interval, page), *local);
+      }
+    } else {
+      by_node[interval.node].push_back(CheckEntry{interval, page});
+    }
+  }
+  CVM_CHECK_EQ(bitmap_replies_pending_, 0);
+  bitmap_replies_pending_ = static_cast<int>(by_node.size());
+  bitmap_round_bytes_ = 0;
+  bitmap_round_raw_bytes_ = 0;
+  for (auto& [node, entries] : by_node) {
+    BitmapRequestMsg request;
+    request.epoch = epoch;
+    request.entries = std::move(entries);
+    node_.Send(node, std::move(request));
+  }
+  double round_ns = 0;
+  if (bitmap_replies_pending_ > 0) {
+    if (!overlapped) {
+      timing.Charge(Bucket::kBitmaps, 2 * opts.costs.msg_latency_ns);
+    }
+    node_.cv_.wait(lk, [this] { return bitmap_replies_pending_ == 0; });
+    if (!overlapped) {
+      timing.Charge(Bucket::kBitmaps,
+                    opts.costs.per_byte_ns * static_cast<double>(bitmap_round_bytes_));
+    } else {
+      round_ns = 2 * opts.costs.msg_latency_ns +
+                 opts.costs.per_byte_ns * static_cast<double>(bitmap_round_bytes_);
+    }
+  }
+
+  const uint64_t compared_before = detector.stats().bitmap_pairs_compared;
+  BitmapLookup lookup = [this](const IntervalId& interval, PageId page) {
+    auto it = collected_bitmaps_.find(std::make_pair(interval, page));
+    return it == collected_bitmaps_.end() ? nullptr : &it->second;
+  };
+  std::vector<RaceReport> reports = detector.CompareBitmaps(pairs, lookup, epoch, needed.size());
+  const uint64_t compared = detector.stats().bitmap_pairs_compared - compared_before;
+  const double chunks = static_cast<double>((opts.page_size / kWordSize + 63) / 64);
+  const double compare_ns = opts.costs.bitmap_cmp_word_ns * chunks * static_cast<double>(compared);
+  if (!overlapped) {
+    timing.Charge(Bucket::kBitmaps, compare_ns);
+  } else {
+    // §6.2's overlap idea: the master compares pairs whose bitmaps are
+    // already local while the retrieval round is still in flight. Perfect
+    // overlap — the epoch pays the longer of the two legs, not their sum.
+    timing.Charge(Bucket::kBitmaps, std::max(round_ns, compare_ns));
+    const double saved_ns = std::min(round_ns, compare_ns);
+    pipeline_stats_.overlap_saved_ns += saved_ns;
+    if constexpr (obs::kObsCompiledIn) {
+      if (have_metrics_) {
+        mh_.overlap_saved_ns->Add(static_cast<uint64_t>(saved_ns));
+      }
+    }
+  }
+  pipeline_stats_.bitmap_bytes_wire += bitmap_round_bytes_;
+  pipeline_stats_.bitmap_bytes_raw += bitmap_round_raw_bytes_;
+
+  bitmaps_span.SetArg("compared", compared);
+  if constexpr (obs::kObsCompiledIn) {
+    if (have_metrics_) {
+      mh_.bitmap_pairs_compared->Add(compared);
+      mh_.races_reported->Add(reports.size());
+      mh_.bitmap_bytes_wire->Add(bitmap_round_bytes_);
+      mh_.bitmap_bytes_raw->Add(bitmap_round_raw_bytes_);
+      mh_.bitmap_bytes_saved->Add(bitmap_round_raw_bytes_ - bitmap_round_bytes_);
+    }
+  }
+  PublishReports(std::move(reports));
+  collected_bitmaps_.clear();
+}
+
+std::vector<RaceReport> BarrierCoordinator::RunDistributedCompare(
+    std::unique_lock<std::mutex>& lk, EpochId epoch, const std::vector<CheckPair>& pairs,
+    size_t checklist_entries) {
+  RaceDetector& detector = node_.system_->detector();
+  const DsmOptions& opts = node_.opts_;
+  NodeTiming& timing = node_.timing_;
+  obs::Span span(node_.tracer_, node_.id_, "detector.compare.remote", "race", timing, epoch);
+
+  // Assign every check pair to one of its two member nodes. The master owns
+  // any pair it participates in (its bitmaps never leave node 0); remaining
+  // pairs alternate between the members by index so the compare load spreads
+  // evenly. Ownership is a pure function of the (deterministic) check list,
+  // so the partition is reproducible run to run.
+  struct OwnedPair {
+    uint32_t index;
+    const CheckPair* pair;
+  };
+  std::vector<OwnedPair> master_pairs;
+  std::map<NodeId, CompareRequestMsg> requests;
+  std::set<std::tuple<NodeId, NodeId, IntervalId, PageId>> planned;  // (src, dst, interval, page)
+  auto plan_ship = [&](NodeId source, NodeId dest, const IntervalId& interval, PageId page) {
+    if (source == dest) {
+      return;  // The owner already holds its own bitmaps.
+    }
+    if (!planned.insert({source, dest, interval, page}).second) {
+      return;  // Another pair already ships this entry there.
+    }
+    requests[source].ships.push_back(ShipDirective{dest, interval, page});
+  };
+  uint32_t index = 0;
+  for (const CheckPair& pair : pairs) {
+    const NodeId na = pair.a.id.node;
+    const NodeId nb = pair.b.id.node;
+    const NodeId owner = (na == node_.id_ || nb == node_.id_)
+                             ? node_.id_
+                             : (index % 2 == 0 ? std::min(na, nb) : std::max(na, nb));
+    for (PageId page : pair.pages) {
+      if (pair.a.WritesPage(page) || pair.a.ReadsPage(page)) {
+        plan_ship(na, owner, pair.a.id, page);
+      }
+      if (pair.b.WritesPage(page) || pair.b.ReadsPage(page)) {
+        plan_ship(nb, owner, pair.b.id, page);
+      }
+    }
+    if (owner == node_.id_) {
+      master_pairs.push_back(OwnedPair{index, &pair});
+    } else {
+      ComparePairEntry entry;
+      entry.pair_index = index;
+      entry.a = pair.a.id;
+      entry.b = pair.b.id;
+      entry.pages = pair.pages;
+      requests[owner].pairs.push_back(std::move(entry));
+    }
+    ++index;
+  }
+  // One BitmapShipMsg travels per distinct (source, dest) edge, so a dest
+  // expects as many ship messages as it has distinct sources.
+  std::map<NodeId, std::set<NodeId>> ship_sources;
+  for (const auto& [src, dst, interval, page] : planned) {
+    ship_sources[dst].insert(src);
+  }
+
+  CVM_CHECK_EQ(compare_replies_pending_, 0);
+  CVM_CHECK_EQ(master_ships_pending_, 0);
+  compare_replies_.clear();
+  collected_bitmaps_.clear();
+  master_ship_target_ns_ = 0;
+  master_ship_bytes_wire_ = 0;
+  master_ship_bytes_raw_ = 0;
+  {
+    auto it = ship_sources.find(node_.id_);
+    master_ships_pending_ = it == ship_sources.end() ? 0 : static_cast<int>(it->second.size());
+  }
+  compare_replies_pending_ = static_cast<int>(requests.size());
+  const uint64_t request_time = static_cast<uint64_t>(timing.now_ns());
+  for (auto& [node, request] : requests) {
+    request.epoch = epoch;
+    request.request_time_ns = request_time;
+    auto it = ship_sources.find(node);
+    request.expected_ship_msgs =
+        it == ship_sources.end() ? 0 : static_cast<uint32_t>(it->second.size());
+    node_.Send(node, std::move(request));
+  }
+
+  // The master's own compares need only the peers' shipped bitmaps; its own
+  // side resolves from local storage. Compare as soon as the inbound ships
+  // land — the remote owners' replies overlap this work (the Lamport merge
+  // below takes the max of the two legs, not their sum).
+  node_.cv_.wait(lk, [this] { return master_ships_pending_ == 0; });
+  if (master_ship_target_ns_ > timing.now_ns()) {
+    timing.Charge(Bucket::kBitmaps, master_ship_target_ns_ - timing.now_ns());
+  }
+  BitmapLookup lookup = [this](const IntervalId& interval,
+                               PageId page) -> const PageAccessBitmaps* {
+    if (interval.node == node_.id_) {
+      return node_.bitmaps_.Find(interval.index, page);
+    }
+    auto it = collected_bitmaps_.find(std::make_pair(interval, page));
+    return it == collected_bitmaps_.end() ? nullptr : &it->second;
+  };
+  uint64_t master_compared = 0;
+  std::vector<std::pair<uint32_t, RaceReport>> tagged;
+  for (const OwnedPair& owned : master_pairs) {
+    std::vector<RaceReport> pair_reports = RaceDetector::CompareOnePair(
+        owned.pair->a.id, owned.pair->b.id, owned.pair->pages, lookup, epoch, &master_compared);
+    for (RaceReport& report : pair_reports) {
+      tagged.emplace_back(owned.index, std::move(report));
+    }
+  }
+  const double chunks = static_cast<double>((opts.page_size / kWordSize + 63) / 64);
+  timing.Charge(Bucket::kBitmaps,
+                opts.costs.bitmap_cmp_word_ns * chunks * static_cast<double>(master_compared));
+
+  node_.cv_.wait(lk, [this] { return compare_replies_pending_ == 0; });
+  // The distributed round's cost is its critical path: the slowest node's
+  // reply arrival, not the sum over nodes.
+  double target_ns = timing.now_ns();
+  uint64_t remote_compared = 0;
+  uint64_t remote_report_count = 0;
+  uint64_t ship_bytes_wire = master_ship_bytes_wire_;
+  uint64_t ship_bytes_raw = master_ship_bytes_raw_;
+  for (const CompareReplyInfo& info : compare_replies_) {
+    target_ns = std::max(target_ns, static_cast<double>(info.msg.reply_time_ns) +
+                                        opts.costs.MessageCost(info.wire_bytes));
+    remote_compared += info.msg.pairs_compared;
+    remote_report_count += info.msg.reports.size();
+    ship_bytes_wire += info.msg.ship_bytes_wire;
+    ship_bytes_raw += info.msg.ship_bytes_raw;
+    for (const RemoteReportEntry& e : info.msg.reports) {
+      RaceReport report;
+      report.kind = static_cast<RaceKind>(e.kind);
+      report.page = e.page;
+      report.word = e.word;
+      report.interval_a = e.interval_a;
+      report.interval_b = e.interval_b;
+      report.epoch = epoch;
+      tagged.emplace_back(e.pair_index, std::move(report));
+    }
+  }
+  if (target_ns > timing.now_ns()) {
+    timing.Charge(Bucket::kBitmaps, target_ns - timing.now_ns());
+  }
+  compare_replies_.clear();
+  collected_bitmaps_.clear();
+
+  // Deterministic merge: check-list order is pair_index order, and each
+  // node (master included) emitted its reports in pair order via
+  // CompareOnePair, so a stable sort reproduces the serial report stream.
+  std::stable_sort(tagged.begin(), tagged.end(),
+                   [](const auto& x, const auto& y) { return x.first < y.first; });
+  std::vector<RaceReport> reports;
+  reports.reserve(tagged.size());
+  for (auto& [pair_index, report] : tagged) {
+    reports.push_back(std::move(report));
+  }
+
+  detector.AccumulateCompare(checklist_entries, master_compared + remote_compared);
+  pipeline_stats_.bitmap_bytes_wire += ship_bytes_wire;
+  pipeline_stats_.bitmap_bytes_raw += ship_bytes_raw;
+  pipeline_stats_.remote_pairs_compared += remote_compared;
+  pipeline_stats_.remote_reports += remote_report_count;
+  span.SetArg("remote_pairs", remote_compared);
+  if constexpr (obs::kObsCompiledIn) {
+    if (have_metrics_) {
+      mh_.bitmap_pairs_compared->Add(master_compared + remote_compared);
+      mh_.races_reported->Add(reports.size());
+      mh_.bitmap_bytes_wire->Add(ship_bytes_wire);
+      mh_.bitmap_bytes_raw->Add(ship_bytes_raw);
+      mh_.bitmap_bytes_saved->Add(ship_bytes_raw - ship_bytes_wire);
+      mh_.remote_pairs->Add(remote_compared);
+      mh_.remote_reports->Add(remote_report_count);
+    }
+  }
+  return reports;
+}
+
+void BarrierCoordinator::OnBarrierArrive(const Message& msg) {
+  const auto& arrive = std::get<BarrierArriveMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(node_.mu_);
+  CVM_CHECK_EQ(node_.id_, 0);
+  if (arrive.epoch < node_.epoch_) {
+    return;  // The master already ran this epoch's barrier: stale re-delivery.
+  }
+  ArrivalInfo info;
+  info.records = arrive.intervals;
+  info.vc = arrive.vc;
+  info.time_ns = static_cast<double>(arrive.arrive_time_ns);
+  info.wire_bytes = msg.wire_bytes;
+  info.read_notice_bytes = PayloadReadNoticeBytes(msg.payload);
+  arrivals_[arrive.epoch][arrive.node] = std::move(info);
+  node_.cv_.notify_all();
+}
+
+void BarrierCoordinator::OnBarrierRelease(const Message& msg) {
+  const auto& release = std::get<BarrierReleaseMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(node_.mu_);
+  if (barrier_release_.has_value() || release.epoch < node_.epoch_) {
+    return;  // This epoch's release already landed: stale re-delivery.
+  }
+  barrier_release_ = release;
+  node_.cv_.notify_all();
+}
+
+void BarrierCoordinator::OnBitmapRequest(const Message& msg) {
+  const auto& request = std::get<BitmapRequestMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(node_.mu_);
+  BitmapReplyMsg reply;
+  reply.epoch = request.epoch;
+  for (const CheckEntry& entry : request.entries) {
+    CVM_CHECK_EQ(entry.interval.node, node_.id_);
+    const PageAccessBitmaps* bitmaps = node_.bitmaps_.Find(entry.interval.index, entry.page);
+    if (bitmaps == nullptr) {
+      continue;
+    }
+    reply.entries.push_back(
+        BitmapReplyEntry{entry.interval, entry.page,
+                         BitmapCodec::Encode(bitmaps->read, node_.opts_.compress_bitmaps),
+                         BitmapCodec::Encode(bitmaps->write, node_.opts_.compress_bitmaps)});
+  }
+  node_.Send(msg.from, std::move(reply));
+}
+
+void BarrierCoordinator::OnBitmapReply(const Message& msg) {
+  const auto& reply = std::get<BitmapReplyMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(node_.mu_);
+  size_t wire_entry_bytes = 0;
+  size_t raw_entry_bytes = 0;
+  for (const BitmapReplyEntry& entry : reply.entries) {
+    wire_entry_bytes += ReplyEntryWireBytes(entry);
+    raw_entry_bytes += ReplyEntryRawBytes(entry);
+    collected_bitmaps_.emplace(std::make_pair(entry.interval, entry.page),
+                               PageAccessBitmaps{BitmapCodec::Decode(entry.read),
+                                                 BitmapCodec::Decode(entry.write)});
+  }
+  bitmap_round_bytes_ += msg.wire_bytes;
+  bitmap_round_raw_bytes_ += msg.wire_bytes + (raw_entry_bytes - wire_entry_bytes);
+  CVM_CHECK_GT(bitmap_replies_pending_, 0);
+  --bitmap_replies_pending_;
+  if (bitmap_replies_pending_ == 0) {
+    node_.cv_.notify_all();
+  }
+}
+
+void BarrierCoordinator::OnCompareRequest(const Message& msg) {
+  const auto& request = std::get<CompareRequestMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(node_.mu_);
+  if (request.epoch < node_.epoch_) {
+    return;  // Stale re-delivery of a finished round.
+  }
+  // Drop leftover state from rounds that already completed.
+  remote_compare_.erase(remote_compare_.begin(), remote_compare_.lower_bound(node_.epoch_));
+  RemoteCompareState& state = remote_compare_[request.epoch];
+  if (state.have_request) {
+    return;  // Duplicate.
+  }
+  state.have_request = true;
+  node_.timing_.ObserveAtLeast(static_cast<double>(request.request_time_ns) +
+                               node_.opts_.costs.MessageCost(msg.wire_bytes));
+
+  // Execute the ship directives immediately: one BitmapShipMsg per distinct
+  // destination, sent even when every listed bitmap is gone, so destinations
+  // can count messages rather than entries.
+  std::map<NodeId, std::vector<BitmapReplyEntry>> by_dest;
+  for (const ShipDirective& ship : request.ships) {
+    CVM_CHECK_EQ(ship.interval.node, node_.id_);
+    std::vector<BitmapReplyEntry>& entries = by_dest[ship.dest];
+    const PageAccessBitmaps* bitmaps = node_.bitmaps_.Find(ship.interval.index, ship.page);
+    if (bitmaps == nullptr) {
+      continue;
+    }
+    entries.push_back(
+        BitmapReplyEntry{ship.interval, ship.page,
+                         BitmapCodec::Encode(bitmaps->read, node_.opts_.compress_bitmaps),
+                         BitmapCodec::Encode(bitmaps->write, node_.opts_.compress_bitmaps)});
+  }
+  for (auto& [dest, entries] : by_dest) {
+    for (const BitmapReplyEntry& entry : entries) {
+      state.ship_bytes_wire += ReplyEntryWireBytes(entry);
+      state.ship_bytes_raw += ReplyEntryRawBytes(entry);
+    }
+    BitmapShipMsg out;
+    out.epoch = request.epoch;
+    out.entries = std::move(entries);
+    out.send_time_ns = static_cast<uint64_t>(node_.timing_.now_ns());
+    node_.Send(dest, std::move(out));
+  }
+  state.request = request;
+  TryFinishRemoteCompare(request.epoch);
+}
+
+void BarrierCoordinator::OnBitmapShip(const Message& msg) {
+  const auto& ship = std::get<BitmapShipMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(node_.mu_);
+  if (node_.id_ == 0) {
+    // Master side: peers shipping the bitmaps for master-owned pairs.
+    if (master_ships_pending_ <= 0 || ship.epoch != node_.epoch_) {
+      return;  // Stale re-delivery.
+    }
+    for (const BitmapReplyEntry& entry : ship.entries) {
+      master_ship_bytes_wire_ += ReplyEntryWireBytes(entry);
+      master_ship_bytes_raw_ += ReplyEntryRawBytes(entry);
+      collected_bitmaps_.emplace(std::make_pair(entry.interval, entry.page),
+                                 PageAccessBitmaps{BitmapCodec::Decode(entry.read),
+                                                   BitmapCodec::Decode(entry.write)});
+    }
+    master_ship_target_ns_ =
+        std::max(master_ship_target_ns_, static_cast<double>(ship.send_time_ns) +
+                                             node_.opts_.costs.MessageCost(msg.wire_bytes));
+    --master_ships_pending_;
+    if (master_ships_pending_ == 0) {
+      node_.cv_.notify_all();
+    }
+    return;
+  }
+  if (ship.epoch < node_.epoch_) {
+    return;  // Stale re-delivery.
+  }
+  // Ships can land before this node's own CompareRequest; park them.
+  RemoteCompareState& state = remote_compare_[ship.epoch];
+  node_.timing_.ObserveAtLeast(static_cast<double>(ship.send_time_ns) +
+                               node_.opts_.costs.MessageCost(msg.wire_bytes));
+  for (const BitmapReplyEntry& entry : ship.entries) {
+    state.shipped.emplace(std::make_pair(entry.interval, entry.page),
+                          PageAccessBitmaps{BitmapCodec::Decode(entry.read),
+                                            BitmapCodec::Decode(entry.write)});
+  }
+  ++state.ships_received;
+  TryFinishRemoteCompare(ship.epoch);
+}
+
+void BarrierCoordinator::TryFinishRemoteCompare(EpochId epoch) {
+  auto it = remote_compare_.find(epoch);
+  if (it == remote_compare_.end()) {
+    return;
+  }
+  RemoteCompareState& state = it->second;
+  if (!state.have_request || state.ships_received < state.request.expected_ship_msgs) {
+    return;
+  }
+  obs::Span span(node_.tracer_, node_.id_, "detector.compare.remote", "race", node_.timing_,
+                 epoch);
+
+  BitmapLookup lookup = [this, &state](const IntervalId& interval,
+                                       PageId page) -> const PageAccessBitmaps* {
+    if (interval.node == node_.id_) {
+      return node_.bitmaps_.Find(interval.index, page);
+    }
+    auto sit = state.shipped.find(std::make_pair(interval, page));
+    return sit == state.shipped.end() ? nullptr : &sit->second;
+  };
+  CompareReplyMsg reply;
+  reply.epoch = epoch;
+  reply.node = node_.id_;
+  uint64_t compared = 0;
+  for (const ComparePairEntry& pair : state.request.pairs) {
+    std::vector<RaceReport> reports =
+        RaceDetector::CompareOnePair(pair.a, pair.b, pair.pages, lookup, epoch, &compared);
+    for (const RaceReport& report : reports) {
+      reply.reports.push_back(RemoteReportEntry{pair.pair_index,
+                                                static_cast<uint8_t>(report.kind), report.page,
+                                                report.word, report.interval_a,
+                                                report.interval_b});
+    }
+  }
+  const double chunks = static_cast<double>((node_.opts_.page_size / kWordSize + 63) / 64);
+  node_.timing_.Charge(Bucket::kBitmaps, node_.opts_.costs.bitmap_cmp_word_ns * chunks *
+                                             static_cast<double>(compared));
+  span.SetArg("pairs", compared);
+  reply.pairs_compared = compared;
+  reply.ship_bytes_wire = state.ship_bytes_wire;
+  reply.ship_bytes_raw = state.ship_bytes_raw;
+  reply.reply_time_ns = static_cast<uint64_t>(node_.timing_.now_ns());
+  remote_compare_.erase(it);
+  node_.Send(0, std::move(reply));
+}
+
+void BarrierCoordinator::OnCompareReply(const Message& msg) {
+  const auto& reply = std::get<CompareReplyMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(node_.mu_);
+  CVM_CHECK_EQ(node_.id_, 0);
+  if (compare_replies_pending_ <= 0 || reply.epoch != node_.epoch_) {
+    return;  // Stale re-delivery.
+  }
+  compare_replies_.push_back(CompareReplyInfo{reply, msg.wire_bytes});
+  --compare_replies_pending_;
+  if (compare_replies_pending_ == 0) {
+    node_.cv_.notify_all();
+  }
+}
+
+}  // namespace cvm

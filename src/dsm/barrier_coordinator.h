@@ -1,0 +1,166 @@
+// Barrier engine, extracted from the node monolith: barrier arrival/release
+// bookkeeping (master = node 0 collects arrivals, merges interval logs,
+// releases workers) and the orchestration of the barrier-time race-detection
+// pipeline in all three modes — serial, sharded check-list build with the
+// §6.2 bitmap-round/compare overlap, and the fully distributed compare
+// (CompareRequest / BitmapShip / CompareReply). One BarrierCoordinator per
+// node; master-side state is only exercised on node 0.
+#ifndef CVM_DSM_BARRIER_COORDINATOR_H_
+#define CVM_DSM_BARRIER_COORDINATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/net/dispatch.h"
+#include "src/net/message.h"
+#include "src/obs/metrics.h"
+#include "src/protocol/interval.h"
+#include "src/race/detector.h"
+#include "src/vc/vector_clock.h"
+
+namespace cvm {
+
+class Node;
+
+// Detection-pipeline accounting for one run, collected on the barrier master
+// (node 0): how the check was sharded/distributed and what the compressed
+// bitmap wire format saved. The ablation bench reports these side by side
+// for serial vs sharded vs distributed.
+struct PipelineStats {
+  uint64_t shards_used = 0;            // Workers used by the check-list build.
+  uint64_t detect_epochs = 0;          // Epochs with a non-empty check list.
+  double detect_ns = 0;                // Master sim time inside the barrier check.
+  uint64_t bitmap_bytes_raw = 0;       // Bitmap-round payloads at legacy raw size.
+  uint64_t bitmap_bytes_wire = 0;      // Actual (possibly compressed) bytes.
+  double overlap_saved_ns = 0;         // Sim ns saved by overlapping round+compare.
+  uint64_t remote_pairs_compared = 0;  // Bitmap pairs compared off-master.
+  uint64_t remote_reports = 0;         // Race reports shipped back by peers.
+};
+
+class BarrierCoordinator {
+ public:
+  explicit BarrierCoordinator(Node& node);
+
+  BarrierCoordinator(const BarrierCoordinator&) = delete;
+  BarrierCoordinator& operator=(const BarrierCoordinator&) = delete;
+
+  // Registers barrier and detection-round handlers (service thread).
+  void RegisterHandlers(MessageDispatcher& dispatcher);
+
+  // Resolves the coordinator's metric handles; called from the node's
+  // observability init (no-op when metrics are disabled or compiled out).
+  void InitObservability(obs::MetricsRegistry* metrics);
+
+  // The barrier body, called by the app thread with the node mutex held and
+  // the in-barrier interval already published. Master path: wait for every
+  // arrival, merge logs, run the detection pipeline, release workers.
+  // Worker path: send the arrival, wait for the release, apply its records.
+  void RunBarrier(std::unique_lock<std::mutex>& lk, EpochId epoch);
+
+  // Meaningful on node 0 only (the barrier master runs the pipeline).
+  const PipelineStats& pipeline_stats() const { return pipeline_stats_; }
+
+ private:
+  void MasterRunBarrier(std::unique_lock<std::mutex>& lk, EpochId epoch);
+  void RunRaceDetection(std::unique_lock<std::mutex>& lk, EpochId epoch,
+                        const std::vector<IntervalRecord>& epoch_intervals);
+  // kDistributed step 5: partition the check pairs over their member nodes,
+  // orchestrate the ship/compare/reply round, merge remote reports back into
+  // serial order. Returns the merged, ordered reports.
+  std::vector<RaceReport> RunDistributedCompare(std::unique_lock<std::mutex>& lk, EpochId epoch,
+                                                const std::vector<CheckPair>& pairs,
+                                                size_t checklist_entries);
+  // Emits reports (addr/symbol resolution + trace) and hands them to the
+  // system. Shared tail of all three pipeline modes.
+  void PublishReports(std::vector<RaceReport> reports);
+  // Worker count for the sharded check-list build (>= 1).
+  int DetectShardCount() const;
+  // Constituent side of the distributed compare: runs once this node has the
+  // master's CompareRequest AND all expected inbound ships for `epoch`.
+  void TryFinishRemoteCompare(EpochId epoch);
+
+  void OnBarrierArrive(const Message& msg);
+  void OnBarrierRelease(const Message& msg);
+  void OnBitmapRequest(const Message& msg);
+  void OnBitmapReply(const Message& msg);
+  void OnCompareRequest(const Message& msg);
+  void OnBitmapShip(const Message& msg);
+  void OnCompareReply(const Message& msg);
+
+  Node& node_;
+
+  // Worker-side release slot.
+  std::optional<BarrierReleaseMsg> barrier_release_;
+
+  // Barrier master state.
+  struct ArrivalInfo {
+    std::vector<IntervalRecord> records;
+    VectorClock vc;
+    double time_ns = 0;
+    size_t wire_bytes = 0;
+    size_t read_notice_bytes = 0;
+  };
+  std::map<EpochId, std::map<NodeId, ArrivalInfo>> arrivals_;
+
+  // Master-side bitmap collection for the current detection round.
+  std::map<std::pair<IntervalId, PageId>, PageAccessBitmaps> collected_bitmaps_;
+  int bitmap_replies_pending_ = 0;
+  uint64_t bitmap_round_bytes_ = 0;
+  // What the round's messages would have cost at the legacy raw encoding
+  // (identical to bitmap_round_bytes_ when compression is off).
+  uint64_t bitmap_round_raw_bytes_ = 0;
+
+  // Master-side state for the distributed compare round (kDistributed).
+  struct CompareReplyInfo {
+    CompareReplyMsg msg;
+    size_t wire_bytes = 0;
+  };
+  std::vector<CompareReplyInfo> compare_replies_;
+  int compare_replies_pending_ = 0;
+  int master_ships_pending_ = 0;          // BitmapShipMsg rounds inbound to master.
+  double master_ship_target_ns_ = 0;      // Latest modeled ship-arrival time.
+  uint64_t master_ship_bytes_wire_ = 0;
+  uint64_t master_ship_bytes_raw_ = 0;
+
+  // Constituent-node state for the distributed compare, keyed by epoch:
+  // ships can arrive before the master's CompareRequest (sources race each
+  // other), so both handlers funnel into TryFinishRemoteCompare.
+  struct RemoteCompareState {
+    bool have_request = false;
+    CompareRequestMsg request;
+    uint32_t ships_received = 0;
+    std::map<std::pair<IntervalId, PageId>, PageAccessBitmaps> shipped;
+    uint64_t ship_bytes_wire = 0;  // Entry bytes this node shipped out.
+    uint64_t ship_bytes_raw = 0;
+  };
+  std::map<EpochId, RemoteCompareState> remote_compare_;
+
+  PipelineStats pipeline_stats_;  // Node 0 only.
+
+  // Detection metric handles (null when metrics are disabled; the whole
+  // block is dead code under -DCVM_OBS=OFF).
+  struct MetricHandles {
+    obs::Counter* check_pairs = nullptr;
+    obs::Counter* checklist_entries = nullptr;
+    obs::Counter* bitmap_pairs_compared = nullptr;
+    obs::Counter* races_reported = nullptr;
+    obs::Counter* shard_count = nullptr;
+    obs::Counter* bitmap_bytes_raw = nullptr;
+    obs::Counter* bitmap_bytes_wire = nullptr;
+    obs::Counter* bitmap_bytes_saved = nullptr;
+    obs::Counter* overlap_saved_ns = nullptr;
+    obs::Counter* remote_pairs = nullptr;
+    obs::Counter* remote_reports = nullptr;
+  };
+  MetricHandles mh_;
+  bool have_metrics_ = false;
+};
+
+}  // namespace cvm
+
+#endif  // CVM_DSM_BARRIER_COORDINATOR_H_

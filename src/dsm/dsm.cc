@@ -11,7 +11,7 @@ DsmSystem::DsmSystem(DsmOptions options) : options_(std::move(options)) {
   CVM_CHECK_GT(options_.num_nodes, 0);
   CVM_CHECK_GT(options_.num_locks, 0);
   if (options_.write_detection == WriteDetection::kDiffs) {
-    CVM_CHECK(options_.protocol == ProtocolKind::kMultiWriterHomeLrc)
+    CVM_CHECK(ProtocolSupportsDiffWriteDetection(options_.protocol))
         << "diff-based write detection requires the multi-writer protocol (§6.5)";
   }
   segment_ = std::make_unique<SharedSegment>(options_.page_size, options_.max_shared_bytes);

@@ -1,110 +1,37 @@
 #include "src/dsm/node.h"
 
 #include <algorithm>
-#include <cstring>
-#include <tuple>
+#include <optional>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/dsm/dsm.h"
-#include "src/mem/diff.h"
+#include "src/obs/span.h"
 
 namespace cvm {
-
-namespace {
-
-// RAII complete-span ('X') helper: captures simulated + wall time at
-// construction, emits one event at destruction. A null tracer makes both
-// ends a single branch; under -DCVM_OBS=OFF the whole class folds away.
-class Span {
- public:
-  Span(obs::Tracer* tracer, NodeId node, const char* name, const char* cat,
-       const NodeTiming& timing, EpochId epoch)
-      : tracer_(tracer), timing_(timing) {
-    if constexpr (!obs::kObsCompiledIn) {
-      return;
-    }
-    if (tracer_ == nullptr) {
-      return;
-    }
-    event_.name = name;
-    event_.cat = cat;
-    event_.phase = 'X';
-    event_.node = node;
-    event_.epoch = epoch;
-    sim_start_ns_ = timing_.now_ns();
-    wall_start_ns_ = tracer_->WallNowNs();
-  }
-
-  Span(const Span&) = delete;
-  Span& operator=(const Span&) = delete;
-
-  void SetArg(const char* name, uint64_t value) {
-    event_.arg_name = name;
-    event_.arg_value = value;
-  }
-
-  ~Span() {
-    if constexpr (!obs::kObsCompiledIn) {
-      return;
-    }
-    if (tracer_ == nullptr) {
-      return;
-    }
-    event_.sim_ts_ns = sim_start_ns_;
-    event_.sim_dur_ns = timing_.now_ns() - sim_start_ns_;
-    event_.wall_ts_ns = wall_start_ns_;
-    event_.wall_dur_ns = tracer_->WallNowNs() - wall_start_ns_;
-    tracer_->Emit(event_);
-  }
-
- private:
-  obs::Tracer* const tracer_;
-  const NodeTiming& timing_;
-  obs::TraceEvent event_;
-  double sim_start_ns_ = 0;
-  uint64_t wall_start_ns_ = 0;
-};
-
-// Payload bytes of one bitmap-round entry as actually encoded, and at the
-// legacy raw encoding — the difference is what the codec saved on the wire.
-size_t ReplyEntryWireBytes(const BitmapReplyEntry& e) {
-  return sizeof(IntervalId) + sizeof(PageId) + e.read.WireBytes() + e.write.WireBytes();
-}
-
-size_t ReplyEntryRawBytes(const BitmapReplyEntry& e) {
-  return sizeof(IntervalId) + sizeof(PageId) + EncodedBitmap::RawWireBytes(e.read.num_bits) +
-         EncodedBitmap::RawWireBytes(e.write.num_bits);
-}
-
-}  // namespace
 
 Node::Node(NodeId id, DsmSystem* system)
     : system_(system),
       id_(id),
       opts_(system->options()),
       pages_(system->segment().num_pages(), opts_.page_size),
-      am_owner_(system->segment().num_pages(), false),
-      home_materialized_(system->segment().num_pages(), false),
       vc_(opts_.num_nodes),
       log_(opts_.num_nodes),
       bitmaps_(static_cast<uint32_t>(opts_.page_size / kWordSize)),
       filter_(opts_.page_size, system->segment().size_bytes()),
-      locks_(opts_.num_locks),
-      manager_last_requester_(opts_.num_locks, kNoNode) {
-  home_owner_.assign(pages_.num_pages(), kNoNode);
-  for (PageId p = 0; p < pages_.num_pages(); ++p) {
-    const NodeId home = HomeOf(p);
-    am_owner_[p] = (home == id_);
-    if (home == id_) {
-      home_owner_[p] = id_;
-    }
-    pages_.entry(p).probable_owner = home;
-  }
-  for (LockId l = 0; l < opts_.num_locks; ++l) {
-    locks_[l].token = (ManagerOf(l) == id_);
-    locks_[l].release_vc = VectorClock(opts_.num_nodes);  // Nothing precedes it yet.
-    manager_last_requester_[l] = ManagerOf(l);
-  }
+      protocol_(CoherenceProtocol::Make(opts_.protocol, *this)),
+      lock_mgr_(*this),
+      barrier_(*this) {
+  protocol_->RegisterHandlers(dispatcher_);
+  lock_mgr_.RegisterHandlers(dispatcher_);
+  barrier_.RegisterHandlers(dispatcher_);
+  // Shutdown is a transport-level nudge: nothing to do at this layer — the
+  // Recv loop exits on network close. Registered so it doesn't count as an
+  // unhandled payload.
+  dispatcher_.Register<ShutdownMsg>([](const Message&) {});
+  dispatcher_.SetUnhandledHook([this](const Message& msg) {
+    TraceInstant("dispatch.unhandled", "net", "kind", msg.payload.index());
+  });
   InitObservability();
   BeginIntervalLocked();  // Interval 0. Single-threaded here; no lock needed.
 }
@@ -126,17 +53,6 @@ void Node::InitObservability() {
     mh_.locks_acquired = metrics_->counter("dsm.locks_acquired");
     mh_.barriers = metrics_->counter("dsm.barriers");
     mh_.intervals = metrics_->counter("dsm.intervals");
-    mh_.check_pairs = metrics_->counter("race.check_pairs");
-    mh_.checklist_entries = metrics_->counter("race.checklist_entries");
-    mh_.bitmap_pairs_compared = metrics_->counter("race.bitmap_pairs_compared");
-    mh_.races_reported = metrics_->counter("race.races_reported");
-    mh_.shard_count = metrics_->counter("race.shard.count");
-    mh_.bitmap_bytes_raw = metrics_->counter("net.bitmap.bytes_raw");
-    mh_.bitmap_bytes_wire = metrics_->counter("net.bitmap.bytes_wire");
-    mh_.bitmap_bytes_saved = metrics_->counter("net.bitmap.bytes_saved");
-    mh_.overlap_saved_ns = metrics_->counter("race.overlap.saved_ns");
-    mh_.remote_pairs = metrics_->counter("race.remote.pairs_compared");
-    mh_.remote_reports = metrics_->counter("race.remote.reports");
     for (int b = 0; b < kNumBuckets; ++b) {
       mh_.overhead[static_cast<size_t>(b)] =
           metrics_->counter(BucketMetricName(static_cast<Bucket>(b)));
@@ -151,6 +67,8 @@ void Node::InitObservability() {
   if (tracer_ != nullptr || metrics_ != nullptr) {
     pages_.AttachObservability(tracer_, id_, twins, installs, invalidations);
   }
+  barrier_.InitObservability(metrics_);
+  dispatcher_.AttachMetrics(metrics_);
 }
 
 void Node::TraceInstant(const char* name, const char* cat, const char* arg_name,
@@ -171,6 +89,15 @@ void Node::TraceInstant(const char* name, const char* cat, const char* arg_name,
   event.arg_name = arg_name;
   event.arg_value = arg_value;
   tracer_->Emit(event);
+}
+
+void Node::CountPageFetch() {
+  if constexpr (!obs::kObsCompiledIn) {
+    return;
+  }
+  if (mh_.page_fetches != nullptr) {
+    mh_.page_fetches->Increment();
+  }
 }
 
 void Node::PublishOverheadLocked() {
@@ -194,9 +121,9 @@ Node::~Node() = default;
 
 int Node::num_nodes() const { return opts_.num_nodes; }
 
-NodeId Node::HomeOf(PageId page) const { return page % opts_.num_nodes; }
-
-NodeId Node::ManagerOf(LockId lock) const { return lock % opts_.num_nodes; }
+std::vector<uint8_t> Node::InitialPageData(PageId page) {
+  return system_->segment().InitialPage(page);
+}
 
 void Node::Send(NodeId to, Payload payload) {
   Message msg;
@@ -228,39 +155,7 @@ void Node::ServiceLoop() {
     if (!msg.has_value()) {
       return;  // Network closed.
     }
-    if (std::get_if<PageRequestMsg>(&msg->payload) != nullptr) {
-      OnPageRequest(*msg);
-    } else if (std::get_if<PageReplyMsg>(&msg->payload) != nullptr) {
-      OnPageReply(*msg);
-    } else if (std::get_if<DiffFlushMsg>(&msg->payload) != nullptr) {
-      OnDiffFlush(*msg);
-    } else if (std::get_if<DiffFlushAckMsg>(&msg->payload) != nullptr) {
-      OnDiffFlushAck(*msg);
-    } else if (std::get_if<LockRequestMsg>(&msg->payload) != nullptr) {
-      OnLockRequest(*msg);
-    } else if (std::get_if<LockGrantMsg>(&msg->payload) != nullptr) {
-      OnLockGrant(*msg);
-    } else if (std::get_if<BarrierArriveMsg>(&msg->payload) != nullptr) {
-      OnBarrierArrive(*msg);
-    } else if (std::get_if<BitmapRequestMsg>(&msg->payload) != nullptr) {
-      OnBitmapRequest(*msg);
-    } else if (std::get_if<BitmapReplyMsg>(&msg->payload) != nullptr) {
-      OnBitmapReply(*msg);
-    } else if (std::get_if<CompareRequestMsg>(&msg->payload) != nullptr) {
-      OnCompareRequest(*msg);
-    } else if (std::get_if<BitmapShipMsg>(&msg->payload) != nullptr) {
-      OnBitmapShip(*msg);
-    } else if (std::get_if<CompareReplyMsg>(&msg->payload) != nullptr) {
-      OnCompareReply(*msg);
-    } else if (std::get_if<BarrierReleaseMsg>(&msg->payload) != nullptr) {
-      OnBarrierRelease(*msg);
-    } else if (std::get_if<ErcUpdateMsg>(&msg->payload) != nullptr) {
-      OnErcUpdate(*msg);
-    } else if (std::get_if<ErcAckMsg>(&msg->payload) != nullptr) {
-      OnErcAck(*msg);
-    } else {
-      // ShutdownMsg: nothing to do; the Recv loop exits on network close.
-    }
+    dispatcher_.Dispatch(*msg);
   }
 }
 
@@ -329,9 +224,7 @@ uint32_t Node::ReadWord(GlobalAddr addr) {
     ReadFaultLocked(lk, page);
   }
   const uint32_t value = pages_.ReadWord(page, word);
-  if (!pending_serves_.empty()) {
-    DrainPendingServesLocked(page);
-  }
+  protocol_->OnAccessComplete(page);
   return value;
 }
 
@@ -359,29 +252,12 @@ void Node::WriteWord(GlobalAddr addr, uint32_t value) {
     WriteFaultLocked(lk, page);
   }
   pages_.WriteWord(page, word, value);
-  if (!pending_serves_.empty()) {
-    DrainPendingServesLocked(page);
-  }
-}
-
-void Node::RecordWriteNoticeLocked(PageId page) { cur_writes_.insert(page); }
-
-void Node::MaterializeHomeLocked(PageId page) {
-  PageEntry& entry = pages_.entry(page);
-  if (!home_materialized_[page]) {
-    CVM_CHECK_EQ(HomeOf(page), id_);
-    pages_.Install(page, system_->segment().InitialPage(page), PageState::kReadOnly);
-    home_materialized_[page] = true;
-  } else if (entry.state == PageState::kInvalid) {
-    // Home bytes are always current w.r.t. causally-required (flushed)
-    // modifications under the home-based protocol, so revalidation is local.
-    entry.state = PageState::kReadOnly;
-  }
+  protocol_->OnAccessComplete(page);
 }
 
 void Node::ReadFaultLocked(std::unique_lock<std::mutex>& lk, PageId page) {
   ++page_faults_;
-  Span span(tracer_, id_, "page.fault.read", "mem", timing_, epoch_);
+  obs::Span span(tracer_, id_, "page.fault.read", "mem", timing_, epoch_);
   span.SetArg("page", static_cast<uint64_t>(page));
   if constexpr (obs::kObsCompiledIn) {
     if (mh_.page_faults != nullptr) {
@@ -389,24 +265,12 @@ void Node::ReadFaultLocked(std::unique_lock<std::mutex>& lk, PageId page) {
     }
   }
   timing_.Charge(Bucket::kNone, opts_.costs.page_fault_ns);
-  if (SingleWriterData()) {
-    if (am_owner_[page]) {
-      MaterializeHomeLocked(page);
-      return;
-    }
-    FetchPageLocked(lk, page, /*want_write=*/false);
-  } else {
-    if (HomeOf(page) == id_) {
-      MaterializeHomeLocked(page);
-      return;
-    }
-    FetchPageLocked(lk, page, /*want_write=*/false);
-  }
+  protocol_->OnReadFault(lk, page);
 }
 
 void Node::WriteFaultLocked(std::unique_lock<std::mutex>& lk, PageId page) {
   ++page_faults_;
-  Span span(tracer_, id_, "page.fault.write", "mem", timing_, epoch_);
+  obs::Span span(tracer_, id_, "page.fault.write", "mem", timing_, epoch_);
   span.SetArg("page", static_cast<uint64_t>(page));
   if constexpr (obs::kObsCompiledIn) {
     if (mh_.page_faults != nullptr) {
@@ -414,77 +278,7 @@ void Node::WriteFaultLocked(std::unique_lock<std::mutex>& lk, PageId page) {
     }
   }
   timing_.Charge(Bucket::kNone, opts_.costs.page_fault_ns);
-  if (SingleWriterData()) {
-    if (am_owner_[page]) {
-      if (!pages_.Readable(page)) {
-        MaterializeHomeLocked(page);
-      }
-      pages_.entry(page).state = PageState::kReadWrite;
-    } else {
-      FetchPageLocked(lk, page, /*want_write=*/true);
-    }
-    RecordWriteNoticeLocked(page);
-    return;
-  }
-  // Multi-writer (home-based): any node may write after twinning its copy.
-  if (!pages_.Readable(page)) {
-    if (HomeOf(page) == id_) {
-      MaterializeHomeLocked(page);
-    } else {
-      FetchPageLocked(lk, page, /*want_write=*/false);
-    }
-  }
-  PageEntry& entry = pages_.entry(page);
-  if (!entry.twin.has_value()) {
-    pages_.MakeTwin(page);
-    twinned_.insert(page);
-  }
-  entry.state = PageState::kReadWrite;
-  if (opts_.write_detection == WriteDetection::kInstrumentation) {
-    RecordWriteNoticeLocked(page);
-  }
-}
-
-void Node::FetchPageLocked(std::unique_lock<std::mutex>& lk, PageId page, bool want_write) {
-  CVM_CHECK(!page_reply_.has_value());
-  CVM_CHECK_EQ(page_fetch_pending_, -1);
-  page_fetch_pending_ = page;
-  Span span(tracer_, id_, "page.fetch", "mem", timing_, epoch_);
-  span.SetArg("page", static_cast<uint64_t>(page));
-  if constexpr (obs::kObsCompiledIn) {
-    if (mh_.page_fetches != nullptr) {
-      mh_.page_fetches->Increment();
-    }
-  }
-  PageRequestMsg request;
-  request.page = page;
-  request.want_write = want_write;
-  request.requester = id_;
-  // All requests route through the page's home: the multi-writer home owns
-  // the data; the single-writer home is the manager that serializes
-  // ownership transfers (two hops worst case).
-  Send(HomeOf(page), request);
-  cv_.wait(lk, [this] { return page_reply_.has_value(); });
-  PageReplyMsg reply = std::move(*page_reply_);
-  page_reply_.reset();
-  page_fetch_pending_ = -1;
-  CVM_CHECK_EQ(reply.page, page);
-
-  // Round-trip cost: request out, page back.
-  ChargeMessageLocked(PayloadByteSize(Payload(request)), 0);
-  ChargeMessageLocked(PayloadByteSize(Payload(PageReplyMsg{page, {}, false})) + reply.data.size(),
-                      0);
-
-  const PageState state =
-      (want_write && SingleWriterData()) ? PageState::kReadWrite : PageState::kReadOnly;
-  const bool ownership = reply.grants_ownership;
-  pages_.Install(page, std::move(reply.data), state);
-  if (ownership) {
-    am_owner_[page] = true;
-    pages_.entry(page).probable_owner = id_;
-  }
-  // Requests that chased the in-flight ownership are served by the caller
-  // once its own access has completed (DrainPendingServesLocked).
+  protocol_->OnWriteFault(lk, page);
 }
 
 // ---------------- Intervals ----------------
@@ -497,18 +291,10 @@ void Node::BeginIntervalLocked() {
 }
 
 void Node::EndIntervalLocked(std::unique_lock<std::mutex>& lk) {
-  if (opts_.protocol == ProtocolKind::kMultiWriterHomeLrc) {
-    FlushDiffsLocked(lk);
-  } else {
-    // Downgrade pages written this interval so the next interval's first
-    // write faults again and generates a fresh write notice.
-    for (PageId page : cur_writes_) {
-      PageEntry& entry = pages_.entry(page);
-      if (entry.state == PageState::kReadWrite) {
-        entry.state = PageState::kReadOnly;
-      }
-    }
-  }
+  // Protocol-specific closing action first: diff flushing (multi-writer, may
+  // mine write notices into cur_writes_) or written-page downgrade
+  // (single-writer family).
+  protocol_->OnIntervalEnd(lk);
 
   IntervalRecord record;
   record.id = IntervalId{id_, cur_interval_};
@@ -538,130 +324,28 @@ void Node::EndIntervalLocked(std::unique_lock<std::mutex>& lk) {
   cur_reads_.clear();
   cur_writes_.clear();
 
-  // Eager RC: push the notices to every node NOW and block for acks — the
-  // cost LRC's central intuition avoids ("competing accesses in correct
-  // programs will be separated by synchronization", so notices can ride on
-  // later synchronization messages instead).
-  if (opts_.protocol == ProtocolKind::kEagerRcInvalidate && !record.write_pages.empty() &&
-      opts_.num_nodes > 1) {
-    CVM_CHECK(erc_tokens_outstanding_.empty());
-    for (NodeId n = 0; n < opts_.num_nodes; ++n) {
-      if (n == id_) {
-        continue;
-      }
-      ErcUpdateMsg update;
-      update.record = record;
-      update.token = flush_token_next_++;
-      erc_tokens_outstanding_.insert(update.token);
-      const size_t bytes = PayloadByteSize(Payload(update));
-      const size_t rn_bytes = PayloadReadNoticeBytes(Payload(update));
-      ChargeMessageLocked(bytes, rn_bytes);
-      Send(n, std::move(update));
-    }
-    timing_.Charge(Bucket::kNone, opts_.costs.MessageCost(kMessageHeaderBytes + 8));
-    cv_.wait(lk, [this] { return erc_tokens_outstanding_.empty(); });
-  }
-}
-
-void Node::FlushDiffsLocked(std::unique_lock<std::mutex>& lk) {
-  if (twinned_.empty()) {
-    return;
-  }
-  Span span(tracer_, id_, "diff.flush", "protocol", timing_, epoch_);
-  span.SetArg("pages", twinned_.size());
-  std::map<NodeId, std::vector<Diff>> by_home;
-  for (PageId page : twinned_) {
-    PageEntry& entry = pages_.entry(page);
-    CVM_CHECK(entry.twin.has_value());
-    Diff diff = MakeDiff(page, IntervalId{id_, cur_interval_}, *entry.twin, entry.data,
-                         obs::kObsCompiledIn ? &diff_obs_ : nullptr);
-    timing_.Charge(Bucket::kNone,
-                   opts_.costs.diff_word_ns * static_cast<double>(opts_.page_size / kWordSize));
-    pages_.DropTwin(page);
-    entry.state = PageState::kReadOnly;
-    if (opts_.write_detection == WriteDetection::kDiffs) {
-      // §6.5: write accesses mined from the diff. Same-value overwrites are
-      // invisible here — the weaker guarantee the paper describes.
-      if (!diff.words.empty()) {
-        cur_writes_.insert(page);
-        for (const DiffWord& dw : diff.words) {
-          bitmaps_.RecordWrite(cur_interval_, page, dw.word);
-        }
-      }
-    }
-    if (HomeOf(page) == id_) {
-      continue;  // Home's frame already holds the writes.
-    }
-    if (!diff.words.empty()) {
-      by_home[HomeOf(page)].push_back(std::move(diff));
-    }
-  }
-  twinned_.clear();
-
-  CVM_CHECK(flush_tokens_outstanding_.empty());
-  const bool any_flush = !by_home.empty();
-  for (auto& [home, diffs] : by_home) {
-    DiffFlushMsg flush;
-    flush.diffs = std::move(diffs);
-    flush.token = flush_token_next_++;
-    flush_tokens_outstanding_.insert(flush.token);
-    ChargeMessageLocked(PayloadByteSize(Payload(flush)), 0);
-    Send(home, std::move(flush));
-  }
-  if (any_flush) {
-    // One ack round-trip of latency (flushes proceed in parallel).
-    timing_.Charge(Bucket::kNone, opts_.costs.MessageCost(kMessageHeaderBytes + 8));
-    cv_.wait(lk, [this] { return flush_tokens_outstanding_.empty(); });
-  }
+  // Post-publish action: ERC pushes the record to every node and blocks for
+  // acks; the lazy protocols do nothing here.
+  protocol_->OnIntervalPublished(lk, record);
 }
 
 void Node::ApplyIntervalRecordsLocked(const std::vector<IntervalRecord>& records) {
   for (const IntervalRecord& record : records) {
     if (log_.Contains(record.id)) {
-      // Already applied — unless it only arrived via an eager push, whose
-      // invalidation may have been overtaken by an in-flight fetch install.
-      // This acquire covers the record, so apply the notices here, once.
-      auto eager = erc_eager_only_.find(record.id);
-      if (eager == erc_eager_only_.end()) {
-        continue;
-      }
-      erc_eager_only_.erase(eager);
-      for (PageId page : record.write_pages) {
-        if (!am_owner_[page]) {
-          pages_.Invalidate(page);
-        }
-      }
+      protocol_->OnDuplicateRecord(record);
       continue;
     }
     log_.Insert(record);
     if (record.id.node == id_) {
       continue;
     }
-    for (PageId page : record.write_pages) {
-      if (SingleWriterData()) {
-        // The owner's copy reflects the whole serialized page history.
-        if (am_owner_[page]) {
-          continue;
-        }
-        pages_.Invalidate(page);
-      } else {
-        // Home bytes always include causally-flushed diffs.
-        if (HomeOf(page) == id_) {
-          continue;
-        }
-        CVM_CHECK(!pages_.entry(page).twin.has_value())
-            << "write notice applied while twin outstanding";
-        pages_.Invalidate(page);
-      }
-    }
+    protocol_->ApplyWriteNotices(record);
   }
 }
 
 void Node::GarbageCollectLocked() {
   log_.DiscardDominatedBy(vc_);
-  for (auto it = erc_eager_only_.begin(); it != erc_eager_only_.end();) {
-    it = (it->index <= vc_.At(it->node)) ? erc_eager_only_.erase(it) : std::next(it);
-  }
+  protocol_->OnGarbageCollect(vc_);
   if (!opts_.postmortem_trace) {
     bitmaps_.DiscardThrough(cur_interval_);  // Epoch checked; trace data can go.
   }
@@ -669,86 +353,11 @@ void Node::GarbageCollectLocked() {
 
 // ---------------- Locks ----------------
 
-bool Node::ReplayAllowsLocked(LockId lock, NodeId grantee) const {
-  if (opts_.replay_schedule == nullptr) {
-    return true;
-  }
-  const NodeId next = opts_.replay_schedule->NextGrantee(lock);
-  return next == kNoNode || next == grantee;
-}
-
-void Node::GrantLocked(LockId lock, NodeId requester, const VectorClock& requester_vc) {
-  LockState& ls = locks_[lock];
-  CVM_CHECK(ls.token);
-  CVM_CHECK(!ls.held);
-  if (opts_.record_sync_order) {
-    system_->recorded_schedule().RecordGrant(lock, requester);
-  }
-  if (opts_.replay_schedule != nullptr &&
-      opts_.replay_schedule->NextGrantee(lock) == requester) {
-    // Advance the replay cursor; past the schedule's end any order goes.
-    const_cast<SyncSchedule*>(opts_.replay_schedule)->ConsumeGrant(lock, requester);
-  }
-  if (requester == id_) {
-    ls.held = true;
-    lock_granted_self_ = true;
-    cv_.notify_all();
-    return;
-  }
-  ls.token = false;
-  ls.successor = requester;
-  LockGrantMsg grant;
-  grant.lock = lock;
-  if (opts_.replay_schedule != nullptr) {
-    grant.handoff = std::move(ls.pending);  // Queued requests follow the token.
-    ls.pending.clear();
-  }
-  // Only intervals preceding the release travel with the grant; newer local
-  // intervals are concurrent with the acquirer and must stay that way.
-  for (IntervalRecord& record : log_.UnseenBy(requester_vc)) {
-    if (record.id.index <= ls.release_vc.At(record.id.node)) {
-      grant.intervals.push_back(std::move(record));
-    }
-  }
-  grant.releaser_vc = ls.release_vc;
-  grant.releaser_time_ns = static_cast<uint64_t>(ls.release_time_ns);
-  Send(requester, std::move(grant));
-}
-
-void Node::TryGrantPendingLocked(LockId lock) {
-  LockState& ls = locks_[lock];
-  if (!ls.token || ls.held || ls.pending.empty()) {
-    return;
-  }
-  size_t pick = ls.pending.size();
-  if (opts_.replay_schedule != nullptr) {
-    const NodeId next = opts_.replay_schedule->NextGrantee(lock);
-    if (next == kNoNode) {
-      pick = 0;
-    } else {
-      for (size_t i = 0; i < ls.pending.size(); ++i) {
-        if (ls.pending[i].requester == next) {
-          pick = i;
-          break;
-        }
-      }
-      if (pick == ls.pending.size()) {
-        return;  // Hold the token until the scheduled requester asks.
-      }
-    }
-  } else {
-    pick = 0;
-  }
-  LockRequestMsg request = ls.pending[pick];
-  ls.pending.erase(ls.pending.begin() + static_cast<int64_t>(pick));
-  GrantLocked(lock, request.requester, request.requester_vc);
-}
-
 void Node::Lock(LockId lock) {
   CVM_CHECK_GE(lock, 0);
   CVM_CHECK_LT(lock, opts_.num_locks);
   std::unique_lock<std::mutex> lk(mu_);
-  Span span(tracer_, id_, "lock.acquire", "sync", timing_, epoch_);
+  obs::Span span(tracer_, id_, "lock.acquire", "sync", timing_, epoch_);
   span.SetArg("lock", static_cast<uint64_t>(lock));
   if constexpr (obs::kObsCompiledIn) {
     if (mh_.locks_acquired != nullptr) {
@@ -757,51 +366,7 @@ void Node::Lock(LockId lock) {
   }
   timing_.Charge(Bucket::kNone, opts_.costs.lock_op_ns);
   EndIntervalLocked(lk);
-  LockState& ls = locks_[lock];
-  const bool fast_path =
-      ls.token && !ls.held &&
-      (opts_.replay_schedule != nullptr
-           ? opts_.replay_schedule->NextGrantee(lock) == id_ ||
-                 (opts_.replay_schedule->NextGrantee(lock) == kNoNode && ls.pending.empty())
-           : ls.pending.empty());
-  if (fast_path) {
-    GrantLocked(lock, id_, vc_);
-    lock_granted_self_ = false;
-  } else {
-    CVM_CHECK_EQ(waiting_lock_, -1);
-    waiting_lock_ = lock;
-    lock_granted_self_ = false;
-    lock_grant_.reset();
-    LockRequestMsg request;
-    request.lock = lock;
-    request.requester = id_;
-    request.requester_vc = vc_;
-    ChargeMessageLocked(PayloadByteSize(Payload(request)), 0);
-    Send(ManagerOf(lock), request);
-    cv_.wait(lk, [this] { return lock_granted_self_ || lock_grant_.has_value(); });
-    waiting_lock_ = -1;
-    if (lock_grant_.has_value()) {
-      LockGrantMsg grant = std::move(*lock_grant_);
-      lock_grant_.reset();
-      const size_t bytes = PayloadByteSize(Payload(grant));
-      const size_t rn_bytes = PayloadReadNoticeBytes(Payload(grant));
-      timing_.ObserveAtLeast(static_cast<double>(grant.releaser_time_ns) +
-                             opts_.costs.MessageCost(bytes - rn_bytes));
-      if (rn_bytes > 0) {
-        timing_.Charge(Bucket::kCvmMods,
-                       opts_.costs.per_byte_ns * static_cast<double>(rn_bytes));
-      }
-      ApplyIntervalRecordsLocked(grant.intervals);
-      vc_.MergeWith(grant.releaser_vc);
-      LockState& state = locks_[lock];
-      state.token = true;
-      state.held = true;
-      for (LockRequestMsg& queued : grant.handoff) {
-        state.pending.push_back(std::move(queued));
-      }
-    }
-    lock_granted_self_ = false;
-  }
+  lock_mgr_.Acquire(lk, lock);
   BeginIntervalLocked();
 }
 
@@ -811,222 +376,17 @@ void Node::Unlock(LockId lock) {
   std::unique_lock<std::mutex> lk(mu_);
   TraceInstant("lock.release", "sync", "lock", static_cast<uint64_t>(lock));
   timing_.Charge(Bucket::kNone, opts_.costs.lock_op_ns);
-  LockState& ls = locks_[lock];
-  CVM_CHECK(ls.held) << "unlock of lock " << lock << " not held by node " << id_;
+  CVM_CHECK(lock_mgr_.Held(lock)) << "unlock of lock " << lock << " not held by node " << id_;
   EndIntervalLocked(lk);
-  ls.held = false;
-  ls.release_vc = vc_;  // The just-ended interval is the last one the
-  ls.release_time_ns = timing_.now_ns();  // acquirer is ordered after.
-  TryGrantPendingLocked(lock);
+  lock_mgr_.Release(lock);
   BeginIntervalLocked();
 }
 
-void Node::HandleForwardedLockRequestLocked(const LockRequestMsg& request) {
-  locks_[request.lock].pending.push_back(request);
-  TryGrantPendingLocked(request.lock);
-}
-
-void Node::OnLockRequest(const Message& msg) {
-  const auto& request = std::get<LockRequestMsg>(msg.payload);
-  std::lock_guard<std::mutex> guard(mu_);
-  if (opts_.replay_schedule != nullptr) {
-    // Replay routing: out-of-schedule grants break the last-requester chain
-    // invariant, so requests instead chase the token along successor links
-    // until they reach the current holder, and queue there.
-    LockState& ls = locks_[request.lock];
-    if (ls.token) {
-      LockRequestMsg queued = request;
-      queued.forwarded = true;
-      HandleForwardedLockRequestLocked(queued);
-      return;
-    }
-    NodeId target = ls.successor;
-    if (target == kNoNode || target == id_) {
-      target = ManagerOf(request.lock);
-    }
-    CVM_CHECK_NE(target, id_) << "token successor chain broken for lock " << request.lock;
-    LockRequestMsg forwarded = request;
-    forwarded.forwarded = true;
-    Send(target, forwarded);
-    return;
-  }
-  if (!request.forwarded) {
-    CVM_CHECK_EQ(ManagerOf(request.lock), id_);
-    const NodeId target = manager_last_requester_[request.lock];
-    manager_last_requester_[request.lock] = request.requester;
-    LockRequestMsg forwarded = request;
-    forwarded.forwarded = true;
-    if (target == id_) {
-      HandleForwardedLockRequestLocked(forwarded);
-    } else {
-      Send(target, forwarded);
-    }
-  } else {
-    HandleForwardedLockRequestLocked(request);
-  }
-}
-
-void Node::OnLockGrant(const Message& msg) {
-  const auto& grant = std::get<LockGrantMsg>(msg.payload);
-  std::lock_guard<std::mutex> guard(mu_);
-  if (waiting_lock_ != grant.lock || lock_grant_.has_value()) {
-    return;  // Matches no outstanding acquire: stale re-delivery.
-  }
-  lock_grant_ = grant;
-  cv_.notify_all();
-}
-
-// ---------------- Page service ----------------
-
-void Node::ServePageLocked(const PageRequestMsg& request) {
-  CVM_CHECK(am_owner_[request.page]);
-  if (!pages_.Readable(request.page)) {
-    MaterializeHomeLocked(request.page);
-  }
-  PageEntry& entry = pages_.entry(request.page);
-  PageReplyMsg reply;
-  reply.page = request.page;
-  reply.data = entry.data;
-  if (request.want_write) {
-    reply.grants_ownership = true;
-    am_owner_[request.page] = false;
-    entry.state = PageState::kReadOnly;  // Keep a (stale-able) read copy.
-    entry.probable_owner = request.requester;
-  }
-  Send(request.requester, std::move(reply));
-}
-
-void Node::HandleForwardedPageRequestLocked(const PageRequestMsg& request) {
-  if (am_owner_[request.page]) {
-    ServePageLocked(request);
-    return;
-  }
-  // Ownership is in flight to this node (the home serialized the transfer
-  // order); serve once the granting reply is installed.
-  pending_serves_[request.page].push_back(request);
-}
-
-void Node::DrainPendingServesLocked(PageId page) {
-  auto it = pending_serves_.find(page);
-  if (it == pending_serves_.end() || !am_owner_[page]) {
-    return;
-  }
-  std::vector<PageRequestMsg> queued = std::move(it->second);
-  pending_serves_.erase(it);
-  // Read requests belong to this node's tenure and go first; the single
-  // write request (if any) carries ownership to the next tenure.
-  for (const PageRequestMsg& request : queued) {
-    if (!request.want_write) {
-      ServePageLocked(request);
-    }
-  }
-  for (const PageRequestMsg& request : queued) {
-    if (request.want_write) {
-      ServePageLocked(request);
-    }
-  }
-}
-
-void Node::OnPageRequest(const Message& msg) {
-  const auto request = std::get<PageRequestMsg>(msg.payload);
-  std::lock_guard<std::mutex> guard(mu_);
-  if (opts_.protocol == ProtocolKind::kMultiWriterHomeLrc) {
-    CVM_CHECK_EQ(HomeOf(request.page), id_);
-    MaterializeHomeLocked(request.page);
-    PageReplyMsg reply;
-    reply.page = request.page;
-    reply.data = pages_.entry(request.page).data;
-    Send(request.requester, std::move(reply));
-    return;
-  }
-  // Single-writer: the home is the manager and serializes transfers.
-  if (!request.forwarded) {
-    CVM_CHECK_EQ(HomeOf(request.page), id_);
-    const NodeId target = home_owner_[request.page];
-    CVM_CHECK_NE(target, kNoNode);
-    CVM_CHECK_NE(target, request.requester)
-        << "owner re-requested page " << request.page << " it already owns";
-    if (request.want_write) {
-      home_owner_[request.page] = request.requester;
-    }
-    PageRequestMsg forwarded = request;
-    forwarded.forwarded = true;
-    if (target == id_) {
-      HandleForwardedPageRequestLocked(forwarded);
-    } else {
-      Send(target, forwarded);
-    }
-    return;
-  }
-  HandleForwardedPageRequestLocked(request);
-}
-
-void Node::OnPageReply(const Message& msg) {
-  const auto& reply = std::get<PageReplyMsg>(msg.payload);
-  std::lock_guard<std::mutex> guard(mu_);
-  if (reply.page != page_fetch_pending_ || page_reply_.has_value()) {
-    return;  // Matches no outstanding fetch: stale re-delivery.
-  }
-  page_reply_ = reply;
-  cv_.notify_all();
-}
-
-void Node::OnDiffFlush(const Message& msg) {
-  const auto& flush = std::get<DiffFlushMsg>(msg.payload);
-  std::lock_guard<std::mutex> guard(mu_);
-  if constexpr (obs::kObsCompiledIn) {
-    uint64_t words = 0;
-    for (const Diff& diff : flush.diffs) {
-      words += diff.words.size();
-    }
-    if (diff_obs_.words_applied != nullptr) {
-      diff_obs_.words_applied->Add(words);
-    }
-    TraceInstant("diff.apply", "mem", "words", words);
-  }
-  for (const Diff& diff : flush.diffs) {
-    CVM_CHECK_EQ(HomeOf(diff.page), id_);
-    MaterializeHomeLocked(diff.page);
-    PageEntry& entry = pages_.entry(diff.page);
-    // Apply to the frame; mirror into the twin for words the local writer
-    // has not touched, so the home's own later diff does not claim remote
-    // writes as its own.
-    for (const DiffWord& dw : diff.words) {
-      const uint64_t offset = static_cast<uint64_t>(dw.word) * kWordSize;
-      CVM_CHECK_LE(offset + kWordSize, entry.data.size());
-      if (entry.twin.has_value()) {
-        uint32_t frame_value;
-        uint32_t twin_value;
-        std::memcpy(&frame_value, entry.data.data() + offset, kWordSize);
-        std::memcpy(&twin_value, (*entry.twin).data() + offset, kWordSize);
-        if (frame_value == twin_value) {
-          std::memcpy((*entry.twin).data() + offset, &dw.value, kWordSize);
-        }
-      }
-      std::memcpy(entry.data.data() + offset, &dw.value, kWordSize);
-    }
-  }
-  Send(msg.from, DiffFlushAckMsg{flush.token});
-}
-
-void Node::OnDiffFlushAck(const Message& msg) {
-  const auto& ack = std::get<DiffFlushAckMsg>(msg.payload);
-  std::lock_guard<std::mutex> guard(mu_);
-  // An ack whose token is no longer outstanding is a stale re-delivery;
-  // consuming it twice would release a later flush wait early.
-  if (flush_tokens_outstanding_.erase(ack.token) == 0) {
-    return;
-  }
-  if (flush_tokens_outstanding_.empty()) {
-    cv_.notify_all();
-  }
-}
-
-// ---------------- Barriers & race detection ----------------
+// ---------------- Barriers ----------------
 
 void Node::Barrier() {
   std::unique_lock<std::mutex> lk(mu_);
-  Span span(tracer_, id_, "barrier", "sync", timing_, epoch_);
+  obs::Span span(tracer_, id_, "barrier", "sync", timing_, epoch_);
   span.SetArg("epoch", static_cast<uint64_t>(epoch_));
   timing_.Charge(Bucket::kNone, opts_.costs.barrier_op_ns);
   EndIntervalLocked(lk);   // Epoch-body interval.
@@ -1034,38 +394,7 @@ void Node::Barrier() {
   EndIntervalLocked(lk);   // Published empty; keeps "2 intervals per barrier".
   const EpochId epoch = epoch_;
 
-  if (id_ == 0) {
-    cv_.wait(lk, [this, epoch] {
-      return arrivals_[epoch].size() == static_cast<size_t>(opts_.num_nodes - 1);
-    });
-    MasterRunBarrierLocked(lk, epoch);
-  } else {
-    BarrierArriveMsg arrive;
-    arrive.epoch = epoch;
-    arrive.node = id_;
-    arrive.intervals = log_.All();
-    arrive.vc = vc_;
-    arrive.arrive_time_ns = static_cast<uint64_t>(timing_.now_ns());
-    // Publish this epoch's overhead before arriving so the master's snapshot
-    // (taken once every arrival is in) sees a consistent cross-node view.
-    PublishOverheadLocked();
-    Send(0, std::move(arrive));
-    cv_.wait(lk, [this, epoch] {
-      return barrier_release_.has_value() && barrier_release_->epoch == epoch;
-    });
-    BarrierReleaseMsg release = std::move(*barrier_release_);
-    barrier_release_.reset();
-    const size_t bytes = PayloadByteSize(Payload(release));
-    const size_t rn_bytes = PayloadReadNoticeBytes(Payload(release));
-    timing_.ObserveAtLeast(static_cast<double>(release.release_time_ns) +
-                           opts_.costs.MessageCost(bytes - rn_bytes));
-    if (rn_bytes > 0) {
-      timing_.Charge(Bucket::kCvmMods, opts_.costs.per_byte_ns * static_cast<double>(rn_bytes));
-    }
-    ApplyIntervalRecordsLocked(release.intervals);
-    vc_.MergeWith(release.merged_vc);
-    GarbageCollectLocked();
-  }
+  barrier_.RunBarrier(lk, epoch);
 
   if (opts_.race_detection) {
     // Reset of the statically-allocated access bitmaps for the new epoch —
@@ -1088,635 +417,12 @@ void Node::Barrier() {
   BeginIntervalLocked();  // New epoch-body interval.
 }
 
-void Node::OnBarrierArrive(const Message& msg) {
-  const auto& arrive = std::get<BarrierArriveMsg>(msg.payload);
-  std::lock_guard<std::mutex> guard(mu_);
-  CVM_CHECK_EQ(id_, 0);
-  if (arrive.epoch < epoch_) {
-    return;  // The master already ran this epoch's barrier: stale re-delivery.
-  }
-  ArrivalInfo info;
-  info.records = arrive.intervals;
-  info.vc = arrive.vc;
-  info.time_ns = static_cast<double>(arrive.arrive_time_ns);
-  info.wire_bytes = msg.wire_bytes;
-  info.read_notice_bytes = PayloadReadNoticeBytes(msg.payload);
-  arrivals_[arrive.epoch][arrive.node] = std::move(info);
-  cv_.notify_all();
-}
-
-void Node::MasterRunBarrierLocked(std::unique_lock<std::mutex>& lk, EpochId epoch) {
-  std::map<NodeId, ArrivalInfo> arrivals = std::move(arrivals_[epoch]);
-  arrivals_.erase(epoch);
-
-  for (auto& [node, info] : arrivals) {
-    timing_.ObserveAtLeast(info.time_ns +
-                           opts_.costs.MessageCost(info.wire_bytes - info.read_notice_bytes));
-    if (info.read_notice_bytes > 0) {
-      timing_.Charge(Bucket::kCvmMods,
-                     opts_.costs.per_byte_ns * static_cast<double>(info.read_notice_bytes));
-    }
-    ApplyIntervalRecordsLocked(info.records);
-    vc_.MergeWith(info.vc);
-  }
-
-  if (opts_.race_detection && opts_.online_detection) {
-    RunRaceDetectionLocked(lk, epoch, log_.All());
-  }
-
-  for (NodeId node = 1; node < opts_.num_nodes; ++node) {
-    BarrierReleaseMsg release;
-    release.epoch = epoch;
-    release.intervals = log_.UnseenBy(arrivals[node].vc);
-    release.merged_vc = vc_;
-    release.release_time_ns = static_cast<uint64_t>(timing_.now_ns());
-    Send(node, std::move(release));
-  }
-  GarbageCollectLocked();
-  if constexpr (obs::kObsCompiledIn) {
-    if (metrics_ != nullptr) {
-      PublishOverheadLocked();
-      const int interval = std::max(1, opts_.trace.metrics_interval);
-      if ((epoch + 1) % interval == 0) {
-        metrics_->SnapshotEpoch(epoch, timing_.now_ns());
-      }
-    }
-  }
-}
-
-int Node::DetectShardCount() const {
-  if (opts_.detect_shards > 0) {
-    return opts_.detect_shards;
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return std::clamp(hw == 0 ? 4 : static_cast<int>(hw), 1, 8);
-}
-
-void Node::PublishReportsLocked(std::vector<RaceReport> reports) {
-  for (RaceReport& report : reports) {
-    report.addr = static_cast<GlobalAddr>(report.page) * opts_.page_size +
-                  static_cast<GlobalAddr>(report.word) * kWordSize;
-    report.symbol = system_->segment().Symbolize(report.addr);
-    // Numeric args only: the report's strings move into the system-wide
-    // report vector, so pointers into them must not outlive this scope.
-    TraceInstant("race.report", "race", "addr", report.addr);
-  }
-  system_->AddReports(std::move(reports));
-}
-
-void Node::RunRaceDetectionLocked(std::unique_lock<std::mutex>& lk, EpochId epoch,
-                                  const std::vector<IntervalRecord>& epoch_intervals) {
-  RaceDetector& detector = system_->detector();
-  const DetectorStats before = detector.stats();
-  // Master sim time spent in the check, whatever exit path is taken — the
-  // quantity the pipeline ablation compares across modes.
-  struct DetectTimer {
-    const NodeTiming& timing;
-    double start_ns;
-    double* out;
-    ~DetectTimer() { *out += timing.now_ns() - start_ns; }
-  } detect_timer{timing_, timing_.now_ns(), &pipeline_stats_.detect_ns};
-  const bool overlapped = opts_.detection_pipeline != DetectionPipeline::kSerial;
-  const int shards_wanted = overlapped ? DetectShardCount() : 1;
-  std::vector<DetectorStats> per_shard;
-  std::vector<CheckPair> pairs;
-  {
-    Span overlap_span(tracer_, id_, overlapped ? "detector.shard" : "detector.overlap", "race",
-                      timing_, epoch);
-    pairs = detector.BuildCheckListSharded(epoch_intervals, shards_wanted, &per_shard);
-    // The parallel critical path: the most loaded shard, plus a fork/join
-    // cost per worker actually spawned. One shard degenerates to the serial
-    // charge (sum of every comparison, no fork cost).
-    double worst_shard_ns = 0;
-    for (const DetectorStats& s : per_shard) {
-      worst_shard_ns =
-          std::max(worst_shard_ns,
-                   opts_.costs.interval_cmp_ns * static_cast<double>(s.interval_comparisons) +
-                       opts_.costs.page_overlap_ns * static_cast<double>(s.page_overlap_probes));
-    }
-    if (per_shard.size() > 1) {
-      worst_shard_ns += opts_.costs.shard_fork_ns * static_cast<double>(per_shard.size());
-    }
-    timing_.Charge(Bucket::kIntervals, worst_shard_ns);
-    overlap_span.SetArg("pairs", pairs.size());
-  }
-  if constexpr (obs::kObsCompiledIn) {
-    if (metrics_ != nullptr) {
-      const DetectorStats& after = detector.stats();
-      mh_.check_pairs->Add(after.overlapping_pairs - before.overlapping_pairs);
-      mh_.shard_count->Add(per_shard.size());
-    }
-  }
-  if (pairs.empty()) {
-    return;
-  }
-  pipeline_stats_.shards_used = std::max<uint64_t>(pipeline_stats_.shards_used, per_shard.size());
-  ++pipeline_stats_.detect_epochs;
-
-  // The check list fixes the distinct (interval, page) bitmaps step 5 needs;
-  // every pipeline mode accounts them once here (§4 step 3).
-  const auto needed = RaceDetector::BitmapsNeeded(pairs);
-  if constexpr (obs::kObsCompiledIn) {
-    if (metrics_ != nullptr) {
-      mh_.checklist_entries->Add(needed.size());
-    }
-  }
-
-  if (opts_.detection_pipeline == DetectionPipeline::kDistributed) {
-    PublishReportsLocked(RunDistributedCompareLocked(lk, epoch, pairs, needed.size()));
-    return;
-  }
-
-  Span bitmaps_span(tracer_, id_, "detector.bitmaps", "race", timing_, epoch);
-
-  // Bitmap-retrieval round (§4 step 4): ask each constituent node for the
-  // word bitmaps of its listed intervals; the master's own resolve locally.
-  collected_bitmaps_.clear();
-  std::map<NodeId, std::vector<CheckEntry>> by_node;
-  for (const auto& [interval, page] : needed) {
-    if (interval.node == id_) {
-      const PageAccessBitmaps* local = bitmaps_.Find(interval.index, page);
-      if (local != nullptr) {
-        collected_bitmaps_.emplace(std::make_pair(interval, page), *local);
-      }
-    } else {
-      by_node[interval.node].push_back(CheckEntry{interval, page});
-    }
-  }
-  CVM_CHECK_EQ(bitmap_replies_pending_, 0);
-  bitmap_replies_pending_ = static_cast<int>(by_node.size());
-  bitmap_round_bytes_ = 0;
-  bitmap_round_raw_bytes_ = 0;
-  for (auto& [node, entries] : by_node) {
-    BitmapRequestMsg request;
-    request.epoch = epoch;
-    request.entries = std::move(entries);
-    Send(node, std::move(request));
-  }
-  double round_ns = 0;
-  if (bitmap_replies_pending_ > 0) {
-    if (!overlapped) {
-      timing_.Charge(Bucket::kBitmaps, 2 * opts_.costs.msg_latency_ns);
-    }
-    cv_.wait(lk, [this] { return bitmap_replies_pending_ == 0; });
-    if (!overlapped) {
-      timing_.Charge(Bucket::kBitmaps,
-                     opts_.costs.per_byte_ns * static_cast<double>(bitmap_round_bytes_));
-    } else {
-      round_ns = 2 * opts_.costs.msg_latency_ns +
-                 opts_.costs.per_byte_ns * static_cast<double>(bitmap_round_bytes_);
-    }
-  }
-
-  const uint64_t compared_before = detector.stats().bitmap_pairs_compared;
-  BitmapLookup lookup = [this](const IntervalId& interval, PageId page) {
-    auto it = collected_bitmaps_.find(std::make_pair(interval, page));
-    return it == collected_bitmaps_.end() ? nullptr : &it->second;
-  };
-  std::vector<RaceReport> reports = detector.CompareBitmaps(pairs, lookup, epoch, needed.size());
-  const uint64_t compared = detector.stats().bitmap_pairs_compared - compared_before;
-  const double chunks = static_cast<double>((opts_.page_size / kWordSize + 63) / 64);
-  const double compare_ns =
-      opts_.costs.bitmap_cmp_word_ns * chunks * static_cast<double>(compared);
-  if (!overlapped) {
-    timing_.Charge(Bucket::kBitmaps, compare_ns);
-  } else {
-    // §6.2's overlap idea: the master compares pairs whose bitmaps are
-    // already local while the retrieval round is still in flight. Perfect
-    // overlap — the epoch pays the longer of the two legs, not their sum.
-    timing_.Charge(Bucket::kBitmaps, std::max(round_ns, compare_ns));
-    const double saved_ns = std::min(round_ns, compare_ns);
-    pipeline_stats_.overlap_saved_ns += saved_ns;
-    if constexpr (obs::kObsCompiledIn) {
-      if (metrics_ != nullptr) {
-        mh_.overlap_saved_ns->Add(static_cast<uint64_t>(saved_ns));
-      }
-    }
-  }
-  pipeline_stats_.bitmap_bytes_wire += bitmap_round_bytes_;
-  pipeline_stats_.bitmap_bytes_raw += bitmap_round_raw_bytes_;
-
-  bitmaps_span.SetArg("compared", compared);
-  if constexpr (obs::kObsCompiledIn) {
-    if (metrics_ != nullptr) {
-      mh_.bitmap_pairs_compared->Add(compared);
-      mh_.races_reported->Add(reports.size());
-      mh_.bitmap_bytes_wire->Add(bitmap_round_bytes_);
-      mh_.bitmap_bytes_raw->Add(bitmap_round_raw_bytes_);
-      mh_.bitmap_bytes_saved->Add(bitmap_round_raw_bytes_ - bitmap_round_bytes_);
-    }
-  }
-  PublishReportsLocked(std::move(reports));
-  collected_bitmaps_.clear();
-}
-
-std::vector<RaceReport> Node::RunDistributedCompareLocked(std::unique_lock<std::mutex>& lk,
-                                                          EpochId epoch,
-                                                          const std::vector<CheckPair>& pairs,
-                                                          size_t checklist_entries) {
-  RaceDetector& detector = system_->detector();
-  Span span(tracer_, id_, "detector.compare.remote", "race", timing_, epoch);
-
-  // Assign every check pair to one of its two member nodes. The master owns
-  // any pair it participates in (its bitmaps never leave node 0); remaining
-  // pairs alternate between the members by index so the compare load spreads
-  // evenly. Ownership is a pure function of the (deterministic) check list,
-  // so the partition is reproducible run to run.
-  struct OwnedPair {
-    uint32_t index;
-    const CheckPair* pair;
-  };
-  std::vector<OwnedPair> master_pairs;
-  std::map<NodeId, CompareRequestMsg> requests;
-  std::set<std::tuple<NodeId, NodeId, IntervalId, PageId>> planned;  // (src, dst, interval, page)
-  auto plan_ship = [&](NodeId source, NodeId dest, const IntervalId& interval, PageId page) {
-    if (source == dest) {
-      return;  // The owner already holds its own bitmaps.
-    }
-    if (!planned.insert({source, dest, interval, page}).second) {
-      return;  // Another pair already ships this entry there.
-    }
-    requests[source].ships.push_back(ShipDirective{dest, interval, page});
-  };
-  uint32_t index = 0;
-  for (const CheckPair& pair : pairs) {
-    const NodeId na = pair.a.id.node;
-    const NodeId nb = pair.b.id.node;
-    const NodeId owner = (na == id_ || nb == id_)
-                             ? id_
-                             : (index % 2 == 0 ? std::min(na, nb) : std::max(na, nb));
-    for (PageId page : pair.pages) {
-      if (pair.a.WritesPage(page) || pair.a.ReadsPage(page)) {
-        plan_ship(na, owner, pair.a.id, page);
-      }
-      if (pair.b.WritesPage(page) || pair.b.ReadsPage(page)) {
-        plan_ship(nb, owner, pair.b.id, page);
-      }
-    }
-    if (owner == id_) {
-      master_pairs.push_back(OwnedPair{index, &pair});
-    } else {
-      ComparePairEntry entry;
-      entry.pair_index = index;
-      entry.a = pair.a.id;
-      entry.b = pair.b.id;
-      entry.pages = pair.pages;
-      requests[owner].pairs.push_back(std::move(entry));
-    }
-    ++index;
-  }
-  // One BitmapShipMsg travels per distinct (source, dest) edge, so a dest
-  // expects as many ship messages as it has distinct sources.
-  std::map<NodeId, std::set<NodeId>> ship_sources;
-  for (const auto& [src, dst, interval, page] : planned) {
-    ship_sources[dst].insert(src);
-  }
-
-  CVM_CHECK_EQ(compare_replies_pending_, 0);
-  CVM_CHECK_EQ(master_ships_pending_, 0);
-  compare_replies_.clear();
-  collected_bitmaps_.clear();
-  master_ship_target_ns_ = 0;
-  master_ship_bytes_wire_ = 0;
-  master_ship_bytes_raw_ = 0;
-  {
-    auto it = ship_sources.find(id_);
-    master_ships_pending_ = it == ship_sources.end() ? 0 : static_cast<int>(it->second.size());
-  }
-  compare_replies_pending_ = static_cast<int>(requests.size());
-  const uint64_t request_time = static_cast<uint64_t>(timing_.now_ns());
-  for (auto& [node, request] : requests) {
-    request.epoch = epoch;
-    request.request_time_ns = request_time;
-    auto it = ship_sources.find(node);
-    request.expected_ship_msgs =
-        it == ship_sources.end() ? 0 : static_cast<uint32_t>(it->second.size());
-    Send(node, std::move(request));
-  }
-
-  // The master's own compares need only the peers' shipped bitmaps; its own
-  // side resolves from local storage. Compare as soon as the inbound ships
-  // land — the remote owners' replies overlap this work (the Lamport merge
-  // below takes the max of the two legs, not their sum).
-  cv_.wait(lk, [this] { return master_ships_pending_ == 0; });
-  if (master_ship_target_ns_ > timing_.now_ns()) {
-    timing_.Charge(Bucket::kBitmaps, master_ship_target_ns_ - timing_.now_ns());
-  }
-  BitmapLookup lookup = [this](const IntervalId& interval, PageId page) -> const PageAccessBitmaps* {
-    if (interval.node == id_) {
-      return bitmaps_.Find(interval.index, page);
-    }
-    auto it = collected_bitmaps_.find(std::make_pair(interval, page));
-    return it == collected_bitmaps_.end() ? nullptr : &it->second;
-  };
-  uint64_t master_compared = 0;
-  std::vector<std::pair<uint32_t, RaceReport>> tagged;
-  for (const OwnedPair& owned : master_pairs) {
-    std::vector<RaceReport> pair_reports = RaceDetector::CompareOnePair(
-        owned.pair->a.id, owned.pair->b.id, owned.pair->pages, lookup, epoch, &master_compared);
-    for (RaceReport& report : pair_reports) {
-      tagged.emplace_back(owned.index, std::move(report));
-    }
-  }
-  const double chunks = static_cast<double>((opts_.page_size / kWordSize + 63) / 64);
-  timing_.Charge(Bucket::kBitmaps,
-                 opts_.costs.bitmap_cmp_word_ns * chunks * static_cast<double>(master_compared));
-
-  cv_.wait(lk, [this] { return compare_replies_pending_ == 0; });
-  // The distributed round's cost is its critical path: the slowest node's
-  // reply arrival, not the sum over nodes.
-  double target_ns = timing_.now_ns();
-  uint64_t remote_compared = 0;
-  uint64_t remote_report_count = 0;
-  uint64_t ship_bytes_wire = master_ship_bytes_wire_;
-  uint64_t ship_bytes_raw = master_ship_bytes_raw_;
-  for (const CompareReplyInfo& info : compare_replies_) {
-    target_ns = std::max(target_ns, static_cast<double>(info.msg.reply_time_ns) +
-                                        opts_.costs.MessageCost(info.wire_bytes));
-    remote_compared += info.msg.pairs_compared;
-    remote_report_count += info.msg.reports.size();
-    ship_bytes_wire += info.msg.ship_bytes_wire;
-    ship_bytes_raw += info.msg.ship_bytes_raw;
-    for (const RemoteReportEntry& e : info.msg.reports) {
-      RaceReport report;
-      report.kind = static_cast<RaceKind>(e.kind);
-      report.page = e.page;
-      report.word = e.word;
-      report.interval_a = e.interval_a;
-      report.interval_b = e.interval_b;
-      report.epoch = epoch;
-      tagged.emplace_back(e.pair_index, std::move(report));
-    }
-  }
-  if (target_ns > timing_.now_ns()) {
-    timing_.Charge(Bucket::kBitmaps, target_ns - timing_.now_ns());
-  }
-  compare_replies_.clear();
-  collected_bitmaps_.clear();
-
-  // Deterministic merge: check-list order is pair_index order, and each
-  // node (master included) emitted its reports in pair order via
-  // CompareOnePair, so a stable sort reproduces the serial report stream.
-  std::stable_sort(tagged.begin(), tagged.end(),
-                   [](const auto& x, const auto& y) { return x.first < y.first; });
-  std::vector<RaceReport> reports;
-  reports.reserve(tagged.size());
-  for (auto& [pair_index, report] : tagged) {
-    reports.push_back(std::move(report));
-  }
-
-  detector.AccumulateCompare(checklist_entries, master_compared + remote_compared);
-  pipeline_stats_.bitmap_bytes_wire += ship_bytes_wire;
-  pipeline_stats_.bitmap_bytes_raw += ship_bytes_raw;
-  pipeline_stats_.remote_pairs_compared += remote_compared;
-  pipeline_stats_.remote_reports += remote_report_count;
-  span.SetArg("remote_pairs", remote_compared);
-  if constexpr (obs::kObsCompiledIn) {
-    if (metrics_ != nullptr) {
-      mh_.bitmap_pairs_compared->Add(master_compared + remote_compared);
-      mh_.races_reported->Add(reports.size());
-      mh_.bitmap_bytes_wire->Add(ship_bytes_wire);
-      mh_.bitmap_bytes_raw->Add(ship_bytes_raw);
-      mh_.bitmap_bytes_saved->Add(ship_bytes_raw - ship_bytes_wire);
-      mh_.remote_pairs->Add(remote_compared);
-      mh_.remote_reports->Add(remote_report_count);
-    }
-  }
-  return reports;
-}
-
-void Node::OnBitmapRequest(const Message& msg) {
-  const auto& request = std::get<BitmapRequestMsg>(msg.payload);
-  std::lock_guard<std::mutex> guard(mu_);
-  BitmapReplyMsg reply;
-  reply.epoch = request.epoch;
-  for (const CheckEntry& entry : request.entries) {
-    CVM_CHECK_EQ(entry.interval.node, id_);
-    const PageAccessBitmaps* bitmaps = bitmaps_.Find(entry.interval.index, entry.page);
-    if (bitmaps == nullptr) {
-      continue;
-    }
-    reply.entries.push_back(
-        BitmapReplyEntry{entry.interval, entry.page,
-                         BitmapCodec::Encode(bitmaps->read, opts_.compress_bitmaps),
-                         BitmapCodec::Encode(bitmaps->write, opts_.compress_bitmaps)});
-  }
-  Send(msg.from, std::move(reply));
-}
-
-void Node::OnBitmapReply(const Message& msg) {
-  const auto& reply = std::get<BitmapReplyMsg>(msg.payload);
-  std::lock_guard<std::mutex> guard(mu_);
-  size_t wire_entry_bytes = 0;
-  size_t raw_entry_bytes = 0;
-  for (const BitmapReplyEntry& entry : reply.entries) {
-    wire_entry_bytes += ReplyEntryWireBytes(entry);
-    raw_entry_bytes += ReplyEntryRawBytes(entry);
-    collected_bitmaps_.emplace(std::make_pair(entry.interval, entry.page),
-                               PageAccessBitmaps{BitmapCodec::Decode(entry.read),
-                                                 BitmapCodec::Decode(entry.write)});
-  }
-  bitmap_round_bytes_ += msg.wire_bytes;
-  bitmap_round_raw_bytes_ += msg.wire_bytes + (raw_entry_bytes - wire_entry_bytes);
-  CVM_CHECK_GT(bitmap_replies_pending_, 0);
-  --bitmap_replies_pending_;
-  if (bitmap_replies_pending_ == 0) {
-    cv_.notify_all();
-  }
-}
-
-void Node::OnCompareRequest(const Message& msg) {
-  const auto& request = std::get<CompareRequestMsg>(msg.payload);
-  std::lock_guard<std::mutex> guard(mu_);
-  if (request.epoch < epoch_) {
-    return;  // Stale re-delivery of a finished round.
-  }
-  // Drop leftover state from rounds that already completed.
-  remote_compare_.erase(remote_compare_.begin(), remote_compare_.lower_bound(epoch_));
-  RemoteCompareState& state = remote_compare_[request.epoch];
-  if (state.have_request) {
-    return;  // Duplicate.
-  }
-  state.have_request = true;
-  timing_.ObserveAtLeast(static_cast<double>(request.request_time_ns) +
-                         opts_.costs.MessageCost(msg.wire_bytes));
-
-  // Execute the ship directives immediately: one BitmapShipMsg per distinct
-  // destination, sent even when every listed bitmap is gone, so destinations
-  // can count messages rather than entries.
-  std::map<NodeId, std::vector<BitmapReplyEntry>> by_dest;
-  for (const ShipDirective& ship : request.ships) {
-    CVM_CHECK_EQ(ship.interval.node, id_);
-    std::vector<BitmapReplyEntry>& entries = by_dest[ship.dest];
-    const PageAccessBitmaps* bitmaps = bitmaps_.Find(ship.interval.index, ship.page);
-    if (bitmaps == nullptr) {
-      continue;
-    }
-    entries.push_back(BitmapReplyEntry{ship.interval, ship.page,
-                                       BitmapCodec::Encode(bitmaps->read, opts_.compress_bitmaps),
-                                       BitmapCodec::Encode(bitmaps->write, opts_.compress_bitmaps)});
-  }
-  for (auto& [dest, entries] : by_dest) {
-    for (const BitmapReplyEntry& entry : entries) {
-      state.ship_bytes_wire += ReplyEntryWireBytes(entry);
-      state.ship_bytes_raw += ReplyEntryRawBytes(entry);
-    }
-    BitmapShipMsg out;
-    out.epoch = request.epoch;
-    out.entries = std::move(entries);
-    out.send_time_ns = static_cast<uint64_t>(timing_.now_ns());
-    Send(dest, std::move(out));
-  }
-  state.request = request;
-  TryFinishRemoteCompareLocked(request.epoch);
-}
-
-void Node::OnBitmapShip(const Message& msg) {
-  const auto& ship = std::get<BitmapShipMsg>(msg.payload);
-  std::lock_guard<std::mutex> guard(mu_);
-  if (id_ == 0) {
-    // Master side: peers shipping the bitmaps for master-owned pairs.
-    if (master_ships_pending_ <= 0 || ship.epoch != epoch_) {
-      return;  // Stale re-delivery.
-    }
-    for (const BitmapReplyEntry& entry : ship.entries) {
-      master_ship_bytes_wire_ += ReplyEntryWireBytes(entry);
-      master_ship_bytes_raw_ += ReplyEntryRawBytes(entry);
-      collected_bitmaps_.emplace(std::make_pair(entry.interval, entry.page),
-                                 PageAccessBitmaps{BitmapCodec::Decode(entry.read),
-                                                   BitmapCodec::Decode(entry.write)});
-    }
-    master_ship_target_ns_ =
-        std::max(master_ship_target_ns_,
-                 static_cast<double>(ship.send_time_ns) + opts_.costs.MessageCost(msg.wire_bytes));
-    --master_ships_pending_;
-    if (master_ships_pending_ == 0) {
-      cv_.notify_all();
-    }
-    return;
-  }
-  if (ship.epoch < epoch_) {
-    return;  // Stale re-delivery.
-  }
-  // Ships can land before this node's own CompareRequest; park them.
-  RemoteCompareState& state = remote_compare_[ship.epoch];
-  timing_.ObserveAtLeast(static_cast<double>(ship.send_time_ns) +
-                         opts_.costs.MessageCost(msg.wire_bytes));
-  for (const BitmapReplyEntry& entry : ship.entries) {
-    state.shipped.emplace(std::make_pair(entry.interval, entry.page),
-                          PageAccessBitmaps{BitmapCodec::Decode(entry.read),
-                                            BitmapCodec::Decode(entry.write)});
-  }
-  ++state.ships_received;
-  TryFinishRemoteCompareLocked(ship.epoch);
-}
-
-void Node::TryFinishRemoteCompareLocked(EpochId epoch) {
-  auto it = remote_compare_.find(epoch);
-  if (it == remote_compare_.end()) {
-    return;
-  }
-  RemoteCompareState& state = it->second;
-  if (!state.have_request || state.ships_received < state.request.expected_ship_msgs) {
-    return;
-  }
-  Span span(tracer_, id_, "detector.compare.remote", "race", timing_, epoch);
-
-  BitmapLookup lookup = [this, &state](const IntervalId& interval,
-                                       PageId page) -> const PageAccessBitmaps* {
-    if (interval.node == id_) {
-      return bitmaps_.Find(interval.index, page);
-    }
-    auto sit = state.shipped.find(std::make_pair(interval, page));
-    return sit == state.shipped.end() ? nullptr : &sit->second;
-  };
-  CompareReplyMsg reply;
-  reply.epoch = epoch;
-  reply.node = id_;
-  uint64_t compared = 0;
-  for (const ComparePairEntry& pair : state.request.pairs) {
-    std::vector<RaceReport> reports =
-        RaceDetector::CompareOnePair(pair.a, pair.b, pair.pages, lookup, epoch, &compared);
-    for (const RaceReport& report : reports) {
-      reply.reports.push_back(RemoteReportEntry{pair.pair_index,
-                                                static_cast<uint8_t>(report.kind), report.page,
-                                                report.word, report.interval_a,
-                                                report.interval_b});
-    }
-  }
-  const double chunks = static_cast<double>((opts_.page_size / kWordSize + 63) / 64);
-  timing_.Charge(Bucket::kBitmaps,
-                 opts_.costs.bitmap_cmp_word_ns * chunks * static_cast<double>(compared));
-  span.SetArg("pairs", compared);
-  reply.pairs_compared = compared;
-  reply.ship_bytes_wire = state.ship_bytes_wire;
-  reply.ship_bytes_raw = state.ship_bytes_raw;
-  reply.reply_time_ns = static_cast<uint64_t>(timing_.now_ns());
-  remote_compare_.erase(it);
-  Send(0, std::move(reply));
-}
-
-void Node::OnCompareReply(const Message& msg) {
-  const auto& reply = std::get<CompareReplyMsg>(msg.payload);
-  std::lock_guard<std::mutex> guard(mu_);
-  CVM_CHECK_EQ(id_, 0);
-  if (compare_replies_pending_ <= 0 || reply.epoch != epoch_) {
-    return;  // Stale re-delivery.
-  }
-  compare_replies_.push_back(CompareReplyInfo{reply, msg.wire_bytes});
-  --compare_replies_pending_;
-  if (compare_replies_pending_ == 0) {
-    cv_.notify_all();
-  }
-}
-
 void Node::DumpTraceBitmaps(PostMortemTrace& trace) const {
   std::lock_guard<std::mutex> guard(mu_);
   bitmaps_.ForEachPair(id_, [&trace](const IntervalId& interval, PageId page,
                                      const PageAccessBitmaps& pair) {
     trace.AddBitmaps(interval, page, pair);
   });
-}
-
-void Node::OnErcUpdate(const Message& msg) {
-  const auto& update = std::get<ErcUpdateMsg>(msg.payload);
-  std::lock_guard<std::mutex> guard(mu_);
-  if (!log_.Contains(update.record.id)) {
-    log_.Insert(update.record);
-    if (update.record.id.node != id_) {
-      erc_eager_only_.insert(update.record.id);
-      for (PageId page : update.record.write_pages) {
-        if (!am_owner_[page]) {
-          pages_.Invalidate(page);
-        }
-      }
-    }
-  }
-  // No vector-clock merge: ERC moves data eagerly, but synchronization
-  // ordering — what the race detector consumes — still comes only from
-  // lock grants and barriers.
-  Send(msg.from, ErcAckMsg{update.token});
-}
-
-void Node::OnErcAck(const Message& msg) {
-  const auto& ack = std::get<ErcAckMsg>(msg.payload);
-  std::lock_guard<std::mutex> guard(mu_);
-  if (erc_tokens_outstanding_.erase(ack.token) == 0) {
-    return;  // Stale re-delivery; already consumed.
-  }
-  if (erc_tokens_outstanding_.empty()) {
-    cv_.notify_all();
-  }
-}
-
-void Node::OnBarrierRelease(const Message& msg) {
-  const auto& release = std::get<BarrierReleaseMsg>(msg.payload);
-  std::lock_guard<std::mutex> guard(mu_);
-  if (barrier_release_.has_value() || release.epoch < epoch_) {
-    return;  // This epoch's release already landed: stale re-delivery.
-  }
-  barrier_release_ = release;
-  cv_.notify_all();
 }
 
 }  // namespace cvm

@@ -1,8 +1,24 @@
 // One DSM node: a simulated processor with a private view of the shared
 // segment. Each node runs two OS threads — the application thread executing
 // user code against the public API below, and a service thread draining the
-// node's network inbox (page serving, lock forwarding/granting, barrier
-// bookkeeping), standing in for CVM's interrupt-driven message handlers.
+// node's network inbox, standing in for CVM's interrupt-driven message
+// handlers.
+//
+// The node itself is a thin core: shared-access instrumentation, interval
+// bookkeeping, and the simulated clock. Everything protocol-, lock-, or
+// barrier-specific lives in its own engine, wired together here:
+//
+//   CoherenceProtocol (src/protocol/)  — fault handling, diff/ownership
+//     traffic, write-notice application. The node reaches it through the
+//     strategy interface only; the protocol reaches back through
+//     ProtocolHost, the narrow slice of node state it may touch.
+//   MessageDispatcher (src/net/)       — typed per-payload handler registry
+//     the service loop drains into; unhandled kinds are counted, not
+//     silently dropped.
+//   LockManager (src/dsm/)             — token locks, manager forwarding,
+//     grant-time interval shipping, record/replay ordering.
+//   BarrierCoordinator (src/dsm/)      — barrier arrival/release plus the
+//     serial/sharded/distributed race-detection pipeline.
 //
 // All node state is guarded by mu_; blocking operations park the app thread
 // on cv_ while the service thread fills the corresponding reply slot.
@@ -15,21 +31,24 @@
 #include <bit>
 #include <condition_variable>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <mutex>
-#include <optional>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/dsm/barrier_coordinator.h"
+#include "src/dsm/lock_manager.h"
 #include "src/dsm/options.h"
 #include "src/instr/access_filter.h"
 #include "src/mem/diff.h"
 #include "src/mem/page_table.h"
+#include "src/net/dispatch.h"
 #include "src/net/message.h"
 #include "src/obs/metrics.h"
 #include "src/obs/tracer.h"
+#include "src/protocol/coherence.h"
 #include "src/protocol/interval.h"
 #include "src/sim/cost_model.h"
 #include "src/vc/vector_clock.h"
@@ -38,25 +57,10 @@ namespace cvm {
 
 class DsmSystem;
 
-// Detection-pipeline accounting for one run, collected on the barrier master
-// (node 0): how the check was sharded/distributed and what the compressed
-// bitmap wire format saved. The ablation bench reports these side by side
-// for serial vs sharded vs distributed.
-struct PipelineStats {
-  uint64_t shards_used = 0;            // Workers used by the check-list build.
-  uint64_t detect_epochs = 0;          // Epochs with a non-empty check list.
-  double detect_ns = 0;                // Master sim time inside the barrier check.
-  uint64_t bitmap_bytes_raw = 0;       // Bitmap-round payloads at legacy raw size.
-  uint64_t bitmap_bytes_wire = 0;      // Actual (possibly compressed) bytes.
-  double overlap_saved_ns = 0;         // Sim ns saved by overlapping round+compare.
-  uint64_t remote_pairs_compared = 0;  // Bitmap pairs compared off-master.
-  uint64_t remote_reports = 0;         // Race reports shipped back by peers.
-};
-
-class Node {
+class Node : public ProtocolHost {
  public:
   Node(NodeId id, DsmSystem* system);
-  ~Node();
+  ~Node() override;
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -64,7 +68,7 @@ class Node {
   // ---------------- Application API ----------------
 
   NodeId id() const { return id_; }
-  int num_nodes() const;
+  int num_nodes() const override;
 
   // Instrumented shared accesses at word granularity. Addresses are offsets
   // into the global shared segment.
@@ -130,77 +134,57 @@ class Node {
   size_t max_interval_log_size() const { return max_log_size_; }
   size_t max_retained_bitmap_pairs() const { return max_retained_pairs_; }
   // Meaningful on node 0 only (the barrier master runs the pipeline).
-  const PipelineStats& pipeline_stats() const { return pipeline_stats_; }
+  const PipelineStats& pipeline_stats() const { return barrier_.pipeline_stats(); }
+
+  // Layer access for tests and tooling.
+  const CoherenceProtocol& protocol() const { return *protocol_; }
+  const MessageDispatcher& dispatcher() const { return dispatcher_; }
+  const BarrierCoordinator& barrier_coordinator() const { return barrier_; }
+  const LockManager& lock_manager() const { return lock_mgr_; }
 
  private:
   friend class DsmSystem;
+  friend class LockManager;
+  friend class BarrierCoordinator;
+
+  // ---- ProtocolHost (the protocol layer's view of this node) ----
+  NodeId self() const override { return id_; }
+  uint64_t page_size() const override { return opts_.page_size; }
+  const CostParams& costs() const override { return opts_.costs; }
+  WriteDetection write_detection() const override { return opts_.write_detection; }
+  std::mutex& mu() override { return mu_; }
+  std::condition_variable& cv() override { return cv_; }
+  PageTable& pages() override { return pages_; }
+  BitmapStore& bitmaps() override { return bitmaps_; }
+  IntervalLog& log() override { return log_; }
+  NodeTiming& timing() override { return timing_; }
+  IntervalIndex current_interval() const override { return cur_interval_; }
+  EpochId current_epoch() const override { return epoch_; }
+  const std::set<PageId>& current_writes() const override { return cur_writes_; }
+  void NoteWrite(PageId page) override { cur_writes_.insert(page); }
+  void Send(NodeId to, Payload payload) override;
+  void ChargeMessage(size_t bytes, size_t read_notice_bytes) override {
+    ChargeMessageLocked(bytes, read_notice_bytes);
+  }
+  std::vector<uint8_t> InitialPageData(PageId page) override;
+  obs::Tracer* tracer() override { return tracer_; }
+  DiffObs* diff_obs() override { return obs::kObsCompiledIn ? &diff_obs_ : nullptr; }
+  void CountPageFetch() override;
+  void TraceInstant(const char* name, const char* cat, const char* arg_name = nullptr,
+                    uint64_t arg_value = 0) override;
 
   // ---- Service thread ----
   void ServiceLoop();
-  void OnPageRequest(const Message& msg);
-  void OnPageReply(const Message& msg);
-  void OnDiffFlush(const Message& msg);
-  void OnDiffFlushAck(const Message& msg);
-  void OnLockRequest(const Message& msg);
-  void OnLockGrant(const Message& msg);
-  void OnBarrierArrive(const Message& msg);
-  void OnBitmapRequest(const Message& msg);
-  void OnBitmapReply(const Message& msg);
-  void OnCompareRequest(const Message& msg);
-  void OnBitmapShip(const Message& msg);
-  void OnCompareReply(const Message& msg);
-  void OnBarrierRelease(const Message& msg);
-  void OnErcUpdate(const Message& msg);
-  void OnErcAck(const Message& msg);
-
-  // True for protocols using single-writer data movement (LRC-lazy or ERC).
-  bool SingleWriterData() const {
-    return opts_.protocol != ProtocolKind::kMultiWriterHomeLrc;
-  }
 
   // ---- Shared-access internals (mu_ held) ----
-  void InstrumentAccess(std::unique_lock<std::mutex>& lk, uint64_t va, bool is_write);
   void ReadFaultLocked(std::unique_lock<std::mutex>& lk, PageId page);
   void WriteFaultLocked(std::unique_lock<std::mutex>& lk, PageId page);
-  void FetchPageLocked(std::unique_lock<std::mutex>& lk, PageId page, bool want_write);
-  void HandleForwardedPageRequestLocked(const PageRequestMsg& request);
-  void ServePageLocked(const PageRequestMsg& request);
-  void DrainPendingServesLocked(PageId page);
-  void MaterializeHomeLocked(PageId page);
-  void RecordWriteNoticeLocked(PageId page);
 
   // ---- Interval machinery (mu_ held) ----
   void EndIntervalLocked(std::unique_lock<std::mutex>& lk);
   void BeginIntervalLocked();
-  void FlushDiffsLocked(std::unique_lock<std::mutex>& lk);
   void ApplyIntervalRecordsLocked(const std::vector<IntervalRecord>& records);
   void GarbageCollectLocked();
-
-  // ---- Locks (mu_ held) ----
-  void HandleForwardedLockRequestLocked(const LockRequestMsg& req);
-  void TryGrantPendingLocked(LockId lock);
-  void GrantLocked(LockId lock, NodeId requester, const VectorClock& requester_vc);
-  bool ReplayAllowsLocked(LockId lock, NodeId grantee) const;
-
-  // ---- Barrier master (app thread, mu_ held via lk) ----
-  void MasterRunBarrierLocked(std::unique_lock<std::mutex>& lk, EpochId epoch);
-  void RunRaceDetectionLocked(std::unique_lock<std::mutex>& lk, EpochId epoch,
-                              const std::vector<IntervalRecord>& epoch_intervals);
-  // kDistributed step 5: partition the check pairs over their member nodes,
-  // orchestrate the ship/compare/reply round, merge remote reports back into
-  // serial order. Returns the merged, ordered reports.
-  std::vector<RaceReport> RunDistributedCompareLocked(std::unique_lock<std::mutex>& lk,
-                                                      EpochId epoch,
-                                                      const std::vector<CheckPair>& pairs,
-                                                      size_t checklist_entries);
-  // Emits reports (addr/symbol resolution + trace) and hands them to the
-  // system. Shared tail of all three pipeline modes.
-  void PublishReportsLocked(std::vector<RaceReport> reports);
-  // Worker count for the sharded check-list build (>= 1).
-  int DetectShardCount() const;
-  // Constituent side of the distributed compare: runs once this node has the
-  // master's CompareRequest AND all expected inbound ships for `epoch`.
-  void TryFinishRemoteCompareLocked(EpochId epoch);
 
   // ---- Cost helpers (mu_ held) ----
   void ChargeMessageLocked(size_t bytes, size_t read_notice_bytes);
@@ -208,16 +192,9 @@ class Node {
 
   // ---- Observability (mu_ held; no-ops when obs is off) ----
   void InitObservability();
-  // Emits a wall+sim instant event on this node's track.
-  void TraceInstant(const char* name, const char* cat, const char* arg_name = nullptr,
-                    uint64_t arg_value = 0);
   // Adds the per-bucket overhead accumulated since the last publish to the
   // shared metric counters (called at barriers, before the epoch snapshot).
   void PublishOverheadLocked();
-
-  NodeId HomeOf(PageId page) const;
-  NodeId ManagerOf(LockId lock) const;
-  void Send(NodeId to, Payload payload);
 
   // ---------------- State ----------------
 
@@ -232,16 +209,6 @@ class Node {
 
   // Memory.
   PageTable pages_;
-  std::vector<bool> am_owner_;          // Single-writer ownership.
-  // Single-writer manager state (meaningful on each page's home): the
-  // authoritative current owner. The home serializes every transfer, so
-  // requests take at most two hops (home, owner) — no ownership chasing.
-  std::vector<NodeId> home_owner_;
-  // Forwarded requests for pages whose ownership is still in flight to this
-  // node; served once the ownership-granting reply is installed.
-  std::map<PageId, std::vector<PageRequestMsg>> pending_serves_;
-  std::vector<bool> home_materialized_; // Home frames lazily initialized.
-  std::set<PageId> twinned_;            // Pages twinned this interval (multi-writer).
 
   // Consistency metadata.
   VectorClock vc_;
@@ -262,18 +229,6 @@ class Node {
     obs::Counter* locks_acquired = nullptr;
     obs::Counter* barriers = nullptr;
     obs::Counter* intervals = nullptr;
-    obs::Counter* check_pairs = nullptr;
-    obs::Counter* checklist_entries = nullptr;
-    obs::Counter* bitmap_pairs_compared = nullptr;
-    obs::Counter* races_reported = nullptr;
-    // Detection-pipeline instrumentation (tentpole metrics).
-    obs::Counter* shard_count = nullptr;
-    obs::Counter* bitmap_bytes_raw = nullptr;
-    obs::Counter* bitmap_bytes_wire = nullptr;
-    obs::Counter* bitmap_bytes_saved = nullptr;
-    obs::Counter* overlap_saved_ns = nullptr;
-    obs::Counter* remote_pairs = nullptr;
-    obs::Counter* remote_reports = nullptr;
     std::array<obs::Counter*, kNumBuckets> overhead = {};
   };
   MetricHandles mh_;
@@ -291,90 +246,13 @@ class Node {
   size_t max_log_size_ = 0;
   size_t max_retained_pairs_ = 0;
 
-  // Reply slots (single outstanding request per kind; the app thread is the
-  // only requester). Handlers tolerate replies that match no outstanding
-  // request — the reliable transport already suppresses duplicates, but the
-  // node-level protocol stays safe even if a stale reply ever got through.
-  std::optional<PageReplyMsg> page_reply_;
-  PageId page_fetch_pending_ = -1;  // Page of the in-flight fetch, or -1.
-  std::optional<LockGrantMsg> lock_grant_;
-  bool lock_granted_self_ = false;  // Token granted locally (no payload).
-  LockId waiting_lock_ = -1;
-  std::optional<BarrierReleaseMsg> barrier_release_;
-  // Ack matching by token: an ack is consumed at most once, so re-delivered
-  // acks cannot release a wait early.
-  std::set<uint64_t> flush_tokens_outstanding_;
-  std::set<uint64_t> erc_tokens_outstanding_;
-  uint64_t flush_token_next_ = 1;
-  // Records whose write notices were applied ONLY eagerly (ERC push). An
-  // eager invalidation can race with an in-flight page fetch — the install
-  // revalidates the copy after the invalidation landed — so the notice must
-  // be re-applied at the next acquire that covers the record.
-  std::set<IntervalId> erc_eager_only_;
-
-  // Lock state.
-  struct LockState {
-    bool token = false;  // This node holds the lock token.
-    bool held = false;   // The app currently holds the lock.
-    std::vector<LockRequestMsg> pending;  // Forwarded, ungranted requests.
-    // Replay routing: the node this one last granted the token to. Requests
-    // follow successor links to the current holder in replay mode.
-    NodeId successor = kNoNode;
-    // Snapshot taken at the most recent release. A grant must carry only
-    // intervals that precede the RELEASE — happens-before-1 orders the
-    // acquirer after the release, not after whatever the releaser did next.
-    // Granting from live state would falsely order post-release intervals
-    // and mask races (e.g. an unlocked write right after an unlock).
-    VectorClock release_vc;
-    double release_time_ns = 0;
-  };
-  std::vector<LockState> locks_;
-  std::vector<NodeId> manager_last_requester_;  // Valid where this node manages.
-
-  // Barrier master state.
-  struct ArrivalInfo {
-    std::vector<IntervalRecord> records;
-    VectorClock vc;
-    double time_ns = 0;
-    size_t wire_bytes = 0;
-    size_t read_notice_bytes = 0;
-  };
-  std::map<EpochId, std::map<NodeId, ArrivalInfo>> arrivals_;
-
-  // Master-side bitmap collection for the current detection round.
-  std::map<std::pair<IntervalId, PageId>, PageAccessBitmaps> collected_bitmaps_;
-  int bitmap_replies_pending_ = 0;
-  uint64_t bitmap_round_bytes_ = 0;
-  // What the round's messages would have cost at the legacy raw encoding
-  // (identical to bitmap_round_bytes_ when compression is off).
-  uint64_t bitmap_round_raw_bytes_ = 0;
-
-  // Master-side state for the distributed compare round (kDistributed).
-  struct CompareReplyInfo {
-    CompareReplyMsg msg;
-    size_t wire_bytes = 0;
-  };
-  std::vector<CompareReplyInfo> compare_replies_;
-  int compare_replies_pending_ = 0;
-  int master_ships_pending_ = 0;          // BitmapShipMsg rounds inbound to master.
-  double master_ship_target_ns_ = 0;      // Latest modeled ship-arrival time.
-  uint64_t master_ship_bytes_wire_ = 0;
-  uint64_t master_ship_bytes_raw_ = 0;
-
-  // Constituent-node state for the distributed compare, keyed by epoch:
-  // ships can arrive before the master's CompareRequest (sources race each
-  // other), so both handlers funnel into TryFinishRemoteCompareLocked.
-  struct RemoteCompareState {
-    bool have_request = false;
-    CompareRequestMsg request;
-    uint32_t ships_received = 0;
-    std::map<std::pair<IntervalId, PageId>, PageAccessBitmaps> shipped;
-    uint64_t ship_bytes_wire = 0;  // Entry bytes this node shipped out.
-    uint64_t ship_bytes_raw = 0;
-  };
-  std::map<EpochId, RemoteCompareState> remote_compare_;
-
-  PipelineStats pipeline_stats_;  // Node 0 only.
+  // The engines. Declared after every piece of state they read during
+  // construction; the protocol is polymorphic (factory by ProtocolKind),
+  // the other two are concrete members.
+  MessageDispatcher dispatcher_;
+  std::unique_ptr<CoherenceProtocol> protocol_;
+  LockManager lock_mgr_;
+  BarrierCoordinator barrier_;
 };
 
 // The application-facing name for a node handle.

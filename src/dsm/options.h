@@ -8,21 +8,15 @@
 #include "src/common/types.h"
 #include "src/fault/fault.h"
 #include "src/obs/trace_config.h"
+#include "src/protocol/protocol_kind.h"
 #include "src/race/detector.h"
 #include "src/sim/cost_model.h"
 
 namespace cvm {
 
-// Which coherence protocol backs the shared segment.
-enum class ProtocolKind : uint8_t {
-  kSingleWriterLrc,    // The paper's prototype: ownership transfer, no diffs.
-  kMultiWriterHomeLrc, // Home-based multi-writer LRC with twins/diffs (§6.5).
-  // Eager release consistency (§3.1's ERC): write notices are pushed to every
-  // node at each release and the releaser blocks for acknowledgements, instead
-  // of piggybacking consistency data on later synchronization. Same
-  // single-writer data movement; the ablation that motivates LRC.
-  kEagerRcInvalidate,
-};
+// ProtocolKind and WriteDetection live with the protocol strategy layer in
+// src/protocol/protocol_kind.h; this header re-exports them via the include
+// above so run configuration stays a one-stop shop.
 
 // How the barrier-time race check is executed (§6.2–§6.3 discuss both the
 // overlap-method cost and distributing the check across nodes).
@@ -38,13 +32,6 @@ enum class DetectionPipeline : uint8_t {
   // its member nodes, which compares the bitmaps it already owns locally and
   // ships back only race reports; cross-node bitmaps travel compressed.
   kDistributed,
-};
-
-// How write accesses are discovered for race detection (§6.5).
-enum class WriteDetection : uint8_t {
-  kInstrumentation,  // Store instructions instrumented (word-exact).
-  kDiffs,            // Mined from diffs; misses same-value overwrites.
-                     // Only meaningful with kMultiWriterHomeLrc.
 };
 
 // A watched location for the two-run reference-identification scheme (§6.1):

@@ -92,23 +92,12 @@ struct ReadNoticeVisitor {
   }
 };
 
-struct KindNameVisitor {
-  const char* operator()(const PageRequestMsg&) const { return "PageRequest"; }
-  const char* operator()(const PageReplyMsg&) const { return "PageReply"; }
-  const char* operator()(const DiffFlushMsg&) const { return "DiffFlush"; }
-  const char* operator()(const DiffFlushAckMsg&) const { return "DiffFlushAck"; }
-  const char* operator()(const LockRequestMsg&) const { return "LockRequest"; }
-  const char* operator()(const LockGrantMsg&) const { return "LockGrant"; }
-  const char* operator()(const BarrierArriveMsg&) const { return "BarrierArrive"; }
-  const char* operator()(const BitmapRequestMsg&) const { return "BitmapRequest"; }
-  const char* operator()(const BitmapReplyMsg&) const { return "BitmapReply"; }
-  const char* operator()(const CompareRequestMsg&) const { return "CompareRequest"; }
-  const char* operator()(const BitmapShipMsg&) const { return "BitmapShip"; }
-  const char* operator()(const CompareReplyMsg&) const { return "CompareReply"; }
-  const char* operator()(const BarrierReleaseMsg&) const { return "BarrierRelease"; }
-  const char* operator()(const ErcUpdateMsg&) const { return "ErcUpdate"; }
-  const char* operator()(const ErcAckMsg&) const { return "ErcAck"; }
-  const char* operator()(const ShutdownMsg&) const { return "Shutdown"; }
+// Kind names in Payload alternative order; indexed by Payload::index().
+constexpr const char* kPayloadKindNames[kNumPayloadKinds] = {
+    "PageRequest", "PageReply",      "DiffFlush",  "DiffFlushAck",
+    "LockRequest", "LockGrant",      "BarrierArrive", "BitmapRequest",
+    "BitmapReply", "CompareRequest", "BitmapShip", "CompareReply",
+    "BarrierRelease", "ErcUpdate",   "ErcAck",     "Shutdown",
 };
 
 }  // namespace
@@ -121,6 +110,10 @@ size_t PayloadReadNoticeBytes(const Payload& payload) {
   return std::visit(ReadNoticeVisitor{}, payload);
 }
 
-const char* Message::KindName() const { return std::visit(KindNameVisitor{}, payload); }
+const char* PayloadKindName(size_t index) {
+  return index < kNumPayloadKinds ? kPayloadKindNames[index] : "?";
+}
+
+const char* Message::KindName() const { return PayloadKindName(payload.index()); }
 
 }  // namespace cvm

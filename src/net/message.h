@@ -206,6 +206,14 @@ struct Message {
   const char* KindName() const;
 };
 
+// Number of payload alternatives; dispatch tables are indexed by
+// Payload::index().
+inline constexpr size_t kNumPayloadKinds = std::variant_size_v<Payload>;
+
+// Stable kind name for a payload alternative index (see KindNameVisitor's
+// table); "?" for an out-of-range index.
+const char* PayloadKindName(size_t index);
+
 // Byte-accurate payload sizes. Header cost is kMessageHeaderBytes.
 inline constexpr size_t kMessageHeaderBytes = 32;
 

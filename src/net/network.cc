@@ -72,6 +72,8 @@ void Network::AccountWire(const Message& message, const char* kind,
     stats_.read_notice_bytes += read_notice_bytes;
     stats_.messages_by_kind[kind] += 1;
     stats_.bytes_by_kind[kind] += message.wire_bytes;
+    stats_.messages_by_sender[message.from] += 1;
+    stats_.bytes_by_sender[message.from] += message.wire_bytes;
   }
 
   if constexpr (obs::kObsCompiledIn) {

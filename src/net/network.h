@@ -44,6 +44,10 @@ struct NetworkStats {
   uint64_t read_notice_bytes = 0;
   std::map<std::string, uint64_t> messages_by_kind;
   std::map<std::string, uint64_t> bytes_by_kind;
+  // Per-sender traffic, keyed by NodeId. Lets refactor-invariance tests pin
+  // down which node's behaviour changed, not just the global totals.
+  std::map<NodeId, uint64_t> messages_by_sender;
+  std::map<NodeId, uint64_t> bytes_by_sender;
 };
 
 class Network {

@@ -1,0 +1,178 @@
+#include "src/protocol/multi_writer_home_lrc.h"
+
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/obs/span.h"
+
+namespace cvm {
+
+void MultiWriterHomeLrc::RegisterHandlers(MessageDispatcher& dispatcher) {
+  CoherenceProtocol::RegisterHandlers(dispatcher);
+  dispatcher.Register<PageRequestMsg>([this](const Message& msg) { OnPageRequest(msg); });
+  dispatcher.Register<DiffFlushMsg>([this](const Message& msg) { OnDiffFlush(msg); });
+  dispatcher.Register<DiffFlushAckMsg>([this](const Message& msg) { OnDiffFlushAck(msg); });
+}
+
+void MultiWriterHomeLrc::OnReadFault(Lk& lk, PageId page) {
+  if (HomeOf(page) == host_.self()) {
+    MaterializeHome(page);
+    return;
+  }
+  FetchPage(lk, page, /*want_write=*/false, PageState::kReadOnly);
+}
+
+void MultiWriterHomeLrc::OnWriteFault(Lk& lk, PageId page) {
+  // Any node may write after twinning its copy.
+  if (!host_.pages().Readable(page)) {
+    if (HomeOf(page) == host_.self()) {
+      MaterializeHome(page);
+    } else {
+      FetchPage(lk, page, /*want_write=*/false, PageState::kReadOnly);
+    }
+  }
+  PageEntry& entry = host_.pages().entry(page);
+  if (!entry.twin.has_value()) {
+    host_.pages().MakeTwin(page);
+    twinned_.insert(page);
+  }
+  entry.state = PageState::kReadWrite;
+  if (host_.write_detection() == WriteDetection::kInstrumentation) {
+    host_.NoteWrite(page);
+  }
+}
+
+void MultiWriterHomeLrc::OnIntervalEnd(Lk& lk) { FlushDiffs(lk); }
+
+void MultiWriterHomeLrc::FlushDiffs(Lk& lk) {
+  if (twinned_.empty()) {
+    return;
+  }
+  obs::Span span(host_.tracer(), host_.self(), "diff.flush", "protocol", host_.timing(),
+                 host_.current_epoch());
+  span.SetArg("pages", twinned_.size());
+  std::map<NodeId, std::vector<Diff>> by_home;
+  for (PageId page : twinned_) {
+    PageEntry& entry = host_.pages().entry(page);
+    CVM_CHECK(entry.twin.has_value());
+    Diff diff = MakeDiff(page, IntervalId{host_.self(), host_.current_interval()}, *entry.twin,
+                         entry.data, host_.diff_obs());
+    host_.timing().Charge(
+        Bucket::kNone,
+        host_.costs().diff_word_ns * static_cast<double>(host_.page_size() / kWordSize));
+    host_.pages().DropTwin(page);
+    entry.state = PageState::kReadOnly;
+    if (host_.write_detection() == WriteDetection::kDiffs) {
+      // §6.5: write accesses mined from the diff. Same-value overwrites are
+      // invisible here — the weaker guarantee the paper describes.
+      if (!diff.words.empty()) {
+        host_.NoteWrite(page);
+        for (const DiffWord& dw : diff.words) {
+          host_.bitmaps().RecordWrite(host_.current_interval(), page, dw.word);
+        }
+      }
+    }
+    if (HomeOf(page) == host_.self()) {
+      continue;  // Home's frame already holds the writes.
+    }
+    if (!diff.words.empty()) {
+      by_home[HomeOf(page)].push_back(std::move(diff));
+    }
+  }
+  twinned_.clear();
+
+  CVM_CHECK(flush_tokens_outstanding_.empty());
+  const bool any_flush = !by_home.empty();
+  for (auto& [home, diffs] : by_home) {
+    DiffFlushMsg flush;
+    flush.diffs = std::move(diffs);
+    flush.token = flush_token_next_++;
+    flush_tokens_outstanding_.insert(flush.token);
+    host_.ChargeMessage(PayloadByteSize(Payload(flush)), 0);
+    host_.Send(home, std::move(flush));
+  }
+  if (any_flush) {
+    // One ack round-trip of latency (flushes proceed in parallel).
+    host_.timing().Charge(Bucket::kNone, host_.costs().MessageCost(kMessageHeaderBytes + 8));
+    host_.cv().wait(lk, [this] { return flush_tokens_outstanding_.empty(); });
+  }
+}
+
+void MultiWriterHomeLrc::ApplyWriteNotices(const IntervalRecord& record) {
+  for (PageId page : record.write_pages) {
+    // Home bytes always include causally-flushed diffs.
+    if (HomeOf(page) == host_.self()) {
+      continue;
+    }
+    CVM_CHECK(!host_.pages().entry(page).twin.has_value())
+        << "write notice applied while twin outstanding";
+    host_.pages().Invalidate(page);
+  }
+}
+
+void MultiWriterHomeLrc::OnPageRequest(const Message& msg) {
+  const auto request = std::get<PageRequestMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(host_.mu());
+  CVM_CHECK_EQ(HomeOf(request.page), host_.self());
+  MaterializeHome(request.page);
+  PageReplyMsg reply;
+  reply.page = request.page;
+  reply.data = host_.pages().entry(request.page).data;
+  host_.Send(request.requester, std::move(reply));
+}
+
+void MultiWriterHomeLrc::OnDiffFlush(const Message& msg) {
+  const auto& flush = std::get<DiffFlushMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(host_.mu());
+  if constexpr (obs::kObsCompiledIn) {
+    uint64_t words = 0;
+    for (const Diff& diff : flush.diffs) {
+      words += diff.words.size();
+    }
+    if (host_.diff_obs() != nullptr && host_.diff_obs()->words_applied != nullptr) {
+      host_.diff_obs()->words_applied->Add(words);
+    }
+    host_.TraceInstant("diff.apply", "mem", "words", words);
+  }
+  for (const Diff& diff : flush.diffs) {
+    CVM_CHECK_EQ(HomeOf(diff.page), host_.self());
+    MaterializeHome(diff.page);
+    PageEntry& entry = host_.pages().entry(diff.page);
+    // Apply to the frame; mirror into the twin for words the local writer
+    // has not touched, so the home's own later diff does not claim remote
+    // writes as its own.
+    for (const DiffWord& dw : diff.words) {
+      const uint64_t offset = static_cast<uint64_t>(dw.word) * kWordSize;
+      CVM_CHECK_LE(offset + kWordSize, entry.data.size());
+      if (entry.twin.has_value()) {
+        uint32_t frame_value;
+        uint32_t twin_value;
+        std::memcpy(&frame_value, entry.data.data() + offset, kWordSize);
+        std::memcpy(&twin_value, (*entry.twin).data() + offset, kWordSize);
+        if (frame_value == twin_value) {
+          std::memcpy((*entry.twin).data() + offset, &dw.value, kWordSize);
+        }
+      }
+      std::memcpy(entry.data.data() + offset, &dw.value, kWordSize);
+    }
+  }
+  host_.Send(msg.from, DiffFlushAckMsg{flush.token});
+}
+
+void MultiWriterHomeLrc::OnDiffFlushAck(const Message& msg) {
+  const auto& ack = std::get<DiffFlushAckMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(host_.mu());
+  // An ack whose token is no longer outstanding is a stale re-delivery;
+  // consuming it twice would release a later flush wait early.
+  if (flush_tokens_outstanding_.erase(ack.token) == 0) {
+    return;
+  }
+  if (flush_tokens_outstanding_.empty()) {
+    host_.cv().notify_all();
+  }
+}
+
+}  // namespace cvm

@@ -1,0 +1,74 @@
+// Coherence-protocol selection and capability queries. The enum lives in the
+// protocol layer (not src/dsm/) so every protocol-specific decision — fault
+// handling, interval-end actions, write-notice application — is made behind
+// the CoherenceProtocol interface (coherence.h). Code outside src/protocol/
+// selects a kind and queries capabilities; it never branches on the kind.
+#ifndef CVM_PROTOCOL_PROTOCOL_KIND_H_
+#define CVM_PROTOCOL_PROTOCOL_KIND_H_
+
+#include <cstdint>
+
+namespace cvm {
+
+// Which coherence protocol backs the shared segment.
+enum class ProtocolKind : uint8_t {
+  kSingleWriterLrc,    // The paper's prototype: ownership transfer, no diffs.
+  kMultiWriterHomeLrc, // Home-based multi-writer LRC with twins/diffs (§6.5).
+  // Eager release consistency (§3.1's ERC): write notices are pushed to every
+  // node at each release and the releaser blocks for acknowledgements, instead
+  // of piggybacking consistency data on later synchronization. Same
+  // single-writer data movement; the ablation that motivates LRC.
+  kEagerRcInvalidate,
+};
+
+// How write accesses are discovered for race detection (§6.5).
+enum class WriteDetection : uint8_t {
+  kInstrumentation,  // Store instructions instrumented (word-exact).
+  kDiffs,            // Mined from diffs; misses same-value overwrites.
+                     // Only meaningful with kMultiWriterHomeLrc.
+};
+
+// Stable CamelCase name, e.g. for parameterized-test suffixes and traces.
+constexpr const char* ProtocolKindName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kSingleWriterLrc:
+      return "SingleWriterLrc";
+    case ProtocolKind::kMultiWriterHomeLrc:
+      return "MultiWriterHomeLrc";
+    case ProtocolKind::kEagerRcInvalidate:
+      return "EagerRcInvalidate";
+  }
+  return "UnknownProtocol";
+}
+
+// Whether the protocol pushes invalidations at release time instead of
+// piggybacking them on later synchronization. Eager protocols race their
+// invalidations against unsynchronized reads in real time, so LRC staleness
+// guarantees do not hold under them.
+constexpr bool ProtocolInvalidatesEagerly(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kEagerRcInvalidate:
+      return true;
+    case ProtocolKind::kSingleWriterLrc:
+    case ProtocolKind::kMultiWriterHomeLrc:
+      return false;
+  }
+  return false;
+}
+
+// Whether the protocol can mine write notices from diffs at release time
+// (WriteDetection::kDiffs) — only protocols that twin and diff can.
+constexpr bool ProtocolSupportsDiffWriteDetection(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kMultiWriterHomeLrc:
+      return true;
+    case ProtocolKind::kSingleWriterLrc:
+    case ProtocolKind::kEagerRcInvalidate:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace cvm
+
+#endif  // CVM_PROTOCOL_PROTOCOL_KIND_H_

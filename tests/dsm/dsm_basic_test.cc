@@ -85,7 +85,7 @@ TEST_P(DsmBasicTest, IntervalsPerBarrierIsTwoForBarrierOnlyApps) {
 }
 
 TEST_P(DsmBasicTest, UnsynchronizedReadCanBeStale) {
-  if (GetParam() == ProtocolKind::kEagerRcInvalidate) {
+  if (ProtocolInvalidatesEagerly(GetParam())) {
     // Eager invalidations race with the unsynchronized read in real time;
     // the read may legitimately see either value. Staleness is an LRC
     // guarantee to test, not an ERC one.

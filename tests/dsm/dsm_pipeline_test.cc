@@ -111,5 +111,104 @@ INSTANTIATE_TEST_SUITE_P(AllProtocols, PipelineEquivalenceTest,
                                            ProtocolKind::kMultiWriterHomeLrc,
                                            ProtocolKind::kEagerRcInvalidate));
 
+// A contention-free two-epoch workload whose message pattern is fully
+// deterministic under the home-based multi-writer protocol (no ownership
+// migration, so no scheduling-dependent forwarding): epoch 0, every node
+// writes its own home page (no traffic) plus a private word of one shared
+// page (base-copy fetch from the home + diff flush back — and concurrent
+// write overlap, so the barrier master runs a real bitmap round); epoch 1,
+// every node reads its right neighbour's page. No locks, no races — so
+// per-sender counts are reproducible, not just totals.
+void NeighborReadApp(NodeContext& ctx, int num_nodes, uint64_t page_size) {
+  const GlobalAddr own = static_cast<GlobalAddr>(ctx.id()) * page_size;
+  ctx.Write<int32_t>(own, 100 + ctx.id());
+  const GlobalAddr shared = static_cast<GlobalAddr>(num_nodes) * page_size +
+                            static_cast<GlobalAddr>(ctx.id()) * kWordSize;
+  ctx.Write<int32_t>(shared, 200 + ctx.id());  // False sharing, not a race.
+  ctx.Barrier();
+  const GlobalAddr neighbor =
+      static_cast<GlobalAddr>((ctx.id() + 1) % num_nodes) * page_size;
+  EXPECT_EQ(ctx.Read<int32_t>(neighbor), 100 + (ctx.id() + 1) % num_nodes);
+  ctx.Barrier();
+}
+
+NetworkStats RunNeighborRead(DetectionPipeline pipeline) {
+  DsmOptions options = SmallOptions(4, ProtocolKind::kMultiWriterHomeLrc);
+  options.detection_pipeline = pipeline;
+  options.detect_shards = 3;
+  DsmSystem system(options);
+  // One page per node, plus the falsely-shared page.
+  (void)system.Alloc("pages", (options.num_nodes + 1) * options.page_size, true);
+  const RunResult result = system.Run([&](NodeContext& ctx) {
+    NeighborReadApp(ctx, options.num_nodes, options.page_size);
+  });
+  EXPECT_TRUE(result.races.empty());
+  // The falsely-shared page forces a real detection round to equate.
+  EXPECT_GT(result.net.messages_by_kind.count("BitmapRequest") +
+                result.net.messages_by_kind.count("CompareRequest"),
+            0u);
+  return result.net;
+}
+
+// The refactor-invariance contract, per node: sharding only multi-threads
+// the master-local check-list build, so every message and byte — per kind
+// AND per sender — is identical to the serial pipeline.
+TEST(PipelineWireEquivalenceTest, ShardedMatchesSerialPerSenderAndKind) {
+  const NetworkStats serial = RunNeighborRead(DetectionPipeline::kSerial);
+  const NetworkStats sharded = RunNeighborRead(DetectionPipeline::kSharded);
+  EXPECT_EQ(serial.messages, sharded.messages);
+  EXPECT_EQ(serial.bytes, sharded.bytes);
+  EXPECT_EQ(serial.messages_by_kind, sharded.messages_by_kind);
+  EXPECT_EQ(serial.bytes_by_kind, sharded.bytes_by_kind);
+  EXPECT_EQ(serial.messages_by_sender, sharded.messages_by_sender);
+  EXPECT_EQ(serial.bytes_by_sender, sharded.bytes_by_sender);
+}
+
+// Distributing the compare step changes only the detection round's traffic
+// (CompareRequest/BitmapShip/CompareReply replace part of the bitmap
+// retrieval); application and synchronization traffic per sender must not
+// move.
+TEST(PipelineWireEquivalenceTest, DistributedChangesOnlyDetectionTraffic) {
+  const NetworkStats serial = RunNeighborRead(DetectionPipeline::kSerial);
+  const NetworkStats distributed = RunNeighborRead(DetectionPipeline::kDistributed);
+  const std::vector<std::string> detection_kinds = {
+      "BitmapRequest", "BitmapReply", "CompareRequest", "BitmapShip", "CompareReply"};
+  auto strip = [&](NetworkStats stats) {
+    for (const std::string& kind : detection_kinds) {
+      stats.messages_by_kind.erase(kind);
+      stats.bytes_by_kind.erase(kind);
+    }
+    return stats;
+  };
+  const NetworkStats a = strip(serial);
+  const NetworkStats b = strip(distributed);
+  EXPECT_EQ(a.messages_by_kind, b.messages_by_kind);
+  EXPECT_EQ(a.bytes_by_kind, b.bytes_by_kind);
+}
+
+// The coordinator is reachable (and meaningful) through the layered API:
+// the master's BarrierCoordinator owns the pipeline statistics the run
+// result republishes.
+TEST(PipelineWireEquivalenceTest, BarrierCoordinatorExposesPipelineStats) {
+  DsmOptions options = SmallOptions(4, ProtocolKind::kSingleWriterLrc);
+  options.detection_pipeline = DetectionPipeline::kSharded;
+  options.detect_shards = 3;
+  DsmSystem system(options);
+  auto data = SharedArray<int32_t>::Alloc(system, "data", 64);
+  const RunResult result = system.Run([&](NodeContext& ctx) { RacyApp(ctx, data); });
+
+  const PipelineStats& master = system.node(0).barrier_coordinator().pipeline_stats();
+  EXPECT_EQ(master.shards_used, result.pipeline.shards_used);
+  EXPECT_EQ(master.detect_epochs, result.pipeline.detect_epochs);
+  EXPECT_EQ(master.detect_ns, result.pipeline.detect_ns);
+  EXPECT_GT(master.detect_epochs, 0u);
+  EXPECT_EQ(master.shards_used, 3u);
+  // Workers never run the pipeline; their coordinators stay idle.
+  for (NodeId worker = 1; worker < 4; ++worker) {
+    EXPECT_EQ(system.node(worker).barrier_coordinator().pipeline_stats().detect_epochs,
+              0u);
+  }
+}
+
 }  // namespace
 }  // namespace cvm

@@ -118,9 +118,7 @@ INSTANTIATE_TEST_SUITE_P(Protocols, ScenarioTest,
                          ::testing::Values(ProtocolKind::kSingleWriterLrc,
                                            ProtocolKind::kMultiWriterHomeLrc),
                          [](const ::testing::TestParamInfo<ProtocolKind>& param_info) {
-                           return param_info.param == ProtocolKind::kSingleWriterLrc
-                                      ? "SingleWriter"
-                                      : "MultiWriterHome";
+                           return ProtocolKindName(param_info.param);
                          });
 
 }  // namespace

@@ -1,0 +1,158 @@
+// Cross-protocol parity: the coherence protocol is a substrate, not a
+// semantics. The same seeded app must leave identical final shared-memory
+// contents under all three ProtocolKinds — ownership transfer, home-based
+// twins/diffs, and eager invalidation only change how bytes move.
+//
+// FFT, SOR, and LU are barrier-only and therefore deterministic as-is.
+// Water synchronizes with locks, whose grant order is scheduling-dependent
+// (float accumulation order matters), so the single-writer run records the
+// sync schedule and the other protocols replay it; words implicated in
+// Water's intentional virial race are masked out of the comparison.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/apps/fft.h"
+#include "src/apps/lu.h"
+#include "src/apps/sor.h"
+#include "src/apps/water.h"
+#include "src/dsm/dsm.h"
+#include "src/protocol/protocol_kind.h"
+#include "src/race/replay.h"
+
+namespace cvm {
+namespace {
+
+constexpr ProtocolKind kAllProtocols[] = {ProtocolKind::kSingleWriterLrc,
+                                          ProtocolKind::kMultiWriterHomeLrc,
+                                          ProtocolKind::kEagerRcInvalidate};
+
+struct Snapshot {
+  std::vector<uint32_t> words;  // Final shared-segment contents.
+  RunResult result;
+  SyncSchedule schedule;  // Populated when recording.
+};
+
+DsmOptions BaseOptions(ProtocolKind protocol) {
+  DsmOptions options;
+  options.num_nodes = 4;
+  options.protocol = protocol;
+  return options;
+}
+
+// Runs the app to completion and reads back every allocated word through
+// node 0, after a barrier so the snapshot is ordered after all writes.
+Snapshot RunAndSnapshot(ParallelApp& app, DsmOptions options) {
+  Snapshot snap;
+  DsmSystem system(options);
+  app.Setup(system);
+  const uint64_t used = system.segment().used_bytes();
+  snap.words.assign(used / kWordSize, 0);
+  snap.result = system.Run([&](NodeContext& ctx) {
+    app.Run(ctx);
+    ctx.Barrier();
+    if (ctx.id() == 0) {
+      for (size_t i = 0; i < snap.words.size(); ++i) {
+        snap.words[i] = ctx.ReadWord(i * kWordSize);
+      }
+    }
+  });
+  snap.schedule = snap.result.recorded_schedule;
+  return snap;
+}
+
+void ExpectSameWords(const Snapshot& base, const Snapshot& other,
+                     ProtocolKind other_kind, const std::set<GlobalAddr>& masked) {
+  ASSERT_EQ(base.words.size(), other.words.size());
+  size_t mismatches = 0;
+  for (size_t i = 0; i < base.words.size(); ++i) {
+    if (masked.count(i * kWordSize) != 0) {
+      continue;
+    }
+    if (base.words[i] != other.words[i] && ++mismatches <= 5) {
+      ADD_FAILURE() << ProtocolKindName(other_kind) << " diverges at word " << i
+                    << " (addr " << i * kWordSize << "): " << base.words[i]
+                    << " vs " << other.words[i];
+    }
+  }
+  EXPECT_EQ(mismatches, 0u) << "under " << ProtocolKindName(other_kind);
+}
+
+// Barrier-only apps: run as-is under every protocol, expect bit-identical
+// memory with no masking.
+template <typename App, typename Params>
+void BarrierOnlyParity(const Params& params) {
+  std::unique_ptr<Snapshot> base;
+  for (ProtocolKind protocol : kAllProtocols) {
+    App app(params);
+    Snapshot snap = RunAndSnapshot(app, BaseOptions(protocol));
+    EXPECT_TRUE(app.Verify()) << ProtocolKindName(protocol);
+    if (base == nullptr) {
+      base = std::make_unique<Snapshot>(std::move(snap));
+    } else {
+      ExpectSameWords(*base, snap, protocol, {});
+    }
+  }
+}
+
+TEST(ProtocolParityTest, FftBitIdenticalAcrossProtocols) {
+  FftApp::Params params;
+  params.rows = 32;
+  params.cols = 32;
+  BarrierOnlyParity<FftApp>(params);
+}
+
+TEST(ProtocolParityTest, SorBitIdenticalAcrossProtocols) {
+  SorApp::Params params;
+  params.rows = 18;
+  params.cols = 16;
+  params.iters = 2;
+  BarrierOnlyParity<SorApp>(params);
+}
+
+TEST(ProtocolParityTest, LuBitIdenticalAcrossProtocols) {
+  LuApp::Params params;
+  params.n = 32;
+  params.block = 8;
+  BarrierOnlyParity<LuApp>(params);
+}
+
+TEST(ProtocolParityTest, WaterIdenticalModuloRacyWords) {
+  WaterApp::Params params;
+  params.molecules = 32;
+  params.iters = 2;
+
+  // Record the lock-grant order once under the reference protocol.
+  DsmOptions record_options = BaseOptions(ProtocolKind::kSingleWriterLrc);
+  record_options.record_sync_order = true;
+  WaterApp record_app(params);
+  Snapshot base = RunAndSnapshot(record_app, record_options);
+  EXPECT_TRUE(record_app.Verify());
+
+  // Words touched by the (intentional) virial race may legitimately differ:
+  // a racy read can observe either value. Everything else must match.
+  std::set<GlobalAddr> masked;
+  for (const RaceReport& report : base.result.races) {
+    masked.insert(report.addr);
+  }
+  EXPECT_FALSE(masked.empty()) << "Water's virial race should be reported";
+
+  for (ProtocolKind protocol : {ProtocolKind::kMultiWriterHomeLrc,
+                                ProtocolKind::kEagerRcInvalidate}) {
+    SyncSchedule schedule = base.schedule;  // Copy resets replay cursors.
+    DsmOptions replay_options = BaseOptions(protocol);
+    replay_options.replay_schedule = &schedule;
+    WaterApp replay_app(params);
+    Snapshot snap = RunAndSnapshot(replay_app, replay_options);
+    EXPECT_TRUE(replay_app.Verify()) << ProtocolKindName(protocol);
+    for (const RaceReport& report : snap.result.races) {
+      masked.insert(report.addr);
+    }
+    ExpectSameWords(base, snap, protocol, masked);
+  }
+}
+
+}  // namespace
+}  // namespace cvm

@@ -121,5 +121,28 @@ TEST(DetectorPipelineTest, BitmapsNeededIsDeduplicatedAndOrdered) {
   }
 }
 
+TEST(DetectorPipelineTest, BitmapsNeededCoversEveryPairAndNothingElse) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto epoch = RandomEpoch(rng, 2 + trial % 10);
+    RaceDetector detector(kNumPages);
+    const auto pairs = detector.BuildCheckList(epoch);
+    const auto needed = RaceDetector::BitmapsNeeded(pairs);
+    const std::set<std::pair<IntervalId, PageId>> have(needed.begin(), needed.end());
+    // Every (interval, page) bitmap a comparison will touch must be fetched...
+    std::set<std::pair<IntervalId, PageId>> want;
+    for (const CheckPair& pair : pairs) {
+      for (PageId page : pair.pages) {
+        want.insert({pair.a.id, page});
+        want.insert({pair.b.id, page});
+        EXPECT_TRUE(have.count({pair.a.id, page})) << "trial " << trial;
+        EXPECT_TRUE(have.count({pair.b.id, page})) << "trial " << trial;
+      }
+    }
+    // ...and nothing beyond that travels in the bitmap round.
+    EXPECT_EQ(have, want) << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace cvm

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Enforces the coherence-protocol layering rule.
+
+Every protocol-specific decision lives behind the CoherenceProtocol strategy
+interface in src/protocol/. Code anywhere else may *select* a ProtocolKind
+(assignment, factory argument) or query a capability helper, but it must
+never *branch* on the kind — that is the scattered-if-else style this
+refactor removed. This script greps for equality/inequality comparisons
+against ProtocolKind enumerators outside src/protocol/ and fails listing
+each offender. Stdlib only — runs anywhere python3 exists.
+
+Usage: tools/check_protocol_layering.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+# `== ProtocolKind::k...` / `!= ProtocolKind::k...` and the flipped
+# `ProtocolKind::k... ==` / `... !=` operand order.
+COMPARE_RE = re.compile(
+    r"[=!]=\s*ProtocolKind::|ProtocolKind::k\w+\s*[=!]=")
+
+SOURCE_EXTS = (".cc", ".h", ".cpp", ".hpp")
+SKIP_DIRS = {".git", "build", "third_party"}
+ALLOWED_PREFIX = os.path.join("src", "protocol") + os.sep
+
+
+def source_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(SOURCE_EXTS):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    offenders = []
+    checked = 0
+    for path in source_files(root):
+        rel = os.path.relpath(path, root)
+        if rel.startswith(ALLOWED_PREFIX):
+            continue
+        checked += 1
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if COMPARE_RE.search(line):
+                    offenders.append((rel, lineno, line.strip()))
+    if offenders:
+        for rel, lineno, line in offenders:
+            print(f"LAYERING VIOLATION: {rel}:{lineno}: {line}", file=sys.stderr)
+        print(
+            f"{len(offenders)} ProtocolKind comparison(s) outside src/protocol/ "
+            "— move the decision behind CoherenceProtocol or a capability "
+            "helper in src/protocol/protocol_kind.h",
+            file=sys.stderr)
+        return 1
+    print(f"OK: {checked} file(s), no ProtocolKind branches outside src/protocol/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
