@@ -151,6 +151,11 @@ void BarrierCoordinator::PublishReports(std::vector<RaceReport> reports) {
     report.addr = static_cast<GlobalAddr>(report.page) * node_.opts_.page_size +
                   static_cast<GlobalAddr>(report.word) * kWordSize;
     report.symbol = node_.system_->segment().Symbolize(report.addr);
+    // Provenance must be captured here: the master's merged log still holds
+    // every record of the epoch (arrivals applied, release-time GC not yet
+    // run), including intervals compared remotely in the distributed mode.
+    AttachProvenance(report, node_.log_.Find(report.interval_a),
+                     node_.log_.Find(report.interval_b));
     // Numeric args only: the report's strings move into the system-wide
     // report vector, so pointers into them must not outlive this scope.
     node_.TraceInstant("race.report", "race", "addr", report.addr);

@@ -10,6 +10,23 @@
 
 namespace cvm {
 
+namespace {
+
+// Per-service-thread dispatch state: the context of the message currently
+// being handled, so sends issued from inside the handler can tell "forward
+// of the same chain" (same payload kind) from "new chain caused by it".
+// Thread-local because handlers run on each node's own service thread and
+// the app thread must never see another thread's in-flight dispatch.
+struct DispatchFlowScope {
+  obs::TraceContext ctx;
+  size_t payload_kind = 0;
+  bool extended = false;  // A send inherited the chain (it continues).
+};
+
+thread_local DispatchFlowScope* t_dispatch_flow = nullptr;
+
+}  // namespace
+
 Node::Node(NodeId id, DsmSystem* system)
     : system_(system),
       id_(id),
@@ -30,7 +47,32 @@ Node::Node(NodeId id, DsmSystem* system)
   // unhandled payload.
   dispatcher_.Register<ShutdownMsg>([](const Message&) {});
   dispatcher_.SetUnhandledHook([this](const Message& msg) {
-    TraceInstant("dispatch.unhandled", "net", "kind", msg.payload.index());
+    if constexpr (!obs::kObsCompiledIn) {
+      return;
+    }
+    if (tracer_ == nullptr) {
+      return;
+    }
+    // Identify the stray traffic fully: who sent it and what it claimed to
+    // be, by index and by name. Runs on the service thread outside any
+    // handler, so take mu_ for the epoch/clock reads.
+    obs::TraceEvent event;
+    event.name = "dispatch.unhandled";
+    event.cat = "net";
+    event.phase = 'i';
+    event.node = id_;
+    event.arg_name = "from";
+    event.arg_value = static_cast<uint64_t>(msg.from >= 0 ? msg.from : 0);
+    event.arg2_name = "kind";
+    event.arg2_value = msg.payload.index();
+    event.str_arg_name = "kind_name";
+    event.str_arg_value = msg.KindName();
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      event.epoch = epoch_;
+      event.sim_ts_ns = timing_.now_ns();
+    }
+    tracer_->Emit(event);
   });
   InitObservability();
   BeginIntervalLocked();  // Interval 0. Single-threaded here; no lock needed.
@@ -130,6 +172,7 @@ void Node::Send(NodeId to, Payload payload) {
   msg.from = id_;
   msg.to = to;
   msg.payload = std::move(payload);
+  StampFlowContext(msg);
   // Under fault injection the reliable transport returns the simulated time
   // this sender spent in retransmission backoff and injected delay; charge it
   // to the node's clock like any other network cost. Zero on the clean path.
@@ -155,8 +198,87 @@ void Node::ServiceLoop() {
     if (!msg.has_value()) {
       return;  // Network closed.
     }
-    dispatcher_.Dispatch(*msg);
+    DispatchWithFlow(*msg);
   }
+}
+
+void Node::StampFlowContext(Message& msg) {
+  if constexpr (!obs::kObsCompiledIn) {
+    return;
+  }
+  if (tracer_ == nullptr || !tracer_->flows_enabled()) {
+    return;
+  }
+  DispatchFlowScope* scope = t_dispatch_flow;
+  if (scope != nullptr && scope->ctx.stamped() && scope->payload_kind == msg.payload.index()) {
+    // Identity-preserving forward (lock-request routing, page-request
+    // forwarding): the outbound message IS the inbound one, one hop later.
+    // Inherit the chain so Perfetto draws s -> t -> ... -> f through every
+    // intermediary; the dispatch wrapper will emit this hop as a 't'.
+    msg.ctx = scope->ctx;
+    ++msg.ctx.hop;
+    msg.ctx.send_sim_ns = static_cast<uint64_t>(timing_.now_ns());
+    scope->extended = true;
+    return;
+  }
+  msg.ctx.origin = id_;
+  msg.ctx.epoch = epoch_;
+  msg.ctx.causal_id = tracer_->NextFlowId();
+  msg.ctx.parent_id = scope != nullptr && scope->ctx.stamped() ? scope->ctx.causal_id : 0;
+  msg.ctx.send_sim_ns = static_cast<uint64_t>(timing_.now_ns());
+  obs::TraceEvent event;
+  event.name = PayloadKindName(msg.payload.index());
+  event.cat = "flow";
+  event.phase = 's';
+  event.node = id_;
+  event.epoch = epoch_;
+  event.sim_ts_ns = timing_.now_ns();
+  event.flow_id = msg.ctx.causal_id;
+  event.arg_name = "to";
+  event.arg_value = static_cast<uint64_t>(msg.to);
+  if (msg.ctx.parent_id != 0) {
+    event.arg2_name = "parent";
+    event.arg2_value = msg.ctx.parent_id;
+  }
+  tracer_->Emit(event);
+}
+
+void Node::DispatchWithFlow(const Message& msg) {
+  if constexpr (obs::kObsCompiledIn) {
+    if (tracer_ != nullptr && tracer_->flows_enabled() && msg.ctx.stamped()) {
+      DispatchFlowScope scope;
+      scope.ctx = msg.ctx;
+      scope.payload_kind = msg.payload.index();
+      t_dispatch_flow = &scope;
+      dispatcher_.Dispatch(msg);
+      t_dispatch_flow = nullptr;
+      // Receive step, after the handler so we know whether the chain went on
+      // ('t') or terminated here ('f'). The timestamp is the modeled arrival:
+      // at least one message cost after the send, and never before this
+      // node's own clock — per-node clocks only synchronize at sync points,
+      // and a backwards arrow would be a lie about causality.
+      obs::TraceEvent event;
+      event.name = PayloadKindName(msg.payload.index());
+      event.cat = "flow";
+      event.phase = scope.extended ? 't' : 'f';
+      event.node = id_;
+      event.flow_id = msg.ctx.causal_id;
+      event.arg_name = "from";
+      event.arg_value = static_cast<uint64_t>(msg.from >= 0 ? msg.from : 0);
+      event.arg2_name = "hop";
+      event.arg2_value = msg.ctx.hop;
+      {
+        std::lock_guard<std::mutex> guard(mu_);
+        event.epoch = epoch_;
+        const double arrival = static_cast<double>(msg.ctx.send_sim_ns) +
+                               opts_.costs.MessageCost(msg.wire_bytes);
+        event.sim_ts_ns = std::max(timing_.now_ns(), arrival);
+      }
+      tracer_->Emit(event);
+      return;
+    }
+  }
+  dispatcher_.Dispatch(msg);
 }
 
 // ---------------- Cost helpers ----------------

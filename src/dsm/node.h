@@ -176,6 +176,18 @@ class Node : public ProtocolHost {
   // ---- Service thread ----
   void ServiceLoop();
 
+  // ---- Causal flow tracing ----
+  // Called by Send (mu_ held): stamps a TraceContext on the outbound message
+  // — inheriting the chain of the message being dispatched when this send
+  // forwards the same payload kind, starting a fresh chain (with the inbound
+  // chain as parent) otherwise — and emits the chain's 's' step.
+  void StampFlowContext(Message& msg);
+  // Service-loop dispatch wrapper: runs the handler, then emits the receive
+  // step — 't' if the handler forwarded the chain onward, 'f' if it ended
+  // here. Emission is post-dispatch because the forward/terminal distinction
+  // is unknowable before the handler runs.
+  void DispatchWithFlow(const Message& msg);
+
   // ---- Shared-access internals (mu_ held) ----
   void ReadFaultLocked(std::unique_lock<std::mutex>& lk, PageId page);
   void WriteFaultLocked(std::unique_lock<std::mutex>& lk, PageId page);

@@ -12,6 +12,7 @@
 #include "src/common/bitmap.h"
 #include "src/common/types.h"
 #include "src/mem/diff.h"
+#include "src/obs/trace_context.h"
 #include "src/protocol/interval.h"
 #include "src/race/bitmap_codec.h"
 #include "src/vc/vector_clock.h"
@@ -202,6 +203,13 @@ struct Message {
   // at send time; used for the delivery-latency histogram. Not part of the
   // modeled wire size.
   uint64_t send_wall_ns = 0;
+
+  // Causal flow context. Stamped by Node::Send (rich: epoch, parent chain,
+  // forward inheritance) or by the network as a fallback, but only while
+  // flow tracing is active; inert — and free on the modeled wire —
+  // otherwise. When stamped, the network adds obs::kTraceContextWireBytes
+  // to wire_bytes.
+  obs::TraceContext ctx;
 
   const char* KindName() const;
 };

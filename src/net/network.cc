@@ -99,6 +99,35 @@ void Network::AccountWire(const Message& message, const char* kind,
   }
 }
 
+void Network::StampFlow(Message& message) {
+  if constexpr (!obs::kObsCompiledIn) {
+    return;
+  }
+  if (tracer_ == nullptr || !tracer_->flows_enabled()) {
+    return;
+  }
+  // The context is real header traffic while flows are on; charging it here
+  // keeps every downstream consumer of wire_bytes (stats, Lamport observes)
+  // honest. Retransmitted frames re-carry it like any other header byte.
+  message.wire_bytes += obs::kTraceContextWireBytes;
+  if (message.ctx.stamped()) {
+    return;
+  }
+  // Fallback for senders above the Node layer's stamping (tests driving the
+  // fabric directly): a fresh chain with a wall-clock-only 's' step.
+  message.ctx.origin = message.from;
+  message.ctx.causal_id = tracer_->NextFlowId();
+  obs::TraceEvent event;
+  event.name = PayloadKindName(message.payload.index());
+  event.cat = "flow";
+  event.phase = 's';
+  event.node = message.from >= 0 ? message.from : message.to;
+  event.flow_id = message.ctx.causal_id;
+  event.arg_name = "to";
+  event.arg_value = static_cast<uint64_t>(message.to);
+  tracer_->Emit(event);
+}
+
 void Network::PushInbox(Message message) {
   Inbox& inbox = *inboxes_[message.to];
   {
@@ -125,6 +154,7 @@ void Network::SendDirect(Message message) {
   message.wire_bytes = PayloadByteSize(message.payload);
   if constexpr (obs::kObsCompiledIn) {
     message.send_wall_ns = WallNs();
+    StampFlow(message);
   }
   AccountWire(message, message.KindName(), PayloadReadNoticeBytes(message.payload));
   PushInbox(std::move(message));
@@ -138,6 +168,7 @@ double Network::SendReliable(Message message) {
   message.wire_bytes = PayloadByteSize(message.payload);
   if constexpr (obs::kObsCompiledIn) {
     message.send_wall_ns = WallNs();
+    StampFlow(message);
   }
   const char* kind = message.KindName();
   const size_t rn_bytes = PayloadReadNoticeBytes(message.payload);

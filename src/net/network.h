@@ -108,6 +108,11 @@ class Network {
 
   void OnDelivered(const Message& message);
 
+  // Flow tracing: charges the TraceContext's wire bytes and, when the sender
+  // did not stamp a context (raw Network users), stamps a fallback one and
+  // emits its 's' step. No-op unless a tracer with flows is attached.
+  void StampFlow(Message& message);
+
   // Clean path: the pre-fault send, byte-for-byte.
   void SendDirect(Message message);
   // Reliable path; returns the simulated penalty for the sender's clock.

@@ -23,6 +23,12 @@ struct TraceConfig {
   // Per-epoch metrics time series (CSV/JSON).
   bool metrics_enabled = false;
 
+  // Stamp a TraceContext on every DSM message and emit Perfetto flow events
+  // ('s'/'t'/'f') linking the sender's and receiver's tracks. Only active
+  // together with trace_enabled. Adds kTraceContextWireBytes to each
+  // message's modeled wire size while active.
+  bool flow_events = true;
+
   // Keep every Nth event per node ring (1 = keep all). Sampling is safe for
   // the exported format because spans are emitted as single complete ('X')
   // events, never as begin/end pairs that could be separated.

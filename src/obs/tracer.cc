@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
 
 #include "src/common/check.h"
 
@@ -41,6 +42,8 @@ std::string EscapeJson(const char* s) {
   }
   return out;
 }
+
+bool IsFlowPhase(char phase) { return phase == 's' || phase == 't' || phase == 'f'; }
 
 // One renderable record: an event projected onto a (pid, tid) track.
 struct OutRecord {
@@ -202,11 +205,41 @@ std::vector<TraceEvent> Tracer::Collected() {
 std::string Tracer::ToChromeJson() {
   const std::vector<TraceEvent> events = Collected();
 
+  // Flow chains must never dangle in the export: ring overflow or sampling
+  // can lose any step independently, and a 't'/'f' whose 's' is gone would
+  // bind to nothing (or, worse, to a later chain reusing the id). Keep only
+  // chains that still have both their start and at least one later step;
+  // every other flow event is suppressed.
+  std::set<uint64_t> chains_with_start;
+  std::set<uint64_t> chains_with_step;
+  for (const TraceEvent& e : events) {
+    if (!IsFlowPhase(e.phase) || e.flow_id == 0) {
+      continue;
+    }
+    (e.phase == 's' ? chains_with_start : chains_with_step).insert(e.flow_id);
+  }
+
   // Project each event onto its tracks: pid 0 = simulated time (only events
   // that carry a simulated timestamp), pid 1 = wall time (every event).
+  // Flow events are the exception: they appear on exactly one track
+  // (simulated when timestamped, wall otherwise) — a chain duplicated onto
+  // both tracks would have two 's' steps with one id, which is malformed.
   std::vector<OutRecord> records;
   records.reserve(events.size() * 2);
   for (const TraceEvent& e : events) {
+    if (IsFlowPhase(e.phase)) {
+      if (e.flow_id == 0 || chains_with_start.count(e.flow_id) == 0 ||
+          chains_with_step.count(e.flow_id) == 0) {
+        continue;
+      }
+      if (e.sim_ts_ns >= 0) {
+        records.push_back(OutRecord{0, e.node, e.sim_ts_ns / 1000.0, 0, &e});
+      } else {
+        records.push_back(
+            OutRecord{1, e.node, static_cast<double>(e.wall_ts_ns) / 1000.0, 0, &e});
+      }
+      continue;
+    }
     if (e.sim_ts_ns >= 0) {
       records.push_back(OutRecord{0, e.node, e.sim_ts_ns / 1000.0, e.sim_dur_ns / 1000.0, &e});
     }
@@ -250,6 +283,16 @@ std::string Tracer::ToChromeJson() {
       std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", r.dur_us);
       json += buf;
     }
+    if (IsFlowPhase(e.phase)) {
+      // Chain id; 'f' binds to its enclosing slice ("bp":"e") so the final
+      // arrow lands on the receiver's span, not after it.
+      std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
+                    static_cast<unsigned long long>(e.flow_id));
+      json += buf;
+      if (e.phase == 'f') {
+        json += ",\"bp\":\"e\"";
+      }
+    }
     json += ",";
     if (e.phase == 'C') {
       // Counter events plot their numeric arguments as a stacked series.
@@ -261,6 +304,11 @@ std::string Tracer::ToChromeJson() {
       AppendArgs(json, e);
     }
     json += i + 1 < records.size() ? "},\n" : "}\n";
+  }
+  if (records.empty()) {
+    // Every real event was suppressed or sampled out; the metadata block's
+    // trailing comma would otherwise make the array invalid JSON.
+    json.erase(json.size() - 2, 1);
   }
   json += "]}\n";
   return json;

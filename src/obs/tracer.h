@@ -11,6 +11,7 @@
 #ifndef CVM_OBS_TRACER_H_
 #define CVM_OBS_TRACER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -28,9 +29,16 @@ namespace cvm::obs {
 struct TraceEvent {
   const char* name = "";
   const char* cat = "";
-  char phase = 'i';        // 'X' = complete span, 'i' = instant, 'C' = counter.
+  // 'X' = complete span, 'i' = instant, 'C' = counter, and the Perfetto flow
+  // phases 's' (start), 't' (step), 'f' (finish) which carry flow_id.
+  char phase = 'i';
   NodeId node = 0;         // Thread track within each process track.
   EpochId epoch = -1;      // -1 = not epoch-scoped (omitted from args).
+
+  // Causal chain id for flow-phase events (0 otherwise). The exporter binds
+  // same-id steps into one arrow chain and drops any chain whose 's' step
+  // was lost to ring overflow or sampling — flow ids never dangle.
+  uint64_t flow_id = 0;
 
   double sim_ts_ns = -1;   // < 0: event appears on the wall track only.
   double sim_dur_ns = 0;
@@ -55,6 +63,12 @@ class Tracer {
 
   int num_nodes() const { return static_cast<int>(rings_.size()); }
   const TraceConfig& config() const { return config_; }
+
+  // True when messages should carry a TraceContext and emit flow events.
+  bool flows_enabled() const { return config_.trace_enabled && config_.flow_events; }
+
+  // Allocates a tracer-wide unique causal id for a new flow chain. Never 0.
+  uint64_t NextFlowId() { return next_flow_id_.fetch_add(1, std::memory_order_relaxed); }
 
   // Nanoseconds of wall time since tracer construction.
   uint64_t WallNowNs() const;
@@ -101,6 +115,7 @@ class Tracer {
   TraceConfig config_;
   std::vector<std::unique_ptr<Ring>> rings_;
   std::chrono::steady_clock::time_point origin_;
+  std::atomic<uint64_t> next_flow_id_{1};
 
   mutable std::mutex drained_mu_;
   std::vector<TraceEvent> drained_;

@@ -1,9 +1,62 @@
 #include "src/race/race_report.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
+#include "src/protocol/interval.h"
+
 namespace cvm {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// "sigma_3^7" — the paper's notation for node 3's interval 7.
+std::string Sigma(const IntervalId& id) {
+  return "sigma_" + std::to_string(id.node) + "^" + std::to_string(id.index);
+}
+
+std::string DescribeSide(const RaceAccessProvenance& side) {
+  std::ostringstream out;
+  out << Sigma(side.interval) << " on node " << side.interval.node;
+  if (side.resolved) {
+    out << " (epoch " << side.epoch << ", vc " << side.vc.ToString() << ")";
+  } else {
+    out << " (record garbage-collected before provenance capture)";
+  }
+  return out.str();
+}
+
+}  // namespace
 
 const char* RaceKindName(RaceKind kind) {
   switch (kind) {
@@ -58,6 +111,96 @@ std::vector<RaceSummaryLine> SummarizeRaces(const std::vector<RaceReport>& repor
     line->first_epoch = std::min(line->first_epoch, report.epoch);
   }
   return lines;
+}
+
+void AttachProvenance(RaceReport& report, const IntervalRecord* a, const IntervalRecord* b) {
+  RaceProvenance& prov = report.provenance;
+  prov.detect_epoch = report.epoch;
+  prov.a.interval = report.interval_a;
+  prov.b.interval = report.interval_b;
+  if (a != nullptr) {
+    prov.a.vc = a->vc;
+    prov.a.epoch = a->epoch;
+    prov.a.resolved = true;
+  }
+  if (b != nullptr) {
+    prov.b.vc = b->vc;
+    prov.b.epoch = b->epoch;
+    prov.b.resolved = true;
+  }
+
+  const IntervalId& ia = report.interval_a;
+  const IntervalId& ib = report.interval_b;
+  prov.chain.clear();
+  prov.chain.push_back("access A: " + DescribeSide(prov.a));
+  prov.chain.push_back("access B: " + DescribeSide(prov.b));
+  {
+    // The sync ops delimiting each access: interval i on node p spans p's
+    // sync operations #i and #(i+1) — those are the only orderings the
+    // detector (and the program) has for the access.
+    std::ostringstream out;
+    out << "ordering: node " << ia.node << "'s sync op #" << ia.index << " -> access A -> sync op #"
+        << ia.index + 1 << "; node " << ib.node << "'s sync op #" << ib.index
+        << " -> access B -> sync op #" << ib.index + 1;
+    prov.chain.push_back(out.str());
+  }
+  if (prov.a.resolved && prov.b.resolved) {
+    // The two-comparison concurrency test (§4), spelled out with the entries
+    // that failed: neither interval had seen the other's creation.
+    std::ostringstream out;
+    out << "concurrency test: vc_" << Sigma(ib) << "[" << ia.node
+        << "]=" << prov.b.vc.At(ia.node) << " < " << ia.index << " and vc_" << Sigma(ia) << "["
+        << ib.node << "]=" << prov.a.vc.At(ib.node) << " < " << ib.index
+        << " — no release/acquire chain connects the accesses";
+    prov.chain.push_back(out.str());
+  } else {
+    prov.chain.push_back(
+        "concurrency test: intervals concurrent per the two-comparison test "
+        "(version vectors unavailable)");
+  }
+  {
+    std::ostringstream out;
+    out << "exposed at the epoch-" << prov.detect_epoch
+        << " barrier check, when both intervals' notices first met at the master";
+    prov.chain.push_back(out.str());
+  }
+}
+
+std::string FormatProvenance(const RaceReport& report) {
+  if (report.provenance.empty()) {
+    return "  (no provenance recorded)\n";
+  }
+  std::string out;
+  for (const std::string& line : report.provenance.chain) {
+    out += "  " + line + "\n";
+  }
+  return out;
+}
+
+std::string RaceReportsToJson(const std::vector<RaceReport>& reports) {
+  std::ostringstream out;
+  out << "[\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const RaceReport& r = reports[i];
+    const RaceProvenance& p = r.provenance;
+    out << "  {\"kind\":\"" << RaceKindName(r.kind) << "\",\"page\":" << r.page
+        << ",\"word\":" << r.word << ",\"addr\":" << r.addr << ",\"symbol\":\""
+        << JsonEscape(r.symbol) << "\",\"epoch\":" << r.epoch << ",\n   \"interval_a\":{\"node\":"
+        << r.interval_a.node << ",\"index\":" << r.interval_a.index
+        << ",\"resolved\":" << (p.a.resolved ? "true" : "false") << ",\"epoch\":" << p.a.epoch
+        << ",\"vc\":\"" << JsonEscape(p.a.resolved ? p.a.vc.ToString() : "") << "\"},\n"
+        << "   \"interval_b\":{\"node\":" << r.interval_b.node
+        << ",\"index\":" << r.interval_b.index
+        << ",\"resolved\":" << (p.b.resolved ? "true" : "false") << ",\"epoch\":" << p.b.epoch
+        << ",\"vc\":\"" << JsonEscape(p.b.resolved ? p.b.vc.ToString() : "") << "\"},\n"
+        << "   \"detect_epoch\":" << p.detect_epoch << ",\"chain\":[";
+    for (size_t j = 0; j < p.chain.size(); ++j) {
+      out << (j > 0 ? "," : "") << "\"" << JsonEscape(p.chain[j]) << "\"";
+    }
+    out << "]}" << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return out.str();
 }
 
 std::vector<RaceReport> FilterFirstRaces(const std::vector<RaceReport>& reports) {

@@ -12,12 +12,40 @@
 
 namespace cvm {
 
+struct IntervalRecord;
+
 enum class RaceKind : uint8_t {
   kWriteWrite,
   kReadWrite,
 };
 
 const char* RaceKindName(RaceKind kind);
+
+// One side of a race's causal evidence: the interval's identity plus the
+// version vector that made the concurrency test fire. `resolved` is false
+// when the interval record had already left the log (shouldn't happen at
+// publish time — provenance is attached before barrier-release GC — but the
+// report stays printable either way).
+struct RaceAccessProvenance {
+  IntervalId interval;
+  VectorClock vc;
+  EpochId epoch = -1;
+  bool resolved = false;
+};
+
+// The causal chain that exposed a race: both intervals' timestamps, the sync
+// ops that (fail to) order the accesses, and the barrier check that caught
+// it. Built by AttachProvenance, rendered by FormatProvenance, serialized by
+// RaceReportsToJson.
+struct RaceProvenance {
+  RaceAccessProvenance a;
+  RaceAccessProvenance b;
+  EpochId detect_epoch = -1;
+  // Human-readable chain, one step per line (see FormatProvenance).
+  std::vector<std::string> chain;
+
+  bool empty() const { return chain.empty(); }
+};
 
 struct RaceReport {
   RaceKind kind = RaceKind::kReadWrite;
@@ -28,12 +56,27 @@ struct RaceReport {
   IntervalId interval_a;   // The writer for kReadWrite when derivable.
   IntervalId interval_b;
   EpochId epoch = -1;
+  RaceProvenance provenance;
 
   std::string ToString() const;
 
   // Identity for deduplication: same word, same interval pair, same kind.
   bool SameRace(const RaceReport& other) const;
 };
+
+// Fills report.provenance from the interval records the detector compared
+// (either may be null if already garbage-collected). Explains the two-
+// comparison concurrency test (§4) in terms of the actual vector-clock
+// entries and the sync ops delimiting each interval.
+void AttachProvenance(RaceReport& report, const IntervalRecord* a, const IntervalRecord* b);
+
+// Multi-line human rendering of a report's provenance chain; a one-line
+// "(no provenance recorded)" fallback when empty.
+std::string FormatProvenance(const RaceReport& report);
+
+// JSON array of reports with their provenance, for tool consumption
+// (trace_summary --race-explain).
+std::string RaceReportsToJson(const std::vector<RaceReport>& reports);
 
 // Per-variable rollup of a report list, for human-facing summaries.
 struct RaceSummaryLine {

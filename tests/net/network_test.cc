@@ -145,8 +145,9 @@ TEST(NetworkTest, ObservabilityCountersMirrorStats) {
   EXPECT_EQ(metrics.histogram("net.msg_bytes")->count(), 2u);
   // One delivery consumed -> one latency observation.
   EXPECT_EQ(metrics.histogram("net.msg_latency_ns")->count(), 1u);
-  // Send + recv instants are on the sender's/receiver's rings.
-  EXPECT_EQ(tracer.Collected().size(), 3u);
+  // Two msg.send instants + two fallback flow 's' steps (raw-network sends
+  // are unstamped, so the fabric starts the chains) + one msg.recv instant.
+  EXPECT_EQ(tracer.Collected().size(), 5u);
 }
 
 TEST(MessageTest, PayloadSizesAreConsistent) {

@@ -137,6 +137,9 @@ TEST(ObsIntegrationTest, DisabledObservabilityAllocatesNothing) {
 TEST(ObsIntegrationTest, SimulatedTimeIsUnchangedByObservability) {
   // Observability must not perturb the deterministic cost model: the same
   // app with and without tracing lands on the identical simulated time.
+  // Causal flow tracing is the one deliberate exception — it puts a real
+  // TraceContext on the modeled wire (tests/obs/flow_test.cc covers it) —
+  // so this invariant is checked with flow events off.
   // Lock-free, and each node's chunk is exactly one 256-byte page, so no
   // ownership churn: every simulated cost is independent of the real-time
   // interleaving and the total must be bit-identical across passes.
@@ -144,6 +147,7 @@ TEST(ObsIntegrationTest, SimulatedTimeIsUnchangedByObservability) {
   double sim_times[2] = {0, 0};
   for (int pass = 0; pass < 2; ++pass) {
     DsmOptions options = ObsOptions(4, /*trace=*/pass == 1, /*metrics=*/pass == 1);
+    options.trace.flow_events = false;
     DsmSystem system(options);
     auto data = SharedArray<int32_t>::Alloc(system, "data", kWordsPerPage * 4);
     RunResult result = system.Run([&](NodeContext& ctx) {

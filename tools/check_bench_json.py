@@ -1,17 +1,24 @@
 #!/usr/bin/env python3
-"""Validates the schema of BENCH_detector.json (and knows BENCH_fig4.json).
+"""Validates the schema of the BENCH_*.json files the benches emit.
 
-Used by the CI bench-smoke step: after running
-`ablation_detection_pipeline --smoke`, this asserts the JSON parses, every
-cell carries the full column set with sane types/values, and the modes'
-relative claims hold (compressed-distributed wire bytes <= raw bytes;
-reports match serial where required). Stdlib only.
+Used by the CI bench-smoke steps: after running a bench, this asserts its
+JSON parses, every cell carries the full column set with sane types/values,
+and the modes' relative claims hold (compressed-distributed wire bytes <=
+raw bytes; reports match serial where required; flow tracing no more than
+2x plain tracing). Stdlib only.
+
+The schema is picked from the file's basename via the SCHEMAS registry;
+unknown BENCH_*.json names fail loudly so a new bench cannot ship without
+registering (and thereby documenting) its output format here.
 
 Usage: tools/check_bench_json.py BENCH_detector.json
-       tools/check_bench_json.py --fig4 BENCH_fig4.json
+       tools/check_bench_json.py BENCH_fig4.json
+       tools/check_bench_json.py BENCH_obs.json
+       tools/check_bench_json.py --fig4 FILE   (legacy: force fig4 schema)
 """
 
 import json
+import os
 import sys
 
 DETECTOR_FIELDS = {
@@ -43,7 +50,25 @@ FIG4_FIELDS = {
     "wall_s_base": (int, float),
 }
 
+OBS_FIELDS = {
+    "app": str,
+    "procs": int,
+    "mode": str,
+    "wall_s": (int, float),
+    "sim_ms": (int, float),
+    "trace_events": int,
+    "flow_events": int,
+    "overhead_vs_off": (int, float),
+    "overhead_vs_trace": (int, float),
+}
+
 MODES = {"serial", "sharded", "distributed"}
+OBS_MODES = {"off", "trace", "trace+flows"}
+
+# Headroom over the nominal "flow tracing <= 2x plain tracing" claim: wall
+# times on shared CI runners are noisy and the bench already takes the best
+# of its repetitions, so only flag clear regressions.
+OBS_FLOW_OVERHEAD_LIMIT = 2.0
 
 
 def fail(msg):
@@ -123,6 +148,53 @@ def check_fig4(cells):
     return 0
 
 
+def check_obs(cells):
+    if not cells:
+        return fail("no cells")
+    by_mode = {}
+    for i, cell in enumerate(cells):
+        err = check_fields(cell, i, OBS_FIELDS)
+        if err:
+            return fail(err)
+        if cell["mode"] not in OBS_MODES:
+            return fail(f"cell {i}: unknown mode '{cell['mode']}'")
+        if cell["wall_s"] <= 0 or cell["sim_ms"] <= 0:
+            return fail(f"cell {i}: non-positive wall/sim time")
+        by_mode[cell["mode"]] = cell
+    missing = OBS_MODES - set(by_mode)
+    if missing:
+        return fail(f"missing mode(s) {sorted(missing)}")
+    off, trace, flows = by_mode["off"], by_mode["trace"], by_mode["trace+flows"]
+    if off["trace_events"] != 0 or off["flow_events"] != 0:
+        return fail("'off' mode recorded trace events")
+    if trace["trace_events"] <= 0:
+        return fail("'trace' mode recorded no events")
+    if trace["flow_events"] != 0:
+        return fail("'trace' mode recorded flow events with flows disabled")
+    if flows["flow_events"] <= 0:
+        return fail("'trace+flows' mode recorded no flow events")
+    if flows["trace_events"] < trace["trace_events"]:
+        return fail("flow mode recorded fewer events than plain tracing")
+    if flows["wall_s"] > OBS_FLOW_OVERHEAD_LIMIT * trace["wall_s"]:
+        return fail(
+            f"flow tracing overhead {flows['wall_s'] / trace['wall_s']:.2f}x "
+            f"exceeds the {OBS_FLOW_OVERHEAD_LIMIT}x budget over plain tracing"
+        )
+    print(
+        f"OK: {len(cells)} obs cells, flow overhead "
+        f"{flows['wall_s'] / trace['wall_s']:.2f}x over plain tracing"
+    )
+    return 0
+
+
+# Basename -> validator. Every BENCH_*.json a bench writes must appear here.
+SCHEMAS = {
+    "BENCH_detector.json": check_detector,
+    "BENCH_fig4.json": check_fig4,
+    "BENCH_obs.json": check_obs,
+}
+
+
 def main():
     args = sys.argv[1:]
     fig4 = "--fig4" in args
@@ -130,14 +202,28 @@ def main():
     if len(paths) != 1:
         print(__doc__, file=sys.stderr)
         return 2
+    path = paths[0]
+    base = os.path.basename(path)
+    if fig4:
+        checker = check_fig4
+    elif base in SCHEMAS:
+        checker = SCHEMAS[base]
+    elif base.startswith("BENCH_") and base.endswith(".json"):
+        return fail(
+            f"unknown bench output '{base}': register its schema in "
+            "tools/check_bench_json.py SCHEMAS"
+        )
+    else:
+        # Preserve the historical default for odd names (temp files in tests).
+        checker = check_detector
     try:
-        with open(paths[0], encoding="utf-8") as f:
+        with open(path, encoding="utf-8") as f:
             cells = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        return fail(f"cannot load {paths[0]}: {e}")
+        return fail(f"cannot load {path}: {e}")
     if not isinstance(cells, list):
         return fail("top level must be a JSON array")
-    return check_fig4(cells) if fig4 else check_detector(cells)
+    return checker(cells)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,373 @@
+// critical_path: walks the causal flow graph of an exported trace
+// (cvm_run --trace-json=FILE) and prints, per barrier epoch, the longest
+// causal chain — which node the epoch's critical path ran on at each step and
+// what that time went to (compute, lock wait, diff/page traffic, detection
+// rounds, barrier machinery) — plus an obs.critpath.* metrics summary.
+//
+// The walk is backwards from the epoch's last event: repeatedly find the
+// latest flow arrow delivered to the current node before the current time,
+// attribute the gap to the current node, and hop to the arrow's sender. The
+// resulting segments partition the epoch span by construction, so the chain
+// total always reconciles against the epoch's wall of simulated time.
+//
+// Exits nonzero on unreadable/malformed input and on traces with no flow
+// arrows at all (tracing ran without flow events — nothing causal to walk).
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/flags.h"
+#include "tools/json_mini.h"
+
+namespace {
+
+using cvm::tools::JsonParser;
+using cvm::tools::JsonValue;
+
+int Usage() {
+  std::printf(
+      "usage: critical_path TRACE.json [--epoch=E] [--max-steps=N]\n"
+      "\n"
+      "Prints the longest causal chain per barrier epoch of a trace exported\n"
+      "with cvm_run --trace-json. Requires flow events (on by default when\n"
+      "tracing); exits 1 if the trace carries none.\n"
+      "\n"
+      "  --epoch=E       analyze only epoch E\n"
+      "  --max-steps=N   cap printed chain steps per epoch (default 32)\n");
+  return 2;
+}
+
+// One trace slice or instant on the simulated-time track.
+struct Slice {
+  int node = 0;
+  int epoch = -1;
+  double ts_us = 0;
+  double dur_us = 0;
+  std::string name;
+  std::string cat;
+};
+
+// One causal arrow: sender (node, time) -> receiver (node, time), from a
+// consecutive pair of same-id flow events.
+struct FlowEdge {
+  int src_node = 0;
+  double src_ts_us = 0;
+  int dst_node = 0;
+  double dst_ts_us = 0;
+  std::string kind;  // Payload kind name carried by the flow events.
+};
+
+// Time buckets a critical-path segment can resolve to, in claim order:
+// overlapping slices of a higher-priority class win the overlap.
+enum Phase { kDetect, kLock, kDiff, kBarrier, kCompute, kNumPhases };
+
+const char* PhaseName(int phase) {
+  switch (phase) {
+    case kDetect:
+      return "detect";
+    case kLock:
+      return "lock";
+    case kDiff:
+      return "diff";
+    case kBarrier:
+      return "barrier";
+    case kCompute:
+      return "compute";
+  }
+  return "?";
+}
+
+int ClassifySlice(const Slice& slice) {
+  if (slice.cat == "race" || slice.name.rfind("detector.", 0) == 0) {
+    return kDetect;
+  }
+  if (slice.name == "lock.acquire") {
+    return kLock;
+  }
+  if (slice.cat == "mem" || slice.name.rfind("page.fault", 0) == 0 ||
+      slice.name.rfind("diff", 0) == 0) {
+    return kDiff;
+  }
+  if (slice.name == "barrier") {
+    return kBarrier;
+  }
+  return kCompute;
+}
+
+// Subtracts [begin, end) slices of one class from the free list, returning
+// the microseconds claimed. The free list stays sorted and disjoint.
+double ClaimOverlap(std::vector<std::pair<double, double>>& free_list,
+                    const std::vector<std::pair<double, double>>& claims) {
+  double claimed = 0;
+  for (const auto& [cb, ce] : claims) {
+    std::vector<std::pair<double, double>> next;
+    next.reserve(free_list.size() + 1);
+    for (const auto& [fb, fe] : free_list) {
+      const double ob = std::max(fb, cb);
+      const double oe = std::min(fe, ce);
+      if (ob >= oe) {
+        next.emplace_back(fb, fe);
+        continue;
+      }
+      claimed += oe - ob;
+      if (fb < ob) {
+        next.emplace_back(fb, ob);
+      }
+      if (oe < fe) {
+        next.emplace_back(oe, fe);
+      }
+    }
+    free_list = std::move(next);
+  }
+  return claimed;
+}
+
+struct ChainStep {
+  int node = 0;
+  double begin_us = 0;
+  double end_us = 0;
+  std::string via;   // Payload kind of the arrow that started this segment.
+  double net_us = 0; // Flight time of that arrow (send -> arrival).
+  double phase_us[kNumPhases] = {};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cvm::tools::Flags flags;
+  std::string error;
+  if (!flags.Parse(argc, argv, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return Usage();
+  }
+  for (const std::string& key : flags.UnknownKeys({"epoch", "max-steps", "trace", "help"})) {
+    std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
+    return Usage();
+  }
+  if (flags.GetBool("help", false)) {
+    return Usage();
+  }
+  std::string path = flags.GetString("trace", "");
+  if (path.empty() && !flags.positional().empty()) {
+    path = flags.positional().front();
+  }
+  if (path.empty()) {
+    return Usage();
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  JsonValue root;
+  if (!JsonParser::Parse(text, &root, &error)) {
+    std::fprintf(stderr, "error: %s: malformed trace JSON: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  const JsonValue& events = root.at("traceEvents");
+  if (!events.is_array()) {
+    std::fprintf(stderr, "error: %s: no traceEvents array\n", path.c_str());
+    return 1;
+  }
+
+  // Split the simulated-time track (pid 0) into slices and flow steps. Flow
+  // steps group by id; consecutive same-id steps in timestamp order are the
+  // causal arrows.
+  struct FlowStep {
+    int node = 0;
+    double ts_us = 0;
+    std::string name;
+  };
+  std::vector<Slice> slices;
+  std::map<std::string, std::vector<FlowStep>> flows;
+  for (const JsonValue& e : events.array) {
+    const std::string ph = e.at("ph").str_or("");
+    if (ph == "M" || e.at("pid").num_or(-1) != 0) {
+      continue;
+    }
+    const int node = static_cast<int>(e.at("tid").num_or(0));
+    const double ts = e.at("ts").num_or(0);
+    if (ph == "s" || ph == "t" || ph == "f") {
+      flows[e.at("id").str_or("")].push_back(FlowStep{node, ts, e.at("name").str_or("?")});
+      continue;
+    }
+    if (ph != "X" && ph != "i") {
+      continue;
+    }
+    Slice slice;
+    slice.node = node;
+    slice.ts_us = ts;
+    slice.dur_us = e.at("dur").num_or(0);
+    slice.name = e.at("name").str_or("");
+    slice.cat = e.at("cat").str_or("");
+    slice.epoch = static_cast<int>(e.at("args").at("epoch").num_or(-1));
+    slices.push_back(std::move(slice));
+  }
+
+  std::vector<FlowEdge> edges;
+  for (auto& [id, steps] : flows) {
+    std::stable_sort(steps.begin(), steps.end(),
+                     [](const FlowStep& a, const FlowStep& b) { return a.ts_us < b.ts_us; });
+    for (size_t i = 0; i + 1 < steps.size(); ++i) {
+      edges.push_back(FlowEdge{steps[i].node, steps[i].ts_us, steps[i + 1].node,
+                               steps[i + 1].ts_us, steps[i + 1].name});
+    }
+  }
+  if (edges.empty()) {
+    std::fprintf(stderr,
+                 "error: %s: no causal flow arrows on the simulated track "
+                 "(was the trace recorded with flow events?)\n",
+                 path.c_str());
+    return 1;
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const FlowEdge& a, const FlowEdge& b) { return a.dst_ts_us < b.dst_ts_us; });
+
+  // Per-epoch windows from the epoch-tagged slices.
+  struct Window {
+    double begin_us = 0;
+    double end_us = 0;
+    int end_node = 0;
+  };
+  std::map<int, Window> epochs;
+  for (const Slice& slice : slices) {
+    if (slice.epoch < 0) {
+      continue;
+    }
+    auto [it, inserted] = epochs.emplace(
+        slice.epoch, Window{slice.ts_us, slice.ts_us + slice.dur_us, slice.node});
+    if (inserted) {
+      continue;
+    }
+    Window& w = it->second;
+    w.begin_us = std::min(w.begin_us, slice.ts_us);
+    if (slice.ts_us + slice.dur_us > w.end_us) {
+      w.end_us = slice.ts_us + slice.dur_us;
+      w.end_node = slice.node;
+    }
+  }
+  if (epochs.empty()) {
+    std::fprintf(stderr, "error: %s: no epoch-tagged events\n", path.c_str());
+    return 1;
+  }
+
+  const bool only_one = flags.Has("epoch");
+  const int only_epoch = static_cast<int>(flags.GetInt("epoch", -1));
+  const int max_steps = static_cast<int>(flags.GetInt("max-steps", 32));
+
+  for (const auto& [epoch, window] : epochs) {
+    if (only_one && epoch != only_epoch) {
+      continue;
+    }
+    // Backward walk from the epoch's last event.
+    std::vector<ChainStep> chain;
+    int cur_node = window.end_node;
+    double cur_t = window.end_us;
+    while (cur_t > window.begin_us) {
+      // Latest arrow into the current node strictly before cur_t (arrival at
+      // exactly cur_t would make an empty segment and no progress).
+      const FlowEdge* best = nullptr;
+      for (const FlowEdge& edge : edges) {
+        if (edge.dst_node != cur_node || edge.dst_ts_us >= cur_t ||
+            edge.dst_ts_us < window.begin_us || edge.src_ts_us > edge.dst_ts_us) {
+          continue;
+        }
+        if (best == nullptr || edge.dst_ts_us > best->dst_ts_us) {
+          best = &edge;
+        }
+      }
+      ChainStep step;
+      step.node = cur_node;
+      step.end_us = cur_t;
+      if (best == nullptr) {
+        step.begin_us = window.begin_us;
+        chain.push_back(step);
+        break;
+      }
+      step.begin_us = best->dst_ts_us;
+      step.via = best->kind;
+      // The arrow's flight time is critical-path time too: without it the
+      // chain total would undercount the epoch span by every hop's message
+      // latency. Clamped to the window for arrows sent in a prior epoch.
+      const double send_us = std::max(best->src_ts_us, window.begin_us);
+      step.net_us = best->dst_ts_us - send_us;
+      chain.push_back(step);
+      cur_node = best->src_node;
+      const double next_t = std::min(cur_t, send_us);
+      if (next_t == cur_t) {
+        break;  // No progress possible; degenerate self-arrow.
+      }
+      cur_t = next_t;
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    // Attribute each segment's time by overlapping slices, priority order.
+    double phase_total[kNumPhases] = {};
+    double net_total = 0;
+    for (ChainStep& step : chain) {
+      std::vector<std::pair<double, double>> free_list = {{step.begin_us, step.end_us}};
+      for (int phase = 0; phase < kCompute; ++phase) {
+        std::vector<std::pair<double, double>> claims;
+        for (const Slice& slice : slices) {
+          if (slice.node != step.node || slice.dur_us <= 0 || ClassifySlice(slice) != phase) {
+            continue;
+          }
+          claims.emplace_back(slice.ts_us, slice.ts_us + slice.dur_us);
+        }
+        step.phase_us[phase] = ClaimOverlap(free_list, claims);
+      }
+      for (const auto& [fb, fe] : free_list) {
+        step.phase_us[kCompute] += fe - fb;  // Unclaimed time = computation.
+      }
+      for (int phase = 0; phase < kNumPhases; ++phase) {
+        phase_total[phase] += step.phase_us[phase];
+      }
+      net_total += step.net_us;
+    }
+
+    double chain_total = net_total;
+    for (const ChainStep& step : chain) {
+      chain_total += step.end_us - step.begin_us;
+    }
+    const double span = window.end_us - window.begin_us;
+
+    std::printf("epoch %d: span %.1f us, critical path %.1f us over %zu hop(s)\n", epoch, span,
+                chain_total, chain.size());
+    int printed = 0;
+    for (const ChainStep& step : chain) {
+      if (printed++ >= max_steps) {
+        std::printf("  ... (%zu more steps)\n", chain.size() - static_cast<size_t>(max_steps));
+        break;
+      }
+      std::printf("  node %d  %9.1f us", step.node, step.end_us - step.begin_us);
+      for (int phase = 0; phase < kNumPhases; ++phase) {
+        if (step.phase_us[phase] > 0.05) {
+          std::printf("  %s %.1f", PhaseName(phase), step.phase_us[phase]);
+        }
+      }
+      if (!step.via.empty()) {
+        std::printf("  [arrived via %s, %.1f us on the wire]", step.via.c_str(), step.net_us);
+      }
+      std::printf("\n");
+    }
+    std::printf("  obs.critpath.total_us %.1f\n", chain_total);
+    std::printf("  obs.critpath.span_us %.1f\n", span);
+    std::printf("  obs.critpath.hops %zu\n", chain.size());
+    for (int phase = 0; phase < kNumPhases; ++phase) {
+      std::printf("  obs.critpath.%s_us %.1f\n", PhaseName(phase), phase_total[phase]);
+    }
+    std::printf("  obs.critpath.net_us %.1f\n", net_total);
+  }
+  return 0;
+}

@@ -10,7 +10,10 @@
 //   cvm_run --app=tsp --replay=sched.txt --watch=0x40 --watch-epoch=1
 //   cvm_run --app=fft --postmortem --trace-out=run.cvmt
 //   cvm_run --trace-in=run.cvmt            # offline analysis only
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -55,7 +58,10 @@ int Usage() {
       "  --postmortem         §7: trace instead of discarding checked epochs\n"
       "  --trace-out=FILE     write the post-mortem trace file\n"
       "  --trace-in=FILE      analyze an existing trace file (no run)\n"
-      "  --full-report        print every race (default: per-variable summary)\n"
+      "  --full-report        print every race with its causal provenance\n"
+      "                       (default: per-variable summary)\n"
+      "  --races-json=FILE    write race reports + provenance as JSON\n"
+      "                       (read back with trace_summary --race-explain)\n"
       "  --seed=N             workload seed (tsp/water/lu inputs; also the\n"
       "                       default fault seed); 0 = per-app defaults\n"
       "\n"
@@ -68,7 +74,8 @@ int Usage() {
       "  --trace-json=FILE    write a Chrome/Perfetto trace-event JSON of the run\n"
       "  --metrics-out=FILE   write per-epoch metrics (CSV, or JSON if FILE ends .json)\n"
       "  --metrics-interval=N snapshot metrics every N barrier epochs (default 1)\n"
-      "  --trace-sample=N     keep 1 of every N trace events per node (default 1)\n");
+      "  --trace-sample=F     sampling fraction in (0, 1]: keep about F of the\n"
+      "                       trace events per node (default 1 = keep all)\n");
   return 2;
 }
 
@@ -131,6 +138,7 @@ void PrintRaces(const std::vector<RaceReport>& races, bool full) {
   if (full) {
     for (const RaceReport& race : races) {
       std::printf("  %s\n", race.ToString().c_str());
+      std::printf("%s", FormatProvenance(race).c_str());
     }
     return;
   }
@@ -156,7 +164,7 @@ int main(int argc, char** argv) {
       "pipeline", "detect-shards", "compress-bitmaps",
       "diff-writes", "first-races", "fix-bug", "compare", "record",  "replay",
       "watch",   "watch-epoch", "postmortem", "trace-out", "trace-in", "full-report", "pages",
-      "trace-json", "metrics-out", "metrics-interval", "trace-sample",
+      "races-json", "trace-json", "metrics-out", "metrics-interval", "trace-sample",
       "seed", "fault-profile", "fault-seed", "fault-drop",
       "help"};
   for (const std::string& key : flags.UnknownKeys(accepted)) {
@@ -206,7 +214,23 @@ int main(int argc, char** argv) {
   options.trace.trace_enabled = flags.Has("trace-json");
   options.trace.metrics_enabled = flags.Has("metrics-out");
   options.trace.metrics_interval = static_cast<int>(flags.GetInt("metrics-interval", 1));
-  options.trace.sample_period = static_cast<uint32_t>(flags.GetInt("trace-sample", 1));
+  if (flags.Has("trace-sample")) {
+    // A fraction, not a period: values outside (0, 1] used to slip through
+    // and silently trace nothing (or abort deep in the tracer); reject them
+    // here with an actionable message.
+    const std::string raw = flags.GetString("trace-sample", "1");
+    char* end = nullptr;
+    const double fraction = std::strtod(raw.c_str(), &end);
+    if (end == raw.c_str() || *end != '\0' || !(fraction > 0.0) || fraction > 1.0) {
+      std::fprintf(stderr,
+                   "error: --trace-sample=%s is not a sampling fraction in (0, 1] "
+                   "(1 keeps every event, 0.1 keeps about 1 in 10)\n",
+                   raw.c_str());
+      return Usage();
+    }
+    options.trace.sample_period =
+        static_cast<uint32_t>(std::max<long long>(1, std::llround(1.0 / fraction)));
+  }
   if (options.trace.enabled() && !obs::kObsCompiledIn) {
     std::fprintf(stderr,
                  "error: this binary was built with -DCVM_OBS=OFF; "
@@ -307,6 +331,21 @@ int main(int argc, char** argv) {
                 result.fault.backoff_ns / 1e6);
   }
 
+  if (flags.Has("races-json")) {
+    const std::string path = flags.GetString("races-json", "");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write races JSON to %s\n", path.c_str());
+      return 1;
+    }
+    const std::string json = RaceReportsToJson(result.races);
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    if (std::fclose(f) != 0 || !ok) {
+      std::fprintf(stderr, "error: cannot write races JSON to %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("races JSON written: %s (%zu reports)\n", path.c_str(), result.races.size());
+  }
   if (options.record_sync_order) {
     if (!WriteScheduleFile(result.recorded_schedule, flags.GetString("record", ""))) {
       std::fprintf(stderr, "error: cannot write schedule file\n");

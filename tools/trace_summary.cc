@@ -1,15 +1,19 @@
 // trace_summary: offline companion to cvm_run's observability outputs.
 //
-// Two modes:
+// Three modes:
 //   trace_summary --metrics=m.csv       per-epoch overhead table (Figure 3's
 //                                       buckets), from a --metrics-out CSV
 //   trace_summary --trace-json=t.json   event-name census of a --trace-json
 //                                       Chrome trace file
+//   trace_summary --race-explain=r.json pretty-print the causal provenance
+//                                       of races from a --races-json file
 //
 // Examples:
 //   cvm_run --app=tsp --nodes=8 --metrics-out=m.csv --trace-json=t.json
 //   trace_summary --metrics=m.csv
 //   trace_summary --trace-json=t.json
+//   cvm_run --app=water --nodes=4 --races-json=r.json
+//   trace_summary --race-explain=r.json
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -20,6 +24,7 @@
 #include "src/common/table.h"
 #include "src/sim/cost_model.h"
 #include "tools/flags.h"
+#include "tools/json_mini.h"
 
 namespace {
 
@@ -27,11 +32,12 @@ using namespace cvm;
 
 int Usage() {
   std::printf(
-      "usage: trace_summary --metrics=FILE    per-epoch Figure-3 overhead table\n"
-      "       trace_summary --trace-json=FILE event-name counts from a trace\n"
+      "usage: trace_summary --metrics=FILE      per-epoch Figure-3 overhead table\n"
+      "       trace_summary --trace-json=FILE   event-name counts from a trace\n"
+      "       trace_summary --race-explain=FILE causal provenance of race reports\n"
       "\n"
-      "Inputs are the files written by cvm_run --metrics-out / --trace-json\n"
-      "(see docs/OBSERVABILITY.md).\n");
+      "Inputs are the files written by cvm_run --metrics-out / --trace-json /\n"
+      "--races-json (see docs/OBSERVABILITY.md and docs/DETECTOR.md).\n");
   return 2;
 }
 
@@ -239,6 +245,53 @@ int SummarizeTrace(const std::string& path) {
   return 0;
 }
 
+// Pretty-prints the causal provenance of each race in a --races-json file:
+// which two intervals collided, their version vectors, the sync ops that
+// failed to order them, and the barrier check that exposed the race.
+int ExplainRaces(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read races file %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  tools::JsonValue root;
+  std::string error;
+  if (!tools::JsonParser::Parse(buffer.str(), &root, &error)) {
+    std::fprintf(stderr, "error: %s: malformed races JSON: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  if (!root.is_array()) {
+    std::fprintf(stderr, "error: %s: expected a JSON array of race reports\n", path.c_str());
+    return 1;
+  }
+  if (root.array.empty()) {
+    std::printf("no data races in %s\n", path.c_str());
+    return 0;
+  }
+  std::printf("%zu race report(s) in %s:\n", root.array.size(), path.c_str());
+  for (size_t i = 0; i < root.array.size(); ++i) {
+    const tools::JsonValue& r = root.array[i];
+    const std::string symbol = r.at("symbol").str_or("");
+    std::printf("\n[%zu] %s race at %s (page %lld word %lld, epoch %lld)\n", i + 1,
+                r.at("kind").str_or("?").c_str(),
+                symbol.empty() ? "<unsymbolized>" : symbol.c_str(),
+                static_cast<long long>(r.at("page").num_or(-1)),
+                static_cast<long long>(r.at("word").num_or(0)),
+                static_cast<long long>(r.at("epoch").num_or(-1)));
+    const tools::JsonValue& chain = r.at("chain");
+    if (!chain.is_array() || chain.array.empty()) {
+      std::printf("    (no provenance recorded)\n");
+      continue;
+    }
+    for (const tools::JsonValue& line : chain.array) {
+      std::printf("    %s\n", line.str_or("").c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -248,11 +301,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return Usage();
   }
-  for (const std::string& key : flags.UnknownKeys({"metrics", "trace-json", "help"})) {
+  for (const std::string& key :
+       flags.UnknownKeys({"metrics", "trace-json", "race-explain", "help"})) {
     std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
     return Usage();
   }
-  if (flags.GetBool("help", false) || (!flags.Has("metrics") && !flags.Has("trace-json"))) {
+  if (flags.GetBool("help", false) ||
+      (!flags.Has("metrics") && !flags.Has("trace-json") && !flags.Has("race-explain"))) {
     return Usage();
   }
   int rc = 0;
@@ -261,6 +316,9 @@ int main(int argc, char** argv) {
   }
   if (rc == 0 && flags.Has("trace-json")) {
     rc = SummarizeTrace(flags.GetString("trace-json", ""));
+  }
+  if (rc == 0 && flags.Has("race-explain")) {
+    rc = ExplainRaces(flags.GetString("race-explain", ""));
   }
   return rc;
 }
