@@ -409,4 +409,21 @@ void Network::ResetStats() {
   fstats_ = fault::FaultStats{};
 }
 
+void Network::Reset() {
+  for (auto& inbox : inboxes_) {
+    std::lock_guard<std::mutex> lock(inbox->mu);
+    inbox->queue.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    // Sequence numbers, reorder buffers, and held frames all restart so the
+    // next run's injection schedule is identical to a fresh process.
+    for (auto& pair : pairs_) {
+      pair = PairState{};
+    }
+  }
+  ResetStats();
+  closed_.store(false, std::memory_order_release);
+}
+
 }  // namespace cvm

@@ -85,6 +85,12 @@ class Network {
   // Zeroes the aggregate statistics (multi-run tools reusing one fabric).
   void ResetStats();
 
+  // Returns the fabric to its just-constructed state so a warm DsmSystem can
+  // run again: reopens the network after Close(), empties every inbox, drops
+  // all reliable-transport pair state, and zeroes traffic + fault counters.
+  // Call only while no node threads are sending or receiving (between runs).
+  void Reset();
+
  private:
   struct Inbox {
     std::mutex mu;

@@ -245,6 +245,7 @@ void MetricsRegistry::Reset() {
     h->Reset();
   }
   rows_.clear();
+  origin_ = std::chrono::steady_clock::now();
 }
 
 }  // namespace cvm::obs

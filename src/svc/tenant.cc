@@ -1,0 +1,32 @@
+#include "src/svc/tenant.h"
+
+#include <algorithm>
+
+namespace cvm::svc {
+
+bool ValidTenantId(const std::string& id) {
+  if (id.empty() || id.size() > 32) {
+    return false;
+  }
+  return std::all_of(id.begin(), id.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+           c == '_' || c == '-';
+  });
+}
+
+std::string TenantMetricName(const std::string& tenant, const std::string& suffix) {
+  return "tenant." + tenant + "." + suffix;
+}
+
+std::vector<RaceReport> TenantRegion::ScopeReports(std::vector<RaceReport> reports) const {
+  std::vector<RaceReport> scoped;
+  scoped.reserve(reports.size());
+  for (RaceReport& report : reports) {
+    if (Contains(report.addr)) {
+      scoped.push_back(std::move(report));
+    }
+  }
+  return scoped;
+}
+
+}  // namespace cvm::svc

@@ -31,7 +31,7 @@ TEST(DsmOptionsDeathTest, ZeroNodesAborts) {
   EXPECT_DEATH({ DsmSystem system(options); }, "CHECK failed");
 }
 
-TEST(DsmOptionsDeathTest, SecondRunAborts) {
+TEST(DsmOptionsDeathTest, SecondRunWithoutResetAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(
       {
@@ -39,7 +39,7 @@ TEST(DsmOptionsDeathTest, SecondRunAborts) {
         system.Run([](NodeContext&) {});
         system.Run([](NodeContext&) {});
       },
-      "one-shot");
+      "one Run\\(\\) per Reset\\(\\) cycle");
 }
 
 TEST(DsmOptionsDeathTest, AllocAfterRunAborts) {

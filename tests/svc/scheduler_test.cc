@@ -1,0 +1,152 @@
+// Scheduler unit tests: admission control (bounded queue, tenant table,
+// tenant-id hygiene) and the two dispatch policies, driven synchronously
+// through TryNext() so no worker threads are involved.
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/svc/scheduler.h"
+#include "src/svc/tenant.h"
+
+namespace cvm::svc {
+namespace {
+
+WorkloadRequest Req(const std::string& tenant, const std::string& app = "fft") {
+  WorkloadRequest request;
+  request.tenant = tenant;
+  request.app = app;
+  return request;
+}
+
+TEST(TenantTest, ValidIds) {
+  EXPECT_TRUE(ValidTenantId("alpha"));
+  EXPECT_TRUE(ValidTenantId("team-1_B"));
+  EXPECT_FALSE(ValidTenantId(""));
+  EXPECT_FALSE(ValidTenantId("has space"));
+  EXPECT_FALSE(ValidTenantId("dots..bad"));
+  EXPECT_FALSE(ValidTenantId(std::string(33, 'a')));
+  EXPECT_EQ(TenantMetricName("alpha", "completed"), "tenant.alpha.completed");
+}
+
+TEST(SchedulerTest, PolicyParsing) {
+  EXPECT_EQ(ParsePolicy("fifo"), SchedPolicy::kFifo);
+  EXPECT_EQ(ParsePolicy("fair"), SchedPolicy::kFairShare);
+  EXPECT_EQ(ParsePolicy("fair-share"), SchedPolicy::kFairShare);
+  EXPECT_FALSE(ParsePolicy("round-robin").has_value());
+  EXPECT_STREQ(PolicyName(SchedPolicy::kFifo), "fifo");
+  EXPECT_STREQ(PolicyName(SchedPolicy::kFairShare), "fair");
+}
+
+TEST(SchedulerTest, FifoDispatchesInSubmitOrder) {
+  Scheduler scheduler(SchedPolicy::kFifo, 16, 4, 8);
+  EXPECT_NE(scheduler.Submit(Req("b", "sor")), 0u);
+  EXPECT_NE(scheduler.Submit(Req("a", "fft")), 0u);
+  EXPECT_NE(scheduler.Submit(Req("b", "water")), 0u);
+
+  EXPECT_EQ(scheduler.TryNext()->app, "sor");
+  EXPECT_EQ(scheduler.TryNext()->app, "fft");
+  EXPECT_EQ(scheduler.TryNext()->app, "water");
+  EXPECT_FALSE(scheduler.TryNext().has_value());
+}
+
+TEST(SchedulerTest, PerTenantCapHoldsRequestsBack) {
+  Scheduler scheduler(SchedPolicy::kFifo, 16, 1, 8);
+  ASSERT_NE(scheduler.Submit(Req("a", "first")), 0u);
+  ASSERT_NE(scheduler.Submit(Req("a", "second")), 0u);
+  ASSERT_NE(scheduler.Submit(Req("b", "other")), 0u);
+
+  // a's first dispatches; a's second is capped, so b jumps ahead.
+  EXPECT_EQ(scheduler.TryNext()->app, "first");
+  EXPECT_EQ(scheduler.TryNext()->app, "other");
+  EXPECT_FALSE(scheduler.TryNext().has_value());
+
+  scheduler.OnComplete("a");
+  EXPECT_EQ(scheduler.TryNext()->app, "second");
+}
+
+TEST(SchedulerTest, FairShareFavorsLeastServedTenant) {
+  Scheduler scheduler(SchedPolicy::kFairShare, 16, 4, 8);
+  // "hog" queues three before "newcomer" shows up.
+  ASSERT_NE(scheduler.Submit(Req("hog", "h1")), 0u);
+  ASSERT_NE(scheduler.Submit(Req("hog", "h2")), 0u);
+  ASSERT_NE(scheduler.Submit(Req("hog", "h3")), 0u);
+  ASSERT_NE(scheduler.Submit(Req("newcomer", "n1")), 0u);
+
+  EXPECT_EQ(scheduler.TryNext()->tenant, "hog");  // Both at 0 served; tie -> "hog".
+  EXPECT_EQ(scheduler.TryNext()->tenant, "newcomer");  // hog now has 1 running.
+  EXPECT_EQ(scheduler.TryNext()->tenant, "hog");
+  scheduler.OnComplete("newcomer");
+  // newcomer completed 1, hog has 2 running: hog's h3 must wait for parity.
+  ASSERT_NE(scheduler.Submit(Req("newcomer", "n2")), 0u);
+  EXPECT_EQ(scheduler.TryNext()->app, "n2");
+}
+
+TEST(SchedulerTest, QueueCapacityRejects) {
+  Scheduler scheduler(SchedPolicy::kFifo, 2, 4, 8);
+  EXPECT_NE(scheduler.Submit(Req("a")), 0u);
+  EXPECT_NE(scheduler.Submit(Req("a")), 0u);
+  std::string reason;
+  EXPECT_EQ(scheduler.Submit(Req("a"), &reason), 0u);
+  EXPECT_NE(reason.find("queue full"), std::string::npos);
+
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(scheduler.tenant_counts().at("a").rejected, 1u);
+}
+
+TEST(SchedulerTest, InvalidTenantAndTableOverflowReject) {
+  Scheduler scheduler(SchedPolicy::kFifo, 16, 4, 2);
+  std::string reason;
+  EXPECT_EQ(scheduler.Submit(Req("bad tenant!"), &reason), 0u);
+  EXPECT_NE(reason.find("invalid tenant id"), std::string::npos);
+
+  EXPECT_NE(scheduler.Submit(Req("a")), 0u);
+  EXPECT_NE(scheduler.Submit(Req("b")), 0u);
+  EXPECT_EQ(scheduler.Submit(Req("c"), &reason), 0u);
+  EXPECT_NE(reason.find("tenant table full"), std::string::npos);
+  // An existing tenant still gets in.
+  EXPECT_NE(scheduler.Submit(Req("a")), 0u);
+}
+
+TEST(SchedulerTest, ShutdownDrainsThenStopsAdmission) {
+  Scheduler scheduler(SchedPolicy::kFifo, 16, 4, 8);
+  ASSERT_NE(scheduler.Submit(Req("a", "queued")), 0u);
+  scheduler.Shutdown();
+
+  std::string reason;
+  EXPECT_EQ(scheduler.Submit(Req("a", "late"), &reason), 0u);
+  EXPECT_NE(reason.find("shutting down"), std::string::npos);
+
+  // The queued request still dispatches (drain), then Next() returns nullopt.
+  std::optional<WorkloadRequest> request = scheduler.Next();
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->app, "queued");
+  scheduler.OnComplete("a");
+  EXPECT_FALSE(scheduler.Next().has_value());
+}
+
+TEST(SchedulerTest, WaitIdleReturnsWhenNothingRuns) {
+  Scheduler scheduler(SchedPolicy::kFifo, 16, 4, 8);
+  scheduler.WaitIdle();  // Trivially idle.
+  ASSERT_NE(scheduler.Submit(Req("a")), 0u);
+  auto request = scheduler.TryNext();
+  ASSERT_TRUE(request.has_value());
+  scheduler.OnComplete("a");
+  scheduler.WaitIdle();  // Queue empty, nothing running.
+  EXPECT_EQ(scheduler.stats().completed, 1u);
+}
+
+TEST(SchedulerTest, RecordRejectedKeepsAccountingTogether) {
+  Scheduler scheduler(SchedPolicy::kFifo, 16, 4, 8);
+  scheduler.RecordRejected("a");
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(scheduler.tenant_counts().at("a").rejected, 1u);
+}
+
+}  // namespace
+}  // namespace cvm::svc

@@ -14,6 +14,7 @@ registering (and thereby documenting) its output format here.
 Usage: tools/check_bench_json.py BENCH_detector.json
        tools/check_bench_json.py BENCH_fig4.json
        tools/check_bench_json.py BENCH_obs.json
+       tools/check_bench_json.py BENCH_service.json
        tools/check_bench_json.py --fig4 FILE   (legacy: force fig4 schema)
 """
 
@@ -62,8 +63,24 @@ OBS_FIELDS = {
     "overhead_vs_trace": (int, float),
 }
 
+SERVICE_FIELDS = {
+    "mode": str,
+    "workers": int,
+    "nodes": int,
+    "requests": int,
+    "completed": int,
+    "rejected": int,
+    "warm_reuses": int,
+    "workloads_per_sec": (int, float),
+    "total_wall_s": (int, float),
+    "p50_latency_s": (int, float),
+    "p99_latency_s": (int, float),
+    "mean_latency_s": (int, float),
+}
+
 MODES = {"serial", "sharded", "distributed"}
 OBS_MODES = {"off", "trace", "trace+flows"}
+SERVICE_MODES = {"cold", "warm"}
 
 # Headroom over the nominal "flow tracing <= 2x plain tracing" claim: wall
 # times on shared CI runners are noisy and the bench already takes the best
@@ -187,11 +204,53 @@ def check_obs(cells):
     return 0
 
 
+def check_service(cells):
+    if not cells:
+        return fail("no cells")
+    by_mode = {}
+    for i, cell in enumerate(cells):
+        err = check_fields(cell, i, SERVICE_FIELDS)
+        if err:
+            return fail(err)
+        if cell["mode"] not in SERVICE_MODES:
+            return fail(f"cell {i}: unknown mode '{cell['mode']}'")
+        if cell["completed"] != cell["requests"]:
+            return fail(
+                f"cell {i}: completed {cell['completed']} != requests {cell['requests']}"
+            )
+        if cell["rejected"] != 0:
+            return fail(f"cell {i}: bench run shed {cell['rejected']} request(s)")
+        if cell["workloads_per_sec"] <= 0 or cell["total_wall_s"] <= 0:
+            return fail(f"cell {i}: non-positive throughput/wall time")
+        if not 0 < cell["p50_latency_s"] <= cell["p99_latency_s"]:
+            return fail(f"cell {i}: latency percentiles out of order or non-positive")
+        by_mode[cell["mode"]] = cell
+    missing = SERVICE_MODES - set(by_mode)
+    if missing:
+        return fail(f"missing mode(s) {sorted(missing)}")
+    cold, warm = by_mode["cold"], by_mode["warm"]
+    if cold["warm_reuses"] != 0:
+        return fail("cold mode reused a fabric")
+    if warm["warm_reuses"] <= 0:
+        return fail("warm mode never reused a fabric")
+    if warm["p50_latency_s"] >= cold["p50_latency_s"]:
+        return fail(
+            f"warm p50 {warm['p50_latency_s']:.6f}s is not below cold p50 "
+            f"{cold['p50_latency_s']:.6f}s"
+        )
+    print(
+        f"OK: {len(cells)} service cells, warm p50 is "
+        f"{warm['p50_latency_s'] / cold['p50_latency_s']:.2f}x cold p50"
+    )
+    return 0
+
+
 # Basename -> validator. Every BENCH_*.json a bench writes must appear here.
 SCHEMAS = {
     "BENCH_detector.json": check_detector,
     "BENCH_fig4.json": check_fig4,
     "BENCH_obs.json": check_obs,
+    "BENCH_service.json": check_service,
 }
 
 

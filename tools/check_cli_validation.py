@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Flag-validation sweep for the cvm command-line tools.
+
+Runs the given binaries with a battery of malformed flag values and asserts
+each one exits nonzero *with a mention of the offending flag* on stderr —
+no silent clamping, no crash deep inside the run. A couple of known-good
+invocations guard against the opposite failure (validation so strict the
+tool rejects legal input). Registered as a ctest; stdlib only.
+
+Usage: tools/check_cli_validation.py CVM_RUN_BINARY [CVM_SERVE_BINARY]
+"""
+
+import subprocess
+import sys
+
+TIMEOUT_S = 120
+
+# (argv, substring that stderr/stdout must mention). Every case must exit
+# nonzero. Cases use a tiny app config so even a bug that lets the run start
+# finishes quickly instead of hanging the sweep.
+BAD_RUN_CASES = [
+    (["--app=sor", "--size=16", "--nodes=2", "--detect-shards=0"], "detect-shards"),
+    (["--app=sor", "--size=16", "--nodes=2", "--detect-shards=-2"], "detect-shards"),
+    (["--app=sor", "--size=16", "--nodes=0"], "nodes"),
+    (["--app=sor", "--size=16", "--nodes=-3"], "nodes"),
+    (["--app=sor", "--size=16", "--nodes=2", "--page-size=1000"], "page-size"),
+    (["--app=sor", "--size=16", "--nodes=2", "--page-size=32"], "page-size"),
+    (["--app=sor", "--size=16", "--nodes=2", "--metrics-interval=0",
+      "--metrics-out=/dev/null"], "metrics-interval"),
+    (["--app=sor", "--size=16", "--nodes=2", "--pipeline=bogus"], "pipeline"),
+    (["--app=sor", "--size=16", "--nodes=2", "--protocol=bogus"], "protocol"),
+    (["--app=sor", "--size=16", "--nodes=2", "--fault-profile=bogus"], "fault profile"),
+    (["--app=sor", "--size=16", "--nodes=2", "--fault-profile=lossy",
+      "--fault-drop=1.5"], "fault-drop"),
+    (["--app=sor", "--size=16", "--nodes=2", "--fault-profile=lossy",
+      "--fault-drop=-0.1"], "fault-drop"),
+    (["--app=sor", "--size=16", "--nodes=2", "--fault-profile=lossy",
+      "--fault-drop=0.1x"], "fault-drop"),
+    (["--app=sor", "--size=16", "--nodes=2", "--trace-sample=0",
+      "--trace-json=/dev/null"], "trace-sample"),
+    (["--app=nosuchapp"], "app"),
+    (["--app=sor", "--size=16", "--nodes=2", "--frobnicate"], "frobnicate"),
+]
+
+GOOD_RUN_CASES = [
+    ["--app=sor", "--size=16", "--nodes=2"],
+    ["--app=sor", "--size=16", "--nodes=2", "--pipeline=sharded", "--detect-shards=2"],
+]
+
+BAD_SERVE_CASES = [
+    (["--script=/dev/null", "--workers=0"], "workers"),
+    (["--script=/dev/null", "--policy=round-robin"], "policy"),
+    (["--script=/dev/null", "--pipeline=bogus"], "pipeline"),
+    (["--script=/dev/null", "--protocol=bogus"], "protocol"),
+    (["--script=/dev/null", "--frobnicate"], "frobnicate"),
+]
+
+GOOD_SERVE_CASES = [
+    ["--script=/dev/null", "--workers=1", "--nodes=2"],
+]
+
+
+def run(binary, argv):
+    return subprocess.run(
+        [binary] + argv,
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT_S,
+        check=False,
+    )
+
+
+def sweep(binary, bad_cases, good_cases):
+    failures = 0
+    for argv, mention in bad_cases:
+        proc = run(binary, argv)
+        output = proc.stdout + proc.stderr
+        if proc.returncode == 0:
+            print(f"FAIL: {' '.join(argv)}: accepted (exit 0)", file=sys.stderr)
+            failures += 1
+        elif mention not in output:
+            print(
+                f"FAIL: {' '.join(argv)}: error does not mention '{mention}':\n"
+                f"{output.strip()}",
+                file=sys.stderr,
+            )
+            failures += 1
+    for argv in good_cases:
+        proc = run(binary, argv)
+        if proc.returncode != 0:
+            print(
+                f"FAIL: {' '.join(argv)}: legal invocation rejected "
+                f"(exit {proc.returncode}):\n{(proc.stdout + proc.stderr).strip()}",
+                file=sys.stderr,
+            )
+            failures += 1
+    return failures
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failures = sweep(sys.argv[1], BAD_RUN_CASES, GOOD_RUN_CASES)
+    checked = len(BAD_RUN_CASES) + len(GOOD_RUN_CASES)
+    if len(sys.argv) > 2:
+        failures += sweep(sys.argv[2], BAD_SERVE_CASES, GOOD_SERVE_CASES)
+        checked += len(BAD_SERVE_CASES) + len(GOOD_SERVE_CASES)
+    if failures:
+        print(f"{failures} of {checked} CLI validation case(s) failed", file=sys.stderr)
+        return 1
+    print(f"OK: {checked} CLI validation cases pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,13 +17,9 @@
 #include <memory>
 #include <string>
 
-#include "src/apps/fft.h"
-#include "src/fault/fault.h"
-#include "src/apps/lu.h"
-#include "src/apps/sor.h"
-#include "src/apps/tsp.h"
-#include "src/apps/water.h"
+#include "src/apps/app_catalog.h"
 #include "src/apps/workload.h"
+#include "src/fault/fault.h"
 #include "src/common/table.h"
 #include "src/race/trace_io.h"
 #include "tools/flags.h"
@@ -45,7 +41,8 @@ int Usage() {
       "  --no-detect          run without race detection\n"
       "  --pipeline=P         serial | sharded | distributed barrier-time check\n"
       "                       (docs/DETECTOR.md; default serial)\n"
-      "  --detect-shards=N    workers for the sharded check-list build (0 = auto)\n"
+      "  --detect-shards=N    workers for the sharded check-list build, N >= 1\n"
+      "                       (default: auto-sized from the node count)\n"
       "  --compress-bitmaps   sparse/run-length encode bitmap-round payloads\n"
       "  --diff-writes        §6.5: mine writes from diffs (implies --protocol=multi)\n"
       "  --first-races        §6.4: report only the earliest racy epoch\n"
@@ -79,54 +76,12 @@ int Usage() {
   return 2;
 }
 
-// seed == 0 keeps each app's historical default input, so runs without
-// --seed are unchanged from older versions of this tool.
-std::unique_ptr<ParallelApp> MakeApp(const std::string& name, int64_t size, bool fix_bug,
-                                     uint64_t page_size, uint64_t seed) {
-  if (name == "fft") {
-    FftApp::Params params;
-    params.rows = size > 0 ? static_cast<int>(size) : 64;
-    params.cols = params.rows;
-    return std::make_unique<FftApp>(params);
-  }
-  if (name == "sor") {
-    SorApp::Params params;
-    params.rows = size > 0 ? static_cast<int>(size) + 2 : 130;
-    params.cols = size > 0 ? static_cast<int>(size) : 128;
-    params.iters = 4;
-    params.page_size = page_size;
-    return std::make_unique<SorApp>(params);
-  }
-  if (name == "tsp") {
-    TspApp::Params params;
-    params.num_cities = size > 0 ? static_cast<int>(size) : 12;
-    params.page_size = page_size;
-    if (seed != 0) {
-      params.seed = seed;
-    }
-    return std::make_unique<TspApp>(params);
-  }
-  if (name == "water") {
-    WaterApp::Params params;
-    params.molecules = size > 0 ? static_cast<int>(size) : 125;
-    params.iters = 3;
-    params.fix_virial_bug = fix_bug;
-    params.page_size = page_size;
-    if (seed != 0) {
-      params.seed = seed;
-    }
-    return std::make_unique<WaterApp>(params);
-  }
-  if (name == "lu") {
-    LuApp::Params params;
-    params.n = size > 0 ? static_cast<int>(size) : 64;
-    params.block = 8;
-    if (seed != 0) {
-      params.seed = seed;
-    }
-    return std::make_unique<LuApp>(params);
-  }
-  return nullptr;
+// Strict double parse: the whole string must be a number. Returns false on
+// trailing junk ("0.1x") or an empty value.
+bool ParseDoubleStrict(const std::string& raw, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(raw.c_str(), &end);
+  return end != raw.c_str() && *end == '\0';
 }
 
 void PrintRaces(const std::vector<RaceReport>& races, bool full) {
@@ -192,7 +147,17 @@ int main(int argc, char** argv) {
   const std::string app_name = flags.GetString("app", "");
   DsmOptions options;
   options.num_nodes = static_cast<int>(flags.GetInt("nodes", 8));
-  options.page_size = static_cast<uint64_t>(flags.GetInt("page-size", 4096));
+  if (options.num_nodes < 1) {
+    std::fprintf(stderr, "error: --nodes=%d must be at least 1\n", options.num_nodes);
+    return Usage();
+  }
+  const int64_t page_size = flags.GetInt("page-size", 4096);
+  if (page_size < 64 || (page_size & (page_size - 1)) != 0) {
+    std::fprintf(stderr, "error: --page-size=%lld must be a power of two, at least 64\n",
+                 static_cast<long long>(page_size));
+    return Usage();
+  }
+  options.page_size = static_cast<uint64_t>(page_size);
   options.max_shared_bytes = 64ull << 20;
   options.race_detection = flags.GetBool("detect", true);
   options.first_races_only = flags.GetBool("first-races", false);
@@ -207,6 +172,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: unknown pipeline '%s'\n", pipeline.c_str());
     return Usage();
   }
+  // Omitted = auto-sized; an explicit value must be a usable worker count.
+  // --detect-shards=0 used to silently mean "auto" too, which hid typos.
+  if (flags.Has("detect-shards") && flags.GetInt("detect-shards", 0) < 1) {
+    std::fprintf(stderr,
+                 "error: --detect-shards=%lld must be at least 1 "
+                 "(omit the flag for auto-sizing)\n",
+                 static_cast<long long>(flags.GetInt("detect-shards", 0)));
+    return Usage();
+  }
   options.detect_shards = static_cast<int>(flags.GetInt("detect-shards", 0));
   options.compress_bitmaps = flags.GetBool("compress-bitmaps", false);
   options.postmortem_trace = flags.GetBool("postmortem", false);
@@ -214,6 +188,11 @@ int main(int argc, char** argv) {
   options.trace.trace_enabled = flags.Has("trace-json");
   options.trace.metrics_enabled = flags.Has("metrics-out");
   options.trace.metrics_interval = static_cast<int>(flags.GetInt("metrics-interval", 1));
+  if (options.trace.metrics_interval < 1) {
+    std::fprintf(stderr, "error: --metrics-interval=%d must be at least 1\n",
+                 options.trace.metrics_interval);
+    return Usage();
+  }
   if (flags.Has("trace-sample")) {
     // A fraction, not a period: values outside (0, 1] used to slip through
     // and silently trace nothing (or abort deep in the tracer); reject them
@@ -282,11 +261,24 @@ int main(int argc, char** argv) {
   }
   options.fault_plan = fault::FaultPlan::FromProfile(*profile, fault_seed);
   if (flags.Has("fault-drop")) {
-    options.fault_plan.drop_prob = std::stod(flags.GetString("fault-drop", "0"));
+    const std::string raw = flags.GetString("fault-drop", "0");
+    double drop = 0;
+    if (!ParseDoubleStrict(raw, &drop) || drop < 0.0 || drop > 1.0) {
+      std::fprintf(stderr,
+                   "error: --fault-drop=%s is not a frame-loss probability in [0, 1]\n",
+                   raw.c_str());
+      return Usage();
+    }
+    options.fault_plan.drop_prob = drop;
   }
 
-  auto app = MakeApp(app_name, flags.GetInt("size", -1), flags.GetBool("fix-bug", false),
-                     options.page_size, seed);
+  CatalogRequest catalog;
+  catalog.app = app_name;
+  catalog.size = flags.GetInt("size", -1);
+  catalog.seed = seed;
+  catalog.page_size = options.page_size;
+  catalog.fix_water_bug = flags.GetBool("fix-bug", false);
+  auto app = MakeCatalogApp(catalog);
   if (app == nullptr) {
     std::fprintf(stderr, "error: unknown or missing --app\n");
     return Usage();
@@ -394,8 +386,7 @@ int main(int argc, char** argv) {
     DsmOptions base_options = options;
     base_options.race_detection = false;
     base_options.record_sync_order = false;
-    auto base_app = MakeApp(app_name, flags.GetInt("size", -1),
-                            flags.GetBool("fix-bug", false), options.page_size, seed);
+    auto base_app = MakeCatalogApp(catalog);
     DsmSystem base_system(base_options);
     base_app->Setup(base_system);
     RunResult base = base_system.Run([&base_app](NodeContext& ctx) { base_app->Run(ctx); });
