@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/perf/kernels.h"
 
 namespace cvm {
 
@@ -22,7 +23,9 @@ class Bitmap {
       : num_bits_(num_bits), words_((num_bits + 63) / 64, 0ull) {}
 
   uint32_t size() const { return num_bits_; }
-  bool empty() const { return popcount() == 0; }
+  bool empty() const {
+    return !perf::AnyWordNonzero(words_.data(), words_.size());
+  }
 
   void Set(uint32_t bit) {
     CVM_CHECK_LT(bit, num_bits_);
@@ -43,66 +46,43 @@ class Bitmap {
 
   // Number of set bits.
   uint32_t popcount() const {
-    uint32_t n = 0;
-    for (uint64_t w : words_) {
-      n += static_cast<uint32_t>(__builtin_popcountll(w));
-    }
-    return n;
+    return static_cast<uint32_t>(
+        perf::PopcountWords(words_.data(), words_.size()));
   }
 
   // True iff this and other share at least one set bit. This is the paper's
-  // constant-time (per page) bitmap comparison of §4 step 5.
+  // constant-time (per page) bitmap comparison of §4 step 5 — the hottest
+  // detector operation, routed through the SIMD/word kernel.
   bool Intersects(const Bitmap& other) const {
     CVM_CHECK_EQ(num_bits_, other.num_bits_);
-    for (size_t i = 0; i < words_.size(); ++i) {
-      if (words_[i] & other.words_[i]) {
-        return true;
-      }
-    }
-    return false;
+    return perf::AnyCommonBit(words_.data(), other.words_.data(),
+                              words_.size());
   }
 
   // Bit indices present in both maps — the racing words.
   std::vector<uint32_t> IntersectionBits(const Bitmap& other) const {
     CVM_CHECK_EQ(num_bits_, other.num_bits_);
     std::vector<uint32_t> bits;
-    for (size_t i = 0; i < words_.size(); ++i) {
-      uint64_t w = words_[i] & other.words_[i];
-      while (w != 0) {
-        uint32_t b = static_cast<uint32_t>(__builtin_ctzll(w));
-        bits.push_back(static_cast<uint32_t>(i * 64 + b));
-        w &= w - 1;
-      }
-    }
+    perf::AppendCommonBits(words_.data(), other.words_.data(), words_.size(),
+                           &bits);
     return bits;
   }
 
   // All set bit indices.
   std::vector<uint32_t> SetBits() const {
     std::vector<uint32_t> bits;
-    for (size_t i = 0; i < words_.size(); ++i) {
-      uint64_t w = words_[i];
-      while (w != 0) {
-        uint32_t b = static_cast<uint32_t>(__builtin_ctzll(w));
-        bits.push_back(static_cast<uint32_t>(i * 64 + b));
-        w &= w - 1;
-      }
-    }
+    perf::AppendSetBits(words_.data(), words_.size(), &bits);
     return bits;
   }
 
   void UnionWith(const Bitmap& other) {
     CVM_CHECK_EQ(num_bits_, other.num_bits_);
-    for (size_t i = 0; i < words_.size(); ++i) {
-      words_[i] |= other.words_[i];
-    }
+    perf::UnionWords(words_.data(), other.words_.data(), words_.size());
   }
 
   void IntersectWith(const Bitmap& other) {
     CVM_CHECK_EQ(num_bits_, other.num_bits_);
-    for (size_t i = 0; i < words_.size(); ++i) {
-      words_[i] &= other.words_[i];
-    }
+    perf::IntersectWords(words_.data(), other.words_.data(), words_.size());
   }
 
   bool operator==(const Bitmap& other) const {

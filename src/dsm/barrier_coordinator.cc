@@ -518,19 +518,21 @@ void BarrierCoordinator::OnBarrierRelease(const Message& msg) {
 void BarrierCoordinator::OnBitmapRequest(const Message& msg) {
   const auto& request = std::get<BitmapRequestMsg>(msg.payload);
   std::lock_guard<std::mutex> guard(node_.mu_);
-  BitmapReplyMsg reply;
-  reply.epoch = request.epoch;
+  std::vector<BitmapReplyEntry> entries;
   for (const CheckEntry& entry : request.entries) {
     CVM_CHECK_EQ(entry.interval.node, node_.id_);
     const PageAccessBitmaps* bitmaps = node_.bitmaps_.Find(entry.interval.index, entry.page);
     if (bitmaps == nullptr) {
       continue;
     }
-    reply.entries.push_back(
+    entries.push_back(
         BitmapReplyEntry{entry.interval, entry.page,
                          BitmapCodec::Encode(bitmaps->read, node_.opts_.compress_bitmaps),
                          BitmapCodec::Encode(bitmaps->write, node_.opts_.compress_bitmaps)});
   }
+  BitmapReplyMsg reply;
+  reply.epoch = request.epoch;
+  reply.entries = std::move(entries);  // Wrapped once; shared from here on.
   node_.Send(msg.from, std::move(reply));
 }
 
@@ -539,7 +541,7 @@ void BarrierCoordinator::OnBitmapReply(const Message& msg) {
   std::lock_guard<std::mutex> guard(node_.mu_);
   size_t wire_entry_bytes = 0;
   size_t raw_entry_bytes = 0;
-  for (const BitmapReplyEntry& entry : reply.entries) {
+  for (const BitmapReplyEntry& entry : *reply.entries) {
     wire_entry_bytes += ReplyEntryWireBytes(entry);
     raw_entry_bytes += ReplyEntryRawBytes(entry);
     collected_bitmaps_.emplace(std::make_pair(entry.interval, entry.page),
@@ -610,7 +612,7 @@ void BarrierCoordinator::OnBitmapShip(const Message& msg) {
     if (master_ships_pending_ <= 0 || ship.epoch != node_.epoch_) {
       return;  // Stale re-delivery.
     }
-    for (const BitmapReplyEntry& entry : ship.entries) {
+    for (const BitmapReplyEntry& entry : *ship.entries) {
       master_ship_bytes_wire_ += ReplyEntryWireBytes(entry);
       master_ship_bytes_raw_ += ReplyEntryRawBytes(entry);
       collected_bitmaps_.emplace(std::make_pair(entry.interval, entry.page),
@@ -633,7 +635,7 @@ void BarrierCoordinator::OnBitmapShip(const Message& msg) {
   RemoteCompareState& state = remote_compare_[ship.epoch];
   node_.timing_.ObserveAtLeast(static_cast<double>(ship.send_time_ns) +
                                node_.opts_.costs.MessageCost(msg.wire_bytes));
-  for (const BitmapReplyEntry& entry : ship.entries) {
+  for (const BitmapReplyEntry& entry : *ship.entries) {
     state.shipped.emplace(std::make_pair(entry.interval, entry.page),
                           PageAccessBitmaps{BitmapCodec::Decode(entry.read),
                                             BitmapCodec::Decode(entry.write)});

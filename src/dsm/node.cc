@@ -331,7 +331,7 @@ uint32_t Node::ReadWord(GlobalAddr addr) {
     AccessFilter::Result result = filter_.OnAccess(SharedVa(addr), /*is_write=*/false);
     CVM_CHECK(result.shared);
     bitmaps_.RecordRead(cur_interval_, page, word);
-    if (cur_reads_.insert(page).second) {
+    if (cur_reads_.Insert(page)) {
       timing_.Charge(Bucket::kCvmMods, opts_.costs.notice_setup_ns);
     }
     if (opts_.watch.has_value()) {
@@ -407,8 +407,8 @@ void Node::WriteFaultLocked(std::unique_lock<std::mutex>& lk, PageId page) {
 
 void Node::BeginIntervalLocked() {
   cur_interval_ = vc_.Tick(id_);
-  cur_reads_.clear();
-  cur_writes_.clear();
+  cur_reads_.Clear();
+  cur_writes_.Clear();
   TraceInstant("interval.open", "protocol", "interval", static_cast<uint64_t>(cur_interval_));
 }
 
@@ -443,8 +443,8 @@ void Node::EndIntervalLocked(std::unique_lock<std::mutex>& lk) {
     // list wiring) are CVM-modification overhead.
     timing_.Charge(Bucket::kCvmMods, opts_.costs.notice_setup_ns);
   }
-  cur_reads_.clear();
-  cur_writes_.clear();
+  cur_reads_.Clear();
+  cur_writes_.Clear();
 
   // Post-publish action: ERC pushes the record to every node and blocks for
   // acks; the lazy protocols do nothing here.

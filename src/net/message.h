@@ -13,6 +13,7 @@
 #include "src/common/types.h"
 #include "src/mem/diff.h"
 #include "src/obs/trace_context.h"
+#include "src/perf/shared_vec.h"
 #include "src/protocol/interval.h"
 #include "src/race/bitmap_codec.h"
 #include "src/vc/vector_clock.h"
@@ -30,7 +31,9 @@ struct PageRequestMsg {
 
 struct PageReplyMsg {
   PageId page = -1;
-  std::vector<uint8_t> data;
+  // Refcounted: copying the message (retransmission holds, parked replies)
+  // shares the page bytes; the installer TakeOrCopy()s them out.
+  perf::SharedVec<uint8_t> data;
   bool grants_ownership = false;
 };
 
@@ -99,7 +102,9 @@ struct BitmapReplyEntry {
 
 struct BitmapReplyMsg {
   EpochId epoch = -1;
-  std::vector<BitmapReplyEntry> entries;
+  // Refcounted (see PageReplyMsg::data): the entry list is the largest
+  // payload in the barrier rounds and is only ever read after send.
+  perf::SharedVec<BitmapReplyEntry> entries;
 };
 
 // ---- Distributed barrier-time compare (§6.3 "distributing the check") ----
@@ -138,7 +143,7 @@ struct CompareRequestMsg {
 // Peer -> pair owner: the encoded bitmaps the owner's compare needs.
 struct BitmapShipMsg {
   EpochId epoch = -1;
-  std::vector<BitmapReplyEntry> entries;
+  perf::SharedVec<BitmapReplyEntry> entries;  // Refcounted, read-only.
   uint64_t send_time_ns = 0;  // Shipper's simulated clock at send.
 };
 
@@ -230,6 +235,11 @@ size_t PayloadByteSize(const Payload& payload);
 // Bytes attributable to read notices inside the payload's interval records —
 // the marginal bandwidth the paper's modification adds (Table 3 "Msg Ohead").
 size_t PayloadReadNoticeBytes(const Payload& payload);
+
+// Wire bytes of the payload that live in refcounted SharedVec buffers —
+// i.e. the bytes a Message copy (retransmission hold, parked reply) shares
+// instead of duplicating. Feeds NetworkStats::zero_copy_bytes_shared.
+size_t PayloadSharedBytes(const Payload& payload);
 
 }  // namespace cvm
 

@@ -1,0 +1,108 @@
+// Word/SIMD kernels for the detector and coherence hot paths: bitmap
+// intersection (§4 step 5's constant-time-per-page compare), set-bit
+// enumeration (racing-word extraction, codec encoding), and twin-vs-page
+// diff construction/application (§6.5 multi-writer machinery).
+//
+// Every kernel has two faces:
+//   perf::Xxx         — the active target (SSE2 / NEON / 64-bit word,
+//                       selected at compile time by src/perf/simd.h);
+//   perf::scalar::Xxx — the portable word-at-a-time reference, kept
+//                       non-vectorized so differential tests and
+//                       bench_hotpath compare against an honest baseline.
+// Both faces are bit-exact: same results, same output order, for any input.
+// That is what lets the report-equivalence and protocol-parity suites stay
+// byte-identical with the kernels enabled.
+//
+// Layering: this unit sits below everything (only <cstdint>/<vector>); raw
+// intrinsics live only here and in kernels.cc (tools/check_simd_isolation.py
+// enforces it).
+#ifndef CVM_PERF_KERNELS_H_
+#define CVM_PERF_KERNELS_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace cvm {
+namespace perf {
+
+// Compile-time-selected kernel flavor; "sse2", "neon", or "word" (the
+// portable 64-bit fallback). Recorded in BENCH_hotpath.json cells.
+const char* KernelTargetName();
+
+// ---- Bitmap kernels (operands are 64-bit word arrays, bit i of word w is
+// bit index w*64+i; trailing bits past the logical size are zero) ----
+
+// True iff any word is nonzero (fast emptiness test).
+bool AnyWordNonzero(const uint64_t* w, size_t n);
+
+// True iff (a[i] & b[i]) != 0 for some i — the paper's per-page bitmap
+// comparison, the single hottest detector operation.
+bool AnyCommonBit(const uint64_t* a, const uint64_t* b, size_t n);
+
+// Total set bits.
+uint64_t PopcountWords(const uint64_t* w, size_t n);
+
+// dst[i] |= src[i] / dst[i] &= src[i].
+void UnionWords(uint64_t* dst, const uint64_t* src, size_t n);
+void IntersectWords(uint64_t* dst, const uint64_t* src, size_t n);
+
+// Appends the ascending bit indices of (a[i] & b[i]) to *out — the racing
+// words of a true-sharing page.
+void AppendCommonBits(const uint64_t* a, const uint64_t* b, size_t n,
+                      std::vector<uint32_t>* out);
+
+// Appends the ascending bit indices of all set bits to *out.
+void AppendSetBits(const uint64_t* w, size_t n, std::vector<uint32_t>* out);
+
+// ---- Diff kernels (operands are byte buffers of n32 32-bit words; no
+// alignment requirement — twins/frames are arbitrary vector storage) ----
+
+// Appends the ascending indices of 32-bit words where a and b differ — the
+// twin-vs-page compare behind MakeDiff.
+void AppendUnequalWords32(const uint8_t* a, const uint8_t* b, size_t n32,
+                          std::vector<uint32_t>* out);
+
+// Applies n (word-index, value) pairs onto frame — diff application. The
+// scatter itself is inherently scalar; the kernel's job is hoisting the
+// per-word bounds check out of the loop. PairT needs .word and .value
+// members (DiffWord, without this header depending on src/mem/).
+// Out-of-range pairs are reported via the return value (count applied);
+// callers CHECK it equals n.
+template <typename PairT>
+size_t ScatterWords32(uint8_t* frame, size_t frame_bytes, const PairT* pairs, size_t n) {
+  const size_t num_words = frame_bytes / 4;
+  for (size_t i = 0; i < n; ++i) {
+    if (pairs[i].word >= num_words) {
+      return i;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t value = pairs[i].value;
+    std::memcpy(frame + static_cast<size_t>(pairs[i].word) * 4, &value, 4);
+  }
+  return n;
+}
+
+// ---- Portable word-at-a-time references (differential-test + bench
+// baseline; semantically identical to the active kernels) ----
+namespace scalar {
+
+bool AnyWordNonzero(const uint64_t* w, size_t n);
+bool AnyCommonBit(const uint64_t* a, const uint64_t* b, size_t n);
+uint64_t PopcountWords(const uint64_t* w, size_t n);
+void UnionWords(uint64_t* dst, const uint64_t* src, size_t n);
+void IntersectWords(uint64_t* dst, const uint64_t* src, size_t n);
+void AppendCommonBits(const uint64_t* a, const uint64_t* b, size_t n,
+                      std::vector<uint32_t>* out);
+void AppendSetBits(const uint64_t* w, size_t n, std::vector<uint32_t>* out);
+// The seed's MakeDiff inner loop: per-word memcpy + compare.
+void AppendUnequalWords32(const uint8_t* a, const uint8_t* b, size_t n32,
+                          std::vector<uint32_t>* out);
+
+}  // namespace scalar
+
+}  // namespace perf
+}  // namespace cvm
+
+#endif  // CVM_PERF_KERNELS_H_

@@ -1,0 +1,80 @@
+// Refcounted immutable payload buffers — the zero-copy half of the hot-path
+// work. Large message payloads (page contents, encoded-bitmap entry lists)
+// are wrapped in a SharedVec so that every place a Message is copied — the
+// reliable transport's held/retransmission frames, handlers parking a reply,
+// dispatch fan-out — bumps a reference count instead of copying the bytes.
+//
+// Ownership rules (documented in docs/PERFORMANCE.md):
+//  * The contents are immutable once wrapped. Anyone needing to mutate must
+//    TakeOrCopy() first.
+//  * TakeOrCopy() steals the underlying vector when this handle is the last
+//    owner (the common clean-delivery path: one installer, zero copies) and
+//    deep-copies only when retransmission state still holds a reference.
+//  * Wire-byte accounting reads through the handle (size()/operator*), so
+//    modeled bytes and simulated time are identical to the by-value design.
+//
+// Layering: stdlib-only, like the rest of src/perf/.
+#ifndef CVM_PERF_SHARED_VEC_H_
+#define CVM_PERF_SHARED_VEC_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace cvm {
+namespace perf {
+
+template <typename T>
+class SharedVec {
+ public:
+  SharedVec() = default;
+
+  // Implicit on purpose: call sites keep building plain vectors and hand
+  // them over at the message boundary.
+  SharedVec(std::vector<T> contents)  // NOLINT(google-explicit-constructor)
+      : buf_(std::make_shared<std::vector<T>>(std::move(contents))) {}
+
+  SharedVec(std::initializer_list<T> init)
+      : buf_(std::make_shared<std::vector<T>>(init)) {}
+
+  // Read access. A default-constructed handle reads as an empty vector.
+  const std::vector<T>& operator*() const { return buf_ ? *buf_ : EmptyVec(); }
+  const std::vector<T>* operator->() const { return &**this; }
+  size_t size() const { return buf_ ? buf_->size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  // Number of handles sharing the buffer (0 for an empty handle).
+  long use_count() const { return buf_ ? buf_.use_count() : 0; }
+
+  // Takes the contents out: a move when this is the sole owner, a copy when
+  // other handles (e.g. a retransmission hold) still reference the buffer.
+  // The handle is empty afterwards either way.
+  std::vector<T> TakeOrCopy() {
+    if (buf_ == nullptr) {
+      return {};
+    }
+    std::vector<T> out;
+    if (buf_.use_count() == 1) {
+      out = std::move(*buf_);
+    } else {
+      out = *buf_;
+    }
+    buf_.reset();
+    return out;
+  }
+
+ private:
+  static const std::vector<T>& EmptyVec() {
+    static const std::vector<T> kEmpty;
+    return kEmpty;
+  }
+
+  std::shared_ptr<std::vector<T>> buf_;
+};
+
+}  // namespace perf
+}  // namespace cvm
+
+#endif  // CVM_PERF_SHARED_VEC_H_

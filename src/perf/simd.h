@@ -1,0 +1,31 @@
+// SIMD target selection for the hot-path kernels (src/perf/kernels.*).
+//
+// Exactly one of CVM_SIMD_SSE2 / CVM_SIMD_NEON / CVM_SIMD_SCALAR is defined
+// to 1 at compile time. This header (and kernels.cc) is the ONLY place in
+// the tree allowed to include vendor intrinsic headers or use raw
+// intrinsics — tools/check_simd_isolation.py greps the rest of the tree for
+// leaks. To add a target: add a detection branch here, an implementation
+// block per kernel in kernels.cc, and a name in KernelTargetName().
+//
+// -DCVM_SCALAR_KERNELS=ON (CMake) forces the portable 64-bit-word path on
+// any host, which is how the differential tests prove the SIMD paths are
+// drop-in replacements.
+#ifndef CVM_PERF_SIMD_H_
+#define CVM_PERF_SIMD_H_
+
+#if defined(CVM_FORCE_SCALAR_KERNELS)
+#define CVM_SIMD_SCALAR 1
+#elif defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define CVM_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__aarch64__)
+// aarch64 only: the kernels use the A64 horizontal reductions (vmaxvq/
+// vminvq), which 32-bit ARM NEON lacks; those hosts take the word path.
+#define CVM_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define CVM_SIMD_SCALAR 1
+#endif
+
+#endif  // CVM_PERF_SIMD_H_

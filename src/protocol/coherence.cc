@@ -83,7 +83,10 @@ bool CoherenceProtocol::FetchPage(Lk& lk, PageId page, bool want_write,
                       0);
 
   const bool ownership = reply.grants_ownership;
-  host_.pages().Install(page, std::move(reply.data), install_state);
+  // TakeOrCopy: moves the page bytes straight out of the shared buffer on
+  // the clean path (sole owner); copies only if retransmission state still
+  // holds a reference.
+  host_.pages().Install(page, reply.data.TakeOrCopy(), install_state);
   return ownership;
 }
 

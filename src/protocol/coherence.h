@@ -62,8 +62,10 @@ class ProtocolHost {
 
   virtual IntervalIndex current_interval() const = 0;
   virtual EpochId current_epoch() const = 0;
-  // Pages written in the current interval (the pending write notices).
-  virtual const std::set<PageId>& current_writes() const = 0;
+  // Pages written in the current interval (the pending write notices),
+  // ascending. A flat sorted set: Clear() keeps its storage, so steady-state
+  // intervals track writes without allocating (see src/perf/arena.h).
+  virtual const perf::FlatIdSet<PageId>& current_writes() const = 0;
   // Adds `page` to the current interval's write-notice set.
   virtual void NoteWrite(PageId page) = 0;
 

@@ -30,11 +30,38 @@ std::string IntervalRecord::ToString() const {
 }
 
 PageAccessBitmaps& BitmapStore::PairFor(IntervalIndex interval, PageId page, bool* created) {
-  auto& pages = by_interval_[interval];
+  auto oit = by_interval_.find(interval);
+  if (oit == by_interval_.end()) {
+    auto handle = interval_pool_.Acquire();
+    if (handle.empty()) {
+      oit = by_interval_.emplace(interval, PageMap{}).first;
+    } else {
+      handle.key() = interval;
+      oit = by_interval_.insert(std::move(handle)).position;
+    }
+  }
+  PageMap& pages = oit->second;
   auto it = pages.find(page);
   if (it == pages.end()) {
-    it = pages.emplace(page, PageAccessBitmaps{Bitmap(words_per_page_), Bitmap(words_per_page_)})
-             .first;
+    auto handle = pair_pool_.Acquire();
+    if (handle.empty()) {
+      it = pages.emplace(page,
+                         PageAccessBitmaps{Bitmap(words_per_page_), Bitmap(words_per_page_)})
+               .first;
+    } else {
+      // Recycled node: re-key it and zero the bitmaps in place (their word
+      // arrays keep their storage as long as the page geometry is stable).
+      handle.key() = page;
+      PageAccessBitmaps& pair = handle.mapped();
+      if (pair.read.size() != words_per_page_) {
+        pair.read = Bitmap(words_per_page_);
+        pair.write = Bitmap(words_per_page_);
+      } else {
+        pair.read.Reset();
+        pair.write.Reset();
+      }
+      it = pages.insert(std::move(handle)).position;
+    }
     ++total_pairs_;
     if (created != nullptr) {
       *created = true;
@@ -72,9 +99,12 @@ const PageAccessBitmaps* BitmapStore::Find(IntervalIndex interval, PageId page) 
 }
 
 void BitmapStore::DiscardThrough(IntervalIndex up_to) {
-  auto it = by_interval_.begin();
-  while (it != by_interval_.end() && it->first <= up_to) {
-    it = by_interval_.erase(it);
+  while (!by_interval_.empty() && by_interval_.begin()->first <= up_to) {
+    PageMap& pages = by_interval_.begin()->second;
+    while (!pages.empty()) {
+      pair_pool_.Release(pages.extract(pages.begin()));
+    }
+    interval_pool_.Release(by_interval_.extract(by_interval_.begin()));
   }
 }
 
@@ -89,7 +119,18 @@ size_t BitmapStore::RetainedPairs() const {
 void IntervalLog::Insert(const IntervalRecord& record) {
   CVM_CHECK_GE(record.id.node, 0);
   CVM_CHECK_LT(record.id.node, static_cast<NodeId>(by_node_.size()));
-  by_node_[record.id.node].emplace(record.id.index, record);
+  RecordMap& node_map = by_node_[record.id.node];
+  if (node_map.find(record.id.index) != node_map.end()) {
+    return;  // Already known (emplace used to ignore the duplicate too).
+  }
+  auto handle = record_pool_.Acquire();
+  if (handle.empty()) {
+    node_map.emplace(record.id.index, record);
+    return;
+  }
+  handle.key() = record.id.index;
+  handle.mapped() = record;  // Copy-assign: page-list vectors reuse capacity.
+  node_map.insert(std::move(handle));
 }
 
 bool IntervalLog::Contains(const IntervalId& id) const { return Find(id) != nullptr; }
@@ -127,9 +168,8 @@ void IntervalLog::DiscardDominatedBy(const VectorClock& vc) {
   for (size_t p = 0; p < by_node_.size(); ++p) {
     const IntervalIndex limit = vc.At(static_cast<NodeId>(p));
     auto& node_map = by_node_[p];
-    auto it = node_map.begin();
-    while (it != node_map.end() && it->first <= limit) {
-      it = node_map.erase(it);
+    while (!node_map.empty() && node_map.begin()->first <= limit) {
+      record_pool_.Release(node_map.extract(node_map.begin()));
     }
   }
 }

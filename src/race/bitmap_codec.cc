@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/perf/kernels.h"
 
 namespace cvm {
 
@@ -24,16 +25,19 @@ EncodedBitmap BitmapCodec::Encode(const Bitmap& bitmap, bool allow_compression) 
   EncodedBitmap encoded;
   encoded.num_bits = bitmap.size();
 
+  // Empty bitmaps (untouched pages) dominate in steady state; decide them
+  // with one vectorized scan before materializing any set-bit list.
+  if (allow_compression &&
+      !perf::AnyWordNonzero(bitmap.words().data(), bitmap.words().size())) {
+    encoded.encoding = BitmapEncoding::kEmpty;
+    return encoded;
+  }
+
   const std::vector<uint32_t> set_bits = bitmap.SetBits();
   // uint16 payloads cannot address bits past 65535; page-word bitmaps are far
   // below that, but dense page-set bitmaps of very large segments may not be.
   const bool fits_u16 =
       bitmap.size() == 0 || bitmap.size() - 1 <= std::numeric_limits<uint16_t>::max();
-
-  if (allow_compression && set_bits.empty()) {
-    encoded.encoding = BitmapEncoding::kEmpty;
-    return encoded;
-  }
 
   if (allow_compression && fits_u16) {
     // Maximal runs of consecutive set bits.

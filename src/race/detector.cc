@@ -17,6 +17,7 @@ void DetectorStats::Accumulate(const DetectorStats& other) {
   checklist_entries += other.checklist_entries;
   page_overlap_probes += other.page_overlap_probes;
   bitmap_pairs_compared += other.bitmap_pairs_compared;
+  overlap_scratch_builds += other.overlap_scratch_builds;
 }
 
 namespace {
@@ -43,42 +44,41 @@ void CollectConflictPages(const std::vector<PageId>& writes, const std::vector<P
   }
 }
 
-// True (and fills `overlap`) if the two intervals share any page with at
-// least one writer. Free of detector state so check-list shards can probe
-// concurrently, each into its own DetectorStats.
+// True (and fills scratch->overlap) if the two intervals share any page with
+// at least one writer. Free of detector state so check-list shards can probe
+// concurrently, each into its own DetectorStats and OverlapScratch.
 bool PagesOverlap(OverlapMethod method, int num_pages, const IntervalRecord& a,
-                  const IntervalRecord& b, std::vector<PageId>* overlap, DetectorStats* stats) {
+                  const IntervalRecord& b, OverlapScratch* scratch, DetectorStats* stats) {
+  std::vector<PageId>* overlap = &scratch->overlap;
   overlap->clear();
   if (method == OverlapMethod::kPageLists) {
     CollectConflictPages(a.write_pages, a.read_pages, b.write_pages, b.read_pages, overlap,
                          &stats->page_overlap_probes);
   } else {
     // Dense page bitmaps: O(pages) regardless of list length (§6.2).
-    // conflict = (a.writes & b.access) | (b.writes & a.access).
-    Bitmap a_writes(num_pages);
-    Bitmap a_access(num_pages);
+    // conflict = (a.writes & b.access) | (b.writes & a.access). The bitmaps
+    // live in the per-shard scratch, zero-filled (not reallocated) per pair.
+    scratch->Prepare(num_pages, stats);
     for (PageId p : a.write_pages) {
-      a_writes.Set(static_cast<uint32_t>(p));
-      a_access.Set(static_cast<uint32_t>(p));
+      scratch->a_writes.Set(static_cast<uint32_t>(p));
+      scratch->a_access.Set(static_cast<uint32_t>(p));
     }
     for (PageId p : a.read_pages) {
-      a_access.Set(static_cast<uint32_t>(p));
+      scratch->a_access.Set(static_cast<uint32_t>(p));
     }
-    Bitmap b_writes(num_pages);
-    Bitmap b_access(num_pages);
     for (PageId p : b.write_pages) {
-      b_writes.Set(static_cast<uint32_t>(p));
-      b_access.Set(static_cast<uint32_t>(p));
+      scratch->b_writes.Set(static_cast<uint32_t>(p));
+      scratch->b_access.Set(static_cast<uint32_t>(p));
     }
     for (PageId p : b.read_pages) {
-      b_access.Set(static_cast<uint32_t>(p));
+      scratch->b_access.Set(static_cast<uint32_t>(p));
     }
     stats->page_overlap_probes += static_cast<uint64_t>(num_pages);
-    Bitmap conflict = a_writes;
-    conflict.IntersectWith(b_access);
-    b_writes.IntersectWith(a_access);
-    conflict.UnionWith(b_writes);
-    for (uint32_t p : conflict.SetBits()) {
+    scratch->conflict = scratch->a_writes;  // Same size: reuses capacity.
+    scratch->conflict.IntersectWith(scratch->b_access);
+    scratch->b_writes.IntersectWith(scratch->a_access);
+    scratch->conflict.UnionWith(scratch->b_writes);
+    for (uint32_t p : scratch->conflict.SetBits()) {
       overlap->push_back(static_cast<PageId>(p));
     }
   }
@@ -93,7 +93,8 @@ bool PagesOverlap(OverlapMethod method, int num_pages, const IntervalRecord& a,
 // (in ascending-j order, as the serial loop would emit them).
 void BuildRowsForShard(const std::vector<IntervalRecord>& intervals, OverlapMethod method,
                        int num_pages, int shard, int num_shards,
-                       std::vector<std::vector<CheckPair>>* rows, DetectorStats* stats) {
+                       std::vector<std::vector<CheckPair>>* rows, OverlapScratch* scratch,
+                       DetectorStats* stats) {
   for (size_t i = static_cast<size_t>(shard); i < intervals.size();
        i += static_cast<size_t>(num_shards)) {
     for (size_t j = i + 1; j < intervals.size(); ++j) {
@@ -107,12 +108,13 @@ void BuildRowsForShard(const std::vector<IntervalRecord>& intervals, OverlapMeth
         continue;
       }
       ++stats->concurrent_pairs;
-      std::vector<PageId> overlap;
-      if (!PagesOverlap(method, num_pages, a, b, &overlap, stats)) {
+      if (!PagesOverlap(method, num_pages, a, b, scratch, stats)) {
         continue;
       }
       ++stats->overlapping_pairs;
-      (*rows)[i].push_back(CheckPair{a, b, std::move(overlap)});
+      // Copy (not move) the overlap so the scratch keeps its capacity for
+      // the next pair; the CheckPair needs its own storage regardless.
+      (*rows)[i].push_back(CheckPair{a, b, scratch->overlap});
     }
   }
 }
@@ -134,15 +136,20 @@ std::vector<CheckPair> RaceDetector::BuildCheckListSharded(
   }
   std::vector<std::vector<CheckPair>> rows(epoch_intervals.size());
   std::vector<DetectorStats> shard_stats(static_cast<size_t>(num_shards));
+  if (shard_scratch_.size() < static_cast<size_t>(num_shards)) {
+    shard_scratch_.resize(static_cast<size_t>(num_shards));
+  }
 
   if (num_shards == 1) {
-    BuildRowsForShard(epoch_intervals, method_, num_pages_, 0, 1, &rows, &shard_stats[0]);
+    BuildRowsForShard(epoch_intervals, method_, num_pages_, 0, 1, &rows, &shard_scratch_[0],
+                      &shard_stats[0]);
   } else {
     std::vector<std::thread> workers;
     workers.reserve(static_cast<size_t>(num_shards));
     for (int shard = 0; shard < num_shards; ++shard) {
       workers.emplace_back([this, &epoch_intervals, shard, num_shards, &rows, &shard_stats] {
         BuildRowsForShard(epoch_intervals, method_, num_pages_, shard, num_shards, &rows,
+                          &shard_scratch_[static_cast<size_t>(shard)],
                           &shard_stats[static_cast<size_t>(shard)]);
       });
     }
@@ -170,6 +177,7 @@ std::vector<CheckPair> RaceDetector::BuildCheckListSharded(
     stats_.concurrent_pairs += s.concurrent_pairs;
     stats_.overlapping_pairs += s.overlapping_pairs;
     stats_.page_overlap_probes += s.page_overlap_probes;
+    stats_.overlap_scratch_builds += s.overlap_scratch_builds;
   }
   if (per_shard != nullptr) {
     *per_shard = std::move(shard_stats);

@@ -17,6 +17,7 @@
 #include <set>
 #include <vector>
 
+#include "src/common/bitmap.h"
 #include "src/protocol/interval.h"
 #include "src/race/race_report.h"
 #include "src/vc/vector_clock.h"
@@ -41,8 +42,40 @@ struct DetectorStats {
   uint64_t checklist_entries = 0;      // (interval, page) bitmap requests.
   uint64_t page_overlap_probes = 0;
   uint64_t bitmap_pairs_compared = 0;
+  uint64_t overlap_scratch_builds = 0;  // Scratch bitmap (re)allocations.
 
   void Accumulate(const DetectorStats& other);
+};
+
+// Reusable working state for the dense-bitmap overlap probe. One scratch per
+// shard lives inside the RaceDetector across epochs, so a steady-state epoch
+// probes every pair without allocating: Prepare() only builds the bitmaps
+// when the page count changes (stats->overlap_scratch_builds counts those),
+// otherwise it zero-fills in place.
+struct OverlapScratch {
+  Bitmap a_writes;
+  Bitmap a_access;
+  Bitmap b_writes;
+  Bitmap b_access;
+  Bitmap conflict;
+  std::vector<PageId> overlap;
+
+  void Prepare(int num_pages, DetectorStats* stats) {
+    if (a_writes.size() != static_cast<uint32_t>(num_pages)) {
+      ++stats->overlap_scratch_builds;
+      a_writes = Bitmap(static_cast<uint32_t>(num_pages));
+      a_access = Bitmap(static_cast<uint32_t>(num_pages));
+      b_writes = Bitmap(static_cast<uint32_t>(num_pages));
+      b_access = Bitmap(static_cast<uint32_t>(num_pages));
+      conflict = Bitmap(static_cast<uint32_t>(num_pages));
+    } else {
+      a_writes.Reset();
+      a_access.Reset();
+      b_writes.Reset();
+      b_access.Reset();
+      conflict.Reset();
+    }
+  }
 };
 
 // One concurrent interval pair that exhibits unsynchronized sharing on at
@@ -120,6 +153,10 @@ class RaceDetector {
   int num_pages_;
   OverlapMethod method_;
   DetectorStats stats_;
+  // One dense-probe scratch per shard, kept across epochs so steady-state
+  // check-list builds allocate nothing. Grown (never shrunk) on demand;
+  // shard i is the exclusive user of shard_scratch_[i] during a build.
+  std::vector<OverlapScratch> shard_scratch_;
 };
 
 }  // namespace cvm

@@ -46,7 +46,7 @@ TEST(NetworkTest, CountsBytesByKind) {
   Network net(2);
   PageReplyMsg reply;
   reply.page = 0;
-  reply.data.assign(4096, 0);
+  reply.data = std::vector<uint8_t>(4096, 0);
   net.Send(Make(0, 1, reply));
   const NetworkStats stats = net.stats();
   EXPECT_EQ(stats.messages, 1u);
@@ -80,7 +80,7 @@ TEST(NetworkTest, TotalsEqualSumOfPerKindAccounting) {
   req.page = 1;
   PageReplyMsg reply;
   reply.page = 1;
-  reply.data.assign(512, 0);
+  reply.data = std::vector<uint8_t>(512, 0);
   LockRequestMsg lock_req;
   lock_req.requester_vc = VectorClock(3);
   net.Send(Make(0, 1, req));
@@ -134,7 +134,7 @@ TEST(NetworkTest, ObservabilityCountersMirrorStats) {
   net.AttachObservability(&tracer, &metrics);
 
   PageReplyMsg reply;
-  reply.data.assign(256, 0);
+  reply.data = std::vector<uint8_t>(256, 0);
   net.Send(Make(0, 1, reply));
   net.Send(Make(1, 0, PageRequestMsg{}));
   (void)net.Recv(1);
@@ -158,9 +158,9 @@ TEST(MessageTest, PayloadSizesAreConsistent) {
   // A raw-encoded bitmap entry costs the legacy full-page payload plus the
   // codec's per-bitmap header (tag byte + bit count).
   BitmapReplyMsg reply;
-  reply.entries.push_back(BitmapReplyEntry{IntervalId{0, 0}, 0,
-                                           BitmapCodec::Encode(Bitmap(1024), false),
-                                           BitmapCodec::Encode(Bitmap(1024), false)});
+  reply.entries = {BitmapReplyEntry{IntervalId{0, 0}, 0,
+                                    BitmapCodec::Encode(Bitmap(1024), false),
+                                    BitmapCodec::Encode(Bitmap(1024), false)}};
   EXPECT_EQ(PayloadByteSize(Payload(reply)),
             kMessageHeaderBytes + 8 + sizeof(IntervalId) + sizeof(PageId) +
                 2 * (EncodedBitmap::kHeaderBytes + 128));
@@ -170,9 +170,9 @@ TEST(MessageTest, PayloadSizesAreConsistent) {
 
   // An empty bitmap compresses to just the codec header.
   BitmapShipMsg ship;
-  ship.entries.push_back(BitmapReplyEntry{IntervalId{0, 0}, 0,
-                                          BitmapCodec::Encode(Bitmap(1024), true),
-                                          BitmapCodec::Encode(Bitmap(1024), true)});
+  ship.entries = {BitmapReplyEntry{IntervalId{0, 0}, 0,
+                                   BitmapCodec::Encode(Bitmap(1024), true),
+                                   BitmapCodec::Encode(Bitmap(1024), true)}};
   EXPECT_EQ(PayloadByteSize(Payload(ship)),
             kMessageHeaderBytes + 8 + sizeof(uint64_t) + sizeof(IntervalId) + sizeof(PageId) +
                 2 * EncodedBitmap::kHeaderBytes);

@@ -117,8 +117,8 @@ TEST_P(IsolationTest, ChaosTenantCannotPerturbOthers) {
 INSTANTIATE_TEST_SUITE_P(Profiles, IsolationTest,
                          ::testing::Values(fault::FaultProfile::kPartition,
                                            fault::FaultProfile::kStress),
-                         [](const ::testing::TestParamInfo<fault::FaultProfile>& info) {
-                           return std::string(fault::ProfileName(info.param));
+                         [](const ::testing::TestParamInfo<fault::FaultProfile>& param) {
+                           return std::string(fault::ProfileName(param.param));
                          });
 
 TEST(IsolationTest, ChaosReportsStayInsideChaosRegion) {

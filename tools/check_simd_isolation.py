@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Enforces the SIMD-intrinsics isolation rule.
+
+Raw vector intrinsics (SSE2 / NEON headers, `_mm_*` / `v*q_u*` calls, and
+the CVM_SIMD_* target macros) live only in src/perf/simd.h and
+src/perf/kernels.cc. Everything else — detector, codec, diff machinery,
+tests, benches — goes through the portable kernel API in
+src/perf/kernels.h, so a new target (AVX2, SVE) is one file's work and the
+rest of the tree stays intrinsic-free and portable. This script greps for
+intrinsic markers outside the kernel unit and fails listing each offender.
+Stdlib only — runs anywhere python3 exists.
+
+Usage: tools/check_simd_isolation.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+# Intrinsic headers, the SSE (`_mm_`, `_mm256_`, ...) and NEON (`vld1q_`,
+# `vceqq_u32(`, ...) call prefixes, and direct tests of the target macros.
+INTRINSIC_RE = re.compile(
+    r"emmintrin\.h|immintrin\.h|arm_neon\.h"
+    r"|\b_mm\d*_\w+\s*\("
+    r"|\bv(?:ld1|st1|ceq|max|min|and|orr|dup|get|mvn)q?_\w+\s*\("
+    r"|\bCVM_SIMD_(?:SSE2|NEON|SCALAR)\b")
+
+SOURCE_EXTS = (".cc", ".h", ".cpp", ".hpp")
+SKIP_DIRS = {".git", "build", "third_party"}
+ALLOWED = {
+    os.path.join("src", "perf", "simd.h"),
+    os.path.join("src", "perf", "kernels.cc"),
+    # kernels.h names the macros in comments only, but keeping it allowed
+    # lets the dispatch documentation show real spellings.
+    os.path.join("src", "perf", "kernels.h"),
+}
+
+
+def source_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(SOURCE_EXTS):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    offenders = []
+    checked = 0
+    for path in source_files(root):
+        rel = os.path.relpath(path, root)
+        if rel in ALLOWED:
+            continue
+        checked += 1
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if INTRINSIC_RE.search(line):
+                    offenders.append((rel, lineno, line.strip()))
+    if offenders:
+        for rel, lineno, line in offenders:
+            print(f"ISOLATION VIOLATION: {rel}:{lineno}: {line}", file=sys.stderr)
+        print(
+            f"{len(offenders)} raw-intrinsic use(s) outside src/perf/ — "
+            "add a kernel to src/perf/kernels.h and call that instead",
+            file=sys.stderr)
+        return 1
+    print(f"OK: {checked} file(s), no raw intrinsics outside the kernel unit")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
