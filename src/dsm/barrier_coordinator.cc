@@ -1,6 +1,7 @@
 #include "src/dsm/barrier_coordinator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <thread>
 #include <tuple>
@@ -26,6 +27,12 @@ size_t ReplyEntryRawBytes(const BitmapReplyEntry& e) {
   return sizeof(IntervalId) + sizeof(PageId) + EncodedBitmap::RawWireBytes(e.read.num_bits) +
          EncodedBitmap::RawWireBytes(e.write.num_bits);
 }
+
+// Wall-clock tick of the watchful barrier waits used only when a crash plan
+// is armed: how long a waiter parks before heartbeat-probing the nodes it is
+// waiting on. Probes to live nodes are harmless (acked and ignored), so this
+// trades only a little idle-path chatter against crash-detection latency.
+constexpr std::chrono::milliseconds kSuspicionInterval(25);
 
 }  // namespace
 
@@ -64,9 +71,24 @@ void BarrierCoordinator::InitObservability(obs::MetricsRegistry* metrics) {
 
 void BarrierCoordinator::RunBarrier(std::unique_lock<std::mutex>& lk, EpochId epoch) {
   if (node_.id_ == 0) {
-    node_.cv_.wait(lk, [this, epoch] {
+    const auto all_arrived = [this, epoch] {
       return arrivals_[epoch].size() == static_cast<size_t>(node_.opts_.num_nodes - 1);
-    });
+    };
+    if (!node_.system_->crash_armed()) {
+      node_.cv_.wait(lk, all_arrived);
+    } else {
+      // Watchful wait: a crashed worker never arrives, so park with a
+      // timeout and heartbeat-probe the missing members each tick. A probe
+      // to a dead node surfaces kPeerUnreachable here and aborts the run.
+      while (!all_arrived() && !node_.aborted_) {
+        if (node_.cv_.wait_for(lk, kSuspicionInterval,
+                               [&] { return all_arrived() || node_.aborted_; })) {
+          break;
+        }
+        ProbeMissingArrivalsLocked(epoch);
+      }
+      node_.ThrowIfAbortedLocked();
+    }
     MasterRunBarrier(lk, epoch);
     return;
   }
@@ -80,9 +102,24 @@ void BarrierCoordinator::RunBarrier(std::unique_lock<std::mutex>& lk, EpochId ep
   // (taken once every arrival is in) sees a consistent cross-node view.
   node_.PublishOverheadLocked();
   node_.Send(0, std::move(arrive));
-  node_.cv_.wait(lk, [this, epoch] {
+  const auto released = [this, epoch] {
     return barrier_release_.has_value() && barrier_release_->epoch == epoch;
-  });
+  };
+  if (!node_.system_->crash_armed()) {
+    node_.cv_.wait(lk, released);
+  } else {
+    while (!released() && !node_.aborted_) {
+      if (node_.cv_.wait_for(lk, kSuspicionInterval,
+                             [&] { return released() || node_.aborted_; })) {
+        break;
+      }
+      // Stuck: ask the master to health-check the epoch (it probes its
+      // missing arrivals). If the master itself is the dead node, this send
+      // surfaces kPeerUnreachable and initiates the abort right here.
+      node_.Send(0, PeerSuspectMsg{epoch, kNoNode});
+    }
+    node_.ThrowIfAbortedLocked();
+  }
   BarrierReleaseMsg release = std::move(*barrier_release_);
   barrier_release_.reset();
   const size_t bytes = PayloadByteSize(Payload(release));
@@ -260,7 +297,10 @@ void BarrierCoordinator::RunRaceDetection(std::unique_lock<std::mutex>& lk, Epoc
     if (!overlapped) {
       timing.Charge(Bucket::kBitmaps, 2 * opts.costs.msg_latency_ns);
     }
-    node_.cv_.wait(lk, [this] { return bitmap_replies_pending_ == 0; });
+    // Detection rounds only involve nodes that arrived at this barrier, so a
+    // peer death here is unexpected — the abort predicate is defensive.
+    node_.cv_.wait(lk, [this] { return bitmap_replies_pending_ == 0 || node_.aborted_; });
+    node_.ThrowIfAbortedLocked();
     if (!overlapped) {
       timing.Charge(Bucket::kBitmaps,
                     opts.costs.per_byte_ns * static_cast<double>(bitmap_round_bytes_));
@@ -400,7 +440,8 @@ std::vector<RaceReport> BarrierCoordinator::RunDistributedCompare(
   // side resolves from local storage. Compare as soon as the inbound ships
   // land — the remote owners' replies overlap this work (the Lamport merge
   // below takes the max of the two legs, not their sum).
-  node_.cv_.wait(lk, [this] { return master_ships_pending_ == 0; });
+  node_.cv_.wait(lk, [this] { return master_ships_pending_ == 0 || node_.aborted_; });
+  node_.ThrowIfAbortedLocked();
   if (master_ship_target_ns_ > timing.now_ns()) {
     timing.Charge(Bucket::kBitmaps, master_ship_target_ns_ - timing.now_ns());
   }
@@ -425,7 +466,8 @@ std::vector<RaceReport> BarrierCoordinator::RunDistributedCompare(
   timing.Charge(Bucket::kBitmaps,
                 opts.costs.bitmap_cmp_word_ns * chunks * static_cast<double>(master_compared));
 
-  node_.cv_.wait(lk, [this] { return compare_replies_pending_ == 0; });
+  node_.cv_.wait(lk, [this] { return compare_replies_pending_ == 0 || node_.aborted_; });
+  node_.ThrowIfAbortedLocked();
   // The distributed round's cost is its critical path: the slowest node's
   // reply arrival, not the sum over nodes.
   double target_ns = timing.now_ns();
@@ -486,6 +528,21 @@ std::vector<RaceReport> BarrierCoordinator::RunDistributedCompare(
     }
   }
   return reports;
+}
+
+void BarrierCoordinator::ProbeMissingArrivalsLocked(EpochId epoch) {
+  if (node_.id_ != 0 || epoch != node_.epoch_ || node_.aborted_ || node_.crashed_) {
+    return;
+  }
+  const auto& arrived = arrivals_[epoch];
+  for (NodeId n = 1; n < node_.opts_.num_nodes; ++n) {
+    if (arrived.find(n) == arrived.end()) {
+      node_.Send(n, HeartbeatProbeMsg{epoch, ++probe_token_});
+      if (node_.aborted_) {
+        return;  // The probe surfaced a dead peer; nothing left to check.
+      }
+    }
+  }
 }
 
 void BarrierCoordinator::OnBarrierArrive(const Message& msg) {

@@ -86,6 +86,7 @@ void DsmSystem::Reset() {
     reports_.clear();
     watch_hits_.clear();
     recorded_schedule_ = SyncSchedule{};
+    crash_outcome_ = CrashOutcome{};
   }
   ran_ = false;
 }
@@ -122,6 +123,40 @@ void DsmSystem::AddWatchHit(WatchHit hit) {
   watch_hits_.push_back(std::move(hit));
 }
 
+size_t DsmSystem::ReportCount() {
+  std::lock_guard<std::mutex> guard(results_mu_);
+  return reports_.size();
+}
+
+void DsmSystem::TruncateReports(size_t count) {
+  std::lock_guard<std::mutex> guard(results_mu_);
+  if (reports_.size() > count) {
+    reports_.resize(count);
+  }
+}
+
+void DsmSystem::NoteCrash(const RunAbortError& err, EpochId checkpoint_epoch,
+                          size_t locks_recovered, uint64_t checkpoint_bytes) {
+  std::lock_guard<std::mutex> guard(results_mu_);
+  crash_outcome_.crashed = true;
+  // The crashing node reports its own death authoritatively; survivors only
+  // fill the slot in if the self-report has not landed yet.
+  if (err.self_crash || crash_outcome_.crash_node == kNoNode) {
+    crash_outcome_.crash_node = err.dead;
+    crash_outcome_.crash_epoch = err.epoch;
+  }
+  // checkpoint_epoch is the epoch the restored cut begins; everything before
+  // it has been fully race-checked. All nodes report the same value (no
+  // barrier can complete once a member is dead) — min() is defensive.
+  const EpochId consistent = checkpoint_epoch - 1;
+  if (crash_outcome_.rollbacks == 0 || consistent < crash_outcome_.last_consistent_epoch) {
+    crash_outcome_.last_consistent_epoch = consistent;
+  }
+  ++crash_outcome_.rollbacks;
+  crash_outcome_.locks_recovered += locks_recovered;
+  crash_outcome_.checkpoint_bytes = std::max(crash_outcome_.checkpoint_bytes, checkpoint_bytes);
+}
+
 RunResult DsmSystem::Run(const std::function<void(NodeContext&)>& app) {
   CVM_CHECK(!ran_) << "one Run() per Reset() cycle; call Reset() (or construct fresh) first";
   ran_ = true;
@@ -141,10 +176,17 @@ RunResult DsmSystem::Run(const std::function<void(NodeContext&)>& app) {
   for (NodeId id = 0; id < options_.num_nodes; ++id) {
     app_threads.emplace_back([this, id, &app] {
       Node& node = *nodes_[id];
-      app(node);
-      // Implicit final barrier: the last epoch's accesses get race-checked
-      // (the system only discards trace data after checking it).
-      node.Barrier();
+      try {
+        app(node);
+        // Implicit final barrier: the last epoch's accesses get race-checked
+        // (the system only discards trace data after checking it).
+        node.Barrier();
+      } catch (const RunAbortError& err) {
+        // A node died this run (this one, if err.self_crash). Discard the
+        // torn epoch and restore the last consistent cut; whether the
+        // workload is retried is the service layer's call, not ours.
+        node.RecoverAfterAbort(err);
+      }
     });
   }
   for (std::thread& t : app_threads) {
@@ -188,6 +230,7 @@ RunResult DsmSystem::Run(const std::function<void(NodeContext&)>& app) {
     }
     result.watch_hits = watch_hits_;
     result.recorded_schedule = recorded_schedule_;
+    result.recovery = crash_outcome_;
   }
 
   result.net = network_->stats();

@@ -31,6 +31,20 @@
 
 namespace cvm {
 
+// Outcome of the crash-tolerance machinery for one run (docs/FAULTS.md
+// "Crash faults & recovery"). All-zero unless a node died during the run.
+struct CrashOutcome {
+  bool crashed = false;                // A node hit its fail-stop point (or a
+                                       // send exhausted its attempt budget).
+  NodeId crash_node = kNoNode;         // The node declared dead.
+  EpochId crash_epoch = -1;            // Epoch the death was observed in.
+  EpochId last_consistent_epoch = -1;  // Last fully race-checked barrier epoch;
+                                       // reports are truncated to this prefix.
+  size_t rollbacks = 0;                // Nodes that restored a checkpoint.
+  size_t locks_recovered = 0;          // Lock slots diverged from the cut.
+  uint64_t checkpoint_bytes = 0;       // Largest per-node encoded-bitmap cut.
+};
+
 // Everything the evaluation harness needs from one run.
 struct RunResult {
   // Race detection output (deduplicated; symbolized).
@@ -71,6 +85,9 @@ struct RunResult {
   SyncSchedule recorded_schedule;
   std::vector<WatchHit> watch_hits;
 
+  // Crash-tolerance outcome; recovery.crashed == false on healthy runs.
+  CrashOutcome recovery;
+
   double IntervalsPerBarrier(int num_nodes) const {
     if (barriers == 0 || num_nodes == 0) {
       return 0;
@@ -99,6 +116,14 @@ class DsmSystem {
 
   // Null unless options().fault_plan is enabled.
   const fault::FaultInjector* fault_injector() const { return injector_.get(); }
+
+  // True when the active fault plan schedules a node crash. Nodes capture
+  // per-barrier checkpoints and use watchful (timeout + heartbeat) barrier
+  // waits only in this mode, so healthy runs pay nothing for crash
+  // tolerance and stay wire-identical to pre-crash-support builds.
+  bool crash_armed() const {
+    return injector_ != nullptr && injector_->plan().crash_enabled();
+  }
 
   // Pre-run shared allocation (single-threaded, before Run).
   GlobalAddr Alloc(const std::string& name, uint64_t bytes, bool page_align = true);
@@ -132,6 +157,15 @@ class DsmSystem {
   void AddWatchHit(WatchHit hit);
   SyncSchedule& recorded_schedule() { return recorded_schedule_; }
 
+  // Crash recovery (called by nodes; see docs/FAULTS.md). ReportCount /
+  // TruncateReports let the master checkpoint and retract the published
+  // report prefix; NoteCrash folds one node's rollback into the run's
+  // CrashOutcome.
+  size_t ReportCount();
+  void TruncateReports(size_t count);
+  void NoteCrash(const RunAbortError& err, EpochId checkpoint_epoch, size_t locks_recovered,
+                 uint64_t checkpoint_bytes);
+
  private:
   // (Re)creates the injector for `plan` — deriving unset timings from the
   // cost model — and attaches it to the network; a disabled plan detaches.
@@ -152,6 +186,7 @@ class DsmSystem {
   std::vector<RaceReport> reports_;
   std::vector<WatchHit> watch_hits_;
   SyncSchedule recorded_schedule_;
+  CrashOutcome crash_outcome_;
   bool ran_ = false;
 };
 

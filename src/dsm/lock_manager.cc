@@ -117,7 +117,10 @@ void LockManager::Acquire(std::unique_lock<std::mutex>& lk, LockId lock) {
   request.requester_vc = node_.vc_;
   node_.ChargeMessageLocked(PayloadByteSize(Payload(request)), 0);
   node_.Send(ManagerOf(lock), request);
-  node_.cv_.wait(lk, [this] { return lock_granted_self_ || lock_grant_.has_value(); });
+  node_.cv_.wait(lk, [this] {
+    return lock_granted_self_ || lock_grant_.has_value() || node_.aborted_;
+  });
+  node_.ThrowIfAbortedLocked();
   waiting_lock_ = -1;
   if (lock_grant_.has_value()) {
     LockGrantMsg grant = std::move(*lock_grant_);
@@ -140,6 +143,35 @@ void LockManager::Acquire(std::unique_lock<std::mutex>& lk, LockId lock) {
     }
   }
   lock_granted_self_ = false;
+}
+
+LockManager::Snapshot LockManager::SnapshotState() const {
+  Snapshot snapshot;
+  snapshot.locks = locks_;
+  snapshot.manager_last_requester = manager_last_requester_;
+  return snapshot;
+}
+
+size_t LockManager::RestoreState(const Snapshot& snapshot) {
+  CVM_CHECK_EQ(snapshot.locks.size(), locks_.size());
+  size_t recovered = 0;
+  for (size_t l = 0; l < locks_.size(); ++l) {
+    const LockState& live = locks_[l];
+    const LockState& saved = snapshot.locks[l];
+    if (live.token != saved.token || live.held != saved.held ||
+        live.successor != saved.successor ||
+        live.pending.size() != saved.pending.size() ||
+        manager_last_requester_[l] != snapshot.manager_last_requester[l]) {
+      ++recovered;
+    }
+  }
+  locks_ = snapshot.locks;
+  manager_last_requester_ = snapshot.manager_last_requester;
+  // Transient acquire state belongs to the torn epoch.
+  lock_grant_.reset();
+  lock_granted_self_ = false;
+  waiting_lock_ = -1;
+  return recovered;
 }
 
 void LockManager::Release(LockId lock) {

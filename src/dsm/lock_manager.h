@@ -42,6 +42,17 @@ class LockManager {
 
   bool Held(LockId lock) const { return locks_[lock].held; }
 
+  struct Snapshot;
+
+  // Epoch-checkpoint support (docs/FAULTS.md "Crash faults & recovery"):
+  // lock ownership is part of the consistent cut. SnapshotState copies every
+  // lock's token/queue/release state; RestoreState rolls back to it after a
+  // crash, dropping transient acquire slots, and returns how many locks had
+  // diverged from the checkpoint (in-flight tokens, queued requests from the
+  // torn epoch) — the "recovered" count surfaced as dsm.lock.recovered.
+  Snapshot SnapshotState() const;
+  size_t RestoreState(const Snapshot& snapshot);
+
  private:
   struct LockState {
     bool token = false;  // This node holds the lock token.
@@ -77,6 +88,11 @@ class LockManager {
   std::optional<LockGrantMsg> lock_grant_;
   bool lock_granted_self_ = false;  // Token granted locally (no payload).
   LockId waiting_lock_ = -1;
+};
+
+struct LockManager::Snapshot {
+  std::vector<LockState> locks;
+  std::vector<NodeId> manager_last_requester;
 };
 
 }  // namespace cvm

@@ -6,7 +6,9 @@
 
 #include "src/common/check.h"
 #include "src/dsm/dsm.h"
+#include "src/fault/fault.h"
 #include "src/obs/span.h"
+#include "src/race/bitmap_codec.h"
 
 namespace cvm {
 
@@ -46,6 +48,11 @@ Node::Node(NodeId id, DsmSystem* system)
   // Recv loop exits on network close. Registered so it doesn't count as an
   // unhandled payload.
   dispatcher_.Register<ShutdownMsg>([](const Message&) {});
+  // Crash-tolerance control plane (docs/FAULTS.md "Crash faults & recovery").
+  dispatcher_.Register<HeartbeatProbeMsg>([this](const Message& msg) { OnHeartbeatProbe(msg); });
+  dispatcher_.Register<HeartbeatAckMsg>([this](const Message& msg) { OnHeartbeatAck(msg); });
+  dispatcher_.Register<PeerSuspectMsg>([this](const Message& msg) { OnPeerSuspect(msg); });
+  dispatcher_.Register<RunAbortMsg>([this](const Message& msg) { OnRunAbort(msg); });
   dispatcher_.SetUnhandledHook([this](const Message& msg) {
     if constexpr (!obs::kObsCompiledIn) {
       return;
@@ -76,6 +83,7 @@ Node::Node(NodeId id, DsmSystem* system)
   });
   InitObservability();
   BeginIntervalLocked();  // Interval 0. Single-threaded here; no lock needed.
+  CaptureCheckpointLocked();  // Epoch-0 cut: covers a crash in the first epoch.
 }
 
 void Node::InitObservability() {
@@ -105,6 +113,8 @@ void Node::InitObservability() {
     diff_obs_.diffs_created = metrics_->counter("mem.diffs_created");
     diff_obs_.diff_size_words = metrics_->histogram("mem.diff_size_words");
     diff_obs_.words_applied = metrics_->counter("mem.diff_words_applied");
+    peer_suspected_counter_ = metrics_->counter("net.peer.suspected");
+    locks_recovered_counter_ = metrics_->counter("dsm.lock.recovered");
   }
   if (tracer_ != nullptr || metrics_ != nullptr) {
     pages_.AttachObservability(tracer_, id_, twins, installs, invalidations);
@@ -176,9 +186,12 @@ void Node::Send(NodeId to, Payload payload) {
   // Under fault injection the reliable transport returns the simulated time
   // this sender spent in retransmission backoff and injected delay; charge it
   // to the node's clock like any other network cost. Zero on the clean path.
-  const double penalty_ns = system_->network().Send(std::move(msg));
-  if (penalty_ns > 0) {
-    timing_.Charge(Bucket::kNone, penalty_ns);
+  const SendOutcome outcome = system_->network().Send(std::move(msg));
+  if (outcome.penalty_ns > 0) {
+    timing_.Charge(Bucket::kNone, outcome.penalty_ns);
+  }
+  if (outcome.unreachable()) {
+    OnPeerUnreachableLocked(to);
   }
 }
 
@@ -197,6 +210,14 @@ void Node::ServiceLoop() {
     std::optional<Message> msg = system_->network().Recv(id_);
     if (!msg.has_value()) {
       return;  // Network closed.
+    }
+    {
+      // Fail-stop: a crashed node answers nothing, not even frames that were
+      // already in its inbox when it died.
+      std::lock_guard<std::mutex> guard(mu_);
+      if (crashed_) {
+        continue;
+      }
     }
     DispatchWithFlow(*msg);
   }
@@ -479,6 +500,7 @@ void Node::Lock(LockId lock) {
   CVM_CHECK_GE(lock, 0);
   CVM_CHECK_LT(lock, opts_.num_locks);
   std::unique_lock<std::mutex> lk(mu_);
+  ThrowIfAbortedLocked();
   obs::Span span(tracer_, id_, "lock.acquire", "sync", timing_, epoch_);
   span.SetArg("lock", static_cast<uint64_t>(lock));
   if constexpr (obs::kObsCompiledIn) {
@@ -496,6 +518,7 @@ void Node::Unlock(LockId lock) {
   CVM_CHECK_GE(lock, 0);
   CVM_CHECK_LT(lock, opts_.num_locks);
   std::unique_lock<std::mutex> lk(mu_);
+  ThrowIfAbortedLocked();
   TraceInstant("lock.release", "sync", "lock", static_cast<uint64_t>(lock));
   timing_.Charge(Bucket::kNone, opts_.costs.lock_op_ns);
   CVM_CHECK(lock_mgr_.Held(lock)) << "unlock of lock " << lock << " not held by node " << id_;
@@ -508,6 +531,8 @@ void Node::Unlock(LockId lock) {
 
 void Node::Barrier() {
   std::unique_lock<std::mutex> lk(mu_);
+  ThrowIfAbortedLocked();
+  MaybeCrashAtBarrierLocked();
   obs::Span span(tracer_, id_, "barrier", "sync", timing_, epoch_);
   span.SetArg("epoch", static_cast<uint64_t>(epoch_));
   timing_.Charge(Bucket::kNone, opts_.costs.barrier_op_ns);
@@ -537,6 +562,188 @@ void Node::Barrier() {
     }
   }
   BeginIntervalLocked();  // New epoch-body interval.
+  CaptureCheckpointLocked();
+}
+
+// ---------------- Crash tolerance ----------------
+
+void Node::MaybeCrashAtBarrierLocked() {
+  const fault::FaultInjector* injector = system_->fault_injector();
+  if (injector == nullptr || !injector->plan().crash_enabled() || crashed_) {
+    return;
+  }
+  if (injector->crash_node() != id_ || epoch_ != injector->plan().crash_epoch) {
+    return;
+  }
+  // Fail-stop: mark the NIC dead first so no frame sent after this instant
+  // reaches a survivor, then unwind the app thread.
+  crashed_ = true;
+  TraceInstant("node.crash", "fault", "epoch", static_cast<uint64_t>(epoch_));
+  system_->network().MarkNodeDead(id_);
+  cv_.notify_all();
+  throw RunAbortError{id_, epoch_, /*self_crash=*/true};
+}
+
+void Node::ThrowIfAbortedLocked() {
+  if (aborted_) {
+    throw RunAbortError{abort_dead_, abort_epoch_, /*self_crash=*/false};
+  }
+}
+
+void Node::OnPeerUnreachableLocked(NodeId peer) {
+  if (aborted_ || crashed_ || peer == id_) {
+    return;
+  }
+  if constexpr (obs::kObsCompiledIn) {
+    if (peer_suspected_counter_ != nullptr) {
+      peer_suspected_counter_->Increment();
+    }
+  }
+  TraceInstant("peer.suspect", "fault", "peer",
+               static_cast<uint64_t>(peer >= 0 ? peer : 0));
+  // An exhausted send means the message is permanently lost, so the epoch is
+  // torn whether or not the peer is still breathing: abort unconditionally.
+  InitiateAbortLocked(peer, epoch_);
+}
+
+void Node::InitiateAbortLocked(NodeId dead, EpochId epoch) {
+  if (aborted_ || crashed_) {
+    return;
+  }
+  aborted_ = true;
+  abort_dead_ = dead;
+  abort_epoch_ = epoch;
+  TraceInstant("run.abort", "fault", "dead",
+               static_cast<uint64_t>(dead >= 0 ? dead : 0));
+  cv_.notify_all();
+  // Wake every survivor; sends to the dead node surface unreachable again
+  // and are swallowed above (aborted_ is already set).
+  for (NodeId n = 0; n < static_cast<NodeId>(opts_.num_nodes); ++n) {
+    if (n == id_ || n == dead) {
+      continue;
+    }
+    Send(n, RunAbortMsg{epoch, dead});
+  }
+}
+
+void Node::OnHeartbeatProbe(const Message& msg) {
+  const auto& probe = std::get<HeartbeatProbeMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  if (crashed_) {
+    return;
+  }
+  Send(msg.from, HeartbeatAckMsg{probe.epoch, probe.token});
+}
+
+void Node::OnHeartbeatAck(const Message&) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ++heartbeat_acks_;  // The peer is alive: parked waiters re-check and keep waiting.
+  cv_.notify_all();
+}
+
+void Node::OnPeerSuspect(const Message& msg) {
+  const auto& suspect = std::get<PeerSuspectMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  if (crashed_ || aborted_) {
+    return;
+  }
+  // A stuck peer asked "is someone dead?". Probing a live node is harmless
+  // (it acks); probing a dead one surfaces kPeerUnreachable right here at
+  // the sender, which initiates the abort.
+  if (suspect.suspect != kNoNode && suspect.suspect != id_) {
+    Send(suspect.suspect, HeartbeatProbeMsg{suspect.epoch, ++heartbeat_token_});
+  } else {
+    barrier_.ProbeMissingArrivalsLocked(suspect.epoch);
+  }
+}
+
+void Node::OnRunAbort(const Message& msg) {
+  const auto& abort = std::get<RunAbortMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(mu_);
+  if (aborted_ || crashed_) {
+    return;
+  }
+  aborted_ = true;
+  abort_dead_ = abort.dead;
+  abort_epoch_ = abort.epoch;
+  TraceInstant("run.abort", "fault", "dead",
+               static_cast<uint64_t>(abort.dead >= 0 ? abort.dead : 0));
+  cv_.notify_all();
+}
+
+void Node::CaptureCheckpointLocked() {
+  if (!system_->crash_armed()) {
+    return;  // Healthy runs pay nothing for crash tolerance.
+  }
+  EpochCheckpoint cp;
+  cp.epoch = epoch_;
+  cp.vc = vc_;
+  cp.cur_interval = cur_interval_;
+  cp.log = log_.All();
+  bitmaps_.ForEachPair(id_, [&cp](const IntervalId& interval, PageId page,
+                                  const PageAccessBitmaps& pair) {
+    CheckpointBitmapPair entry;
+    entry.interval = interval.index;
+    entry.page = page;
+    entry.read = BitmapCodec::Encode(pair.read);
+    entry.write = BitmapCodec::Encode(pair.write);
+    cp.encoded_bitmap_bytes += entry.read.WireBytes() + entry.write.WireBytes();
+    cp.bitmaps.push_back(std::move(entry));
+  });
+  cp.locks = lock_mgr_.SnapshotState();
+  if (id_ == 0) {
+    cp.reports_published = system_->ReportCount();
+  }
+  checkpoint_ = std::move(cp);
+}
+
+size_t Node::RollbackToCheckpointLocked() {
+  if (!checkpoint_.has_value()) {
+    return 0;
+  }
+  const EpochCheckpoint& cp = *checkpoint_;
+  epoch_ = cp.epoch;
+  vc_ = cp.vc;
+  cur_interval_ = cp.cur_interval;
+  log_.Clear();
+  for (const IntervalRecord& record : cp.log) {
+    log_.Insert(record);
+  }
+  bitmaps_.Clear();
+  for (const CheckpointBitmapPair& entry : cp.bitmaps) {
+    PageAccessBitmaps pair;
+    pair.read = BitmapCodec::Decode(entry.read);
+    pair.write = BitmapCodec::Decode(entry.write);
+    bitmaps_.RestorePair(entry.interval, entry.page, pair);
+  }
+  cur_reads_.Clear();
+  cur_writes_.Clear();
+  const size_t recovered = lock_mgr_.RestoreState(cp.locks);
+  if (id_ == 0) {
+    // Reports published during the torn epoch are retracted: survivors must
+    // observe exactly the prefix the last consistent cut vouches for.
+    system_->TruncateReports(cp.reports_published);
+  }
+  return recovered;
+}
+
+void Node::RecoverAfterAbort(const RunAbortError& err) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!aborted_) {
+    aborted_ = true;
+    abort_dead_ = err.dead;
+    abort_epoch_ = err.epoch;
+  }
+  const size_t recovered = RollbackToCheckpointLocked();
+  if constexpr (obs::kObsCompiledIn) {
+    if (locks_recovered_counter_ != nullptr && recovered > 0) {
+      locks_recovered_counter_->Add(recovered);
+    }
+  }
+  TraceInstant("epoch.rollback", "fault", "epoch",
+               checkpoint_.has_value() ? static_cast<uint64_t>(checkpoint_->epoch) : 0);
+  system_->NoteCrash(err, checkpoint_.has_value() ? checkpoint_->epoch : 0, recovered,
+                     checkpoint_.has_value() ? checkpoint_->encoded_bitmap_bytes : 0);
 }
 
 void Node::DumpTraceBitmaps(PostMortemTrace& trace) const {

@@ -33,10 +33,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "src/common/abort.h"
 #include "src/common/types.h"
 #include "src/dsm/barrier_coordinator.h"
 #include "src/dsm/lock_manager.h"
@@ -142,6 +144,43 @@ class Node : public ProtocolHost {
   const BarrierCoordinator& barrier_coordinator() const { return barrier_; }
   const LockManager& lock_manager() const { return lock_mgr_; }
 
+  // ---------------- Crash-tolerant epochs ----------------
+  // (docs/FAULTS.md "Crash faults & recovery".)
+
+  // One (interval, page) access-bitmap pair, bitmap_codec-encoded: the
+  // checkpoint keeps the compact wire form, not live word arrays.
+  struct CheckpointBitmapPair {
+    IntervalIndex interval = 0;
+    PageId page = -1;
+    EncodedBitmap read;
+    EncodedBitmap write;
+  };
+
+  // The consistent cut retained at each successful barrier: everything the
+  // detection protocol needs to resume from epoch `epoch` — interval VCs,
+  // the interval log, unchecked access bitmaps, and lock ownership. Data
+  // pages are deliberately NOT part of the cut: a failed workload is re-run
+  // from scratch by the service, never resumed mid-computation.
+  struct EpochCheckpoint {
+    EpochId epoch = 0;
+    VectorClock vc;
+    IntervalIndex cur_interval = 0;
+    std::vector<IntervalRecord> log;
+    std::vector<CheckpointBitmapPair> bitmaps;
+    LockManager::Snapshot locks;
+    size_t reports_published = 0;  // Master only: prefix of system reports.
+    uint64_t encoded_bitmap_bytes = 0;
+  };
+
+  // Called by the DsmSystem app-thread wrapper after a RunAbortError unwound
+  // the app: discards the torn epoch and restores the last consistent cut.
+  void RecoverAfterAbort(const RunAbortError& err);
+
+  bool crashed() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return crashed_;
+  }
+
  private:
   friend class DsmSystem;
   friend class LockManager;
@@ -162,6 +201,8 @@ class Node : public ProtocolHost {
   EpochId current_epoch() const override { return epoch_; }
   const perf::FlatIdSet<PageId>& current_writes() const override { return cur_writes_; }
   void NoteWrite(PageId page) override { cur_writes_.Insert(page); }
+  bool run_aborted() const override { return aborted_; }
+  void ThrowIfAborted() override { ThrowIfAbortedLocked(); }
   void Send(NodeId to, Payload payload) override;
   void ChargeMessage(size_t bytes, size_t read_notice_bytes) override {
     ChargeMessageLocked(bytes, read_notice_bytes);
@@ -208,6 +249,28 @@ class Node : public ProtocolHost {
   // shared metric counters (called at barriers, before the epoch snapshot).
   void PublishOverheadLocked();
 
+  // ---- Crash / abort machinery (mu_ held) ----
+  // Fail-stop trigger: if the armed crash plan names this node and the
+  // current epoch, marks the node dead in the fabric and throws.
+  void MaybeCrashAtBarrierLocked();
+  // Throws RunAbortError if a peer crash has torn the current run.
+  void ThrowIfAbortedLocked();
+  // Send surfaced kPeerUnreachable: suspicion bookkeeping, then either
+  // reports the suspect to the master or (on the master, or when the master
+  // itself is the suspect) initiates the run abort.
+  void OnPeerUnreachableLocked(NodeId peer);
+  // First detector: flips aborted_ and broadcasts RunAbortMsg to survivors.
+  void InitiateAbortLocked(NodeId dead, EpochId epoch);
+  // Captures the per-barrier consistent cut (crash-armed runs only).
+  void CaptureCheckpointLocked();
+  // Restores the last consistent cut; returns #locks whose state diverged.
+  size_t RollbackToCheckpointLocked();
+  // Service-thread handlers.
+  void OnHeartbeatProbe(const Message& msg);
+  void OnHeartbeatAck(const Message& msg);
+  void OnPeerSuspect(const Message& msg);
+  void OnRunAbort(const Message& msg);
+
   // ---------------- State ----------------
 
   DsmSystem* const system_;
@@ -248,6 +311,21 @@ class Node : public ProtocolHost {
   MetricHandles mh_;
   DiffObs diff_obs_;
   std::array<double, kNumBuckets> overhead_published_ = {};
+
+  // Crash / abort state. crashed_: this node hit its fail-stop point and its
+  // NIC is dead; the service thread drops anything still in flight to it.
+  // aborted_: some node crashed and the current epoch is torn; every blocking
+  // wait includes `|| aborted_` in its predicate and re-raises via
+  // ThrowIfAbortedLocked after waking.
+  bool crashed_ = false;
+  bool aborted_ = false;
+  NodeId abort_dead_ = kNoNode;
+  EpochId abort_epoch_ = -1;
+  uint64_t heartbeat_token_ = 0;
+  uint64_t heartbeat_acks_ = 0;
+  std::optional<EpochCheckpoint> checkpoint_;
+  obs::Counter* peer_suspected_counter_ = nullptr;
+  obs::Counter* locks_recovered_counter_ = nullptr;
 
   // Instrumentation and timing.
   AccessFilter filter_;

@@ -31,6 +31,7 @@ enum Salt : uint64_t {
   kBurst = 7,
   kPartitionCut = 8,
   kStallNode = 9,
+  kCrashNode = 10,
 };
 
 uint64_t Key(const FaultPlan& plan, uint64_t salt, NodeId from, NodeId to, uint64_t seq,
@@ -66,6 +67,9 @@ std::optional<FaultProfile> ParseProfile(const std::string& name) {
   if (name == "stress") {
     return FaultProfile::kStress;
   }
+  if (name == "crash") {
+    return FaultProfile::kCrash;
+  }
   return std::nullopt;
 }
 
@@ -81,9 +85,13 @@ const char* ProfileName(FaultProfile profile) {
       return "partition";
     case FaultProfile::kStress:
       return "stress";
+    case FaultProfile::kCrash:
+      return "crash";
   }
   return "?";
 }
+
+const char* ValidProfileNames() { return "off|lossy|bursty|partition|stress|crash"; }
 
 FaultPlan FaultPlan::FromProfile(FaultProfile profile, uint64_t seed) {
   FaultPlan plan;
@@ -122,6 +130,14 @@ FaultPlan FaultPlan::FromProfile(FaultProfile profile, uint64_t seed) {
       plan.stall_len = 32;
       plan.stall_attempts = 2;
       break;
+    case FaultProfile::kCrash:
+      // Pure fail-stop: no message-level faults, so the consistent prefix of
+      // a crashed run is byte-comparable to the fault-free baseline. The
+      // victim is seed-derived (crash_node < 0); epoch 1 gives the run one
+      // full healthy epoch to checkpoint before the failure.
+      plan.crash_epoch = 1;
+      plan.crash_node = kNoNode;
+      break;
   }
   return plan;
 }
@@ -136,6 +152,13 @@ FaultInjector::FaultInjector(FaultPlan plan, int num_nodes)
   }
   stall_node_ =
       static_cast<NodeId>(Mix(plan_.seed, kStallNode) % static_cast<uint64_t>(num_nodes));
+  if (plan_.crash_node >= 0) {
+    CVM_CHECK_LT(plan_.crash_node, num_nodes);
+    crash_node_ = plan_.crash_node;
+  } else {
+    crash_node_ =
+        static_cast<NodeId>(Mix(plan_.seed, kCrashNode) % static_cast<uint64_t>(num_nodes));
+  }
 }
 
 FaultDecision FaultInjector::OnSendAttempt(NodeId from, NodeId to, uint64_t seq,

@@ -28,12 +28,17 @@ enum class FaultProfile : uint8_t {
   kBursty,     // Losses clustered into consecutive-sequence burst windows.
   kPartition,  // A node cut drops cross-cut traffic for a window, then heals.
   kStress,     // Everything at once: loss, dups, delays, corruption, stalls.
+  kCrash,      // One seed-chosen node fail-stops at a barrier epoch.
 };
 
 // Returns nullopt for an unrecognized name ("off", "lossy", "bursty",
-// "partition", "stress").
+// "partition", "stress", "crash").
 std::optional<FaultProfile> ParseProfile(const std::string& name);
 const char* ProfileName(FaultProfile profile);
+
+// "off|lossy|bursty|partition|stress|crash" — for CLI error messages, so an
+// unknown profile name reports what would have been accepted.
+const char* ValidProfileNames();
 
 struct FaultPlan {
   FaultProfile profile = FaultProfile::kOff;
@@ -80,7 +85,29 @@ struct FaultPlan {
   double rto_cap_ns = 0;
   double delay_hop_ns = 0;  // Simulated penalty per delay hop.
 
-  bool enabled() const { return profile != FaultProfile::kOff; }
+  // Retransmission bound: a frame that is still unacked after this many
+  // attempts stops retrying and surfaces SendStatus::kPeerUnreachable to the
+  // caller (the peer-suspicion verdict). Message-level profiles are tuned to
+  // heal far below this bound, so a healthy peer is never suspected.
+  uint32_t max_send_attempts = 512;
+
+  // Crash fault: node `crash_node` fail-stops when it reaches the entry of
+  // barrier `crash_epoch` — its app thread dies mid-epoch and the node goes
+  // silent (no acks, no replies). crash_epoch < 0 disarms the crash.
+  // crash_node < 0 picks a seed-derived victim (FaultInjector::crash_node()).
+  // crash_reboot marks the failure transient: a service-level retry of the
+  // same workload runs with the crash disarmed, modeling the node coming
+  // back after reboot; permanent crashes recur on every retry.
+  EpochId crash_epoch = -1;
+  NodeId crash_node = kNoNode;
+  bool crash_reboot = false;
+
+  bool crash_enabled() const { return crash_epoch >= 0; }
+
+  // A crash-armed plan needs the reliable transport (sequence numbers, acks,
+  // bounded retransmission) even when no message-level faults are injected —
+  // that is what turns a silent peer into a PeerUnreachable verdict.
+  bool enabled() const { return profile != FaultProfile::kOff || crash_enabled(); }
 
   // Canonical plan for a profile. Rates are chosen so every profile stays at
   // or under ~5% frame loss — the envelope in which all five bundled apps
@@ -111,6 +138,7 @@ struct FaultStats {
   uint64_t acks_dropped = 0;      // Lost acks (force retransmit + dedup).
   uint64_t retransmits = 0;       // Timeout-driven resends.
   uint64_t reorder_buffered = 0;  // Frames parked until their gap filled.
+  uint64_t unreachable = 0;       // Sends abandoned: peer dead or attempts exhausted.
   double backoff_ns = 0;          // Simulated time spent in retransmit backoff.
 };
 
@@ -140,11 +168,16 @@ class FaultInjector {
   NodeId partition_cut() const { return partition_cut_; }
   NodeId stall_node() const { return stall_node_; }
 
+  // The crash victim: plan.crash_node if pinned, else seed-derived. Only
+  // meaningful when plan().crash_enabled().
+  NodeId crash_node() const { return crash_node_; }
+
  private:
   const FaultPlan plan_;
   const int num_nodes_;
   NodeId partition_cut_ = 1;
   NodeId stall_node_ = 0;
+  NodeId crash_node_ = 0;
 };
 
 }  // namespace cvm::fault

@@ -74,6 +74,10 @@ struct SizeVisitor {
   }
   size_t operator()(const ErcUpdateMsg& m) const { return 8 + m.record.ByteSize(); }
   size_t operator()(const ErcAckMsg&) const { return 8; }
+  size_t operator()(const HeartbeatProbeMsg&) const { return 12; }
+  size_t operator()(const HeartbeatAckMsg&) const { return 12; }
+  size_t operator()(const PeerSuspectMsg&) const { return 8; }
+  size_t operator()(const RunAbortMsg&) const { return 8; }
   size_t operator()(const ShutdownMsg&) const { return 0; }
 };
 
@@ -111,7 +115,8 @@ constexpr const char* kPayloadKindNames[kNumPayloadKinds] = {
     "PageRequest", "PageReply",      "DiffFlush",  "DiffFlushAck",
     "LockRequest", "LockGrant",      "BarrierArrive", "BitmapRequest",
     "BitmapReply", "CompareRequest", "BitmapShip", "CompareReply",
-    "BarrierRelease", "ErcUpdate",   "ErcAck",     "Shutdown",
+    "BarrierRelease", "ErcUpdate",   "ErcAck",     "HeartbeatProbe",
+    "HeartbeatAck", "PeerSuspect",   "RunAbort",   "Shutdown",
 };
 
 }  // namespace

@@ -189,12 +189,44 @@ struct ErcAckMsg {
   uint64_t token = 0;
 };
 
+// ---- Failure detection & run abort (docs/FAULTS.md "Crash faults") ----
+
+// Master (or a timed-out worker) pings a silent peer. A live-but-slow peer
+// answers with HeartbeatAckMsg; a dead peer's transport surfaces
+// kPeerUnreachable to the prober, confirming the suspicion.
+struct HeartbeatProbeMsg {
+  EpochId epoch = -1;
+  uint64_t token = 0;
+};
+
+struct HeartbeatAckMsg {
+  EpochId epoch = -1;
+  uint64_t token = 0;
+};
+
+// Worker -> master: "my send to `suspect` came back unreachable" — lets a
+// worker that tripped over the dead node first hand the verdict to the
+// barrier master, which owns the abort decision for the epoch.
+struct PeerSuspectMsg {
+  EpochId epoch = -1;
+  NodeId suspect = kNoNode;
+};
+
+// Broadcast by whichever survivor first confirms a dead peer: every node
+// abandons epoch `epoch`, unwinds its app thread, and rolls back to its last
+// checkpoint. Idempotent — later copies from other detectors are ignored.
+struct RunAbortMsg {
+  EpochId epoch = -1;
+  NodeId dead = kNoNode;
+};
+
 struct ShutdownMsg {};
 
 using Payload = std::variant<PageRequestMsg, PageReplyMsg, DiffFlushMsg, DiffFlushAckMsg,
                              LockRequestMsg, LockGrantMsg, BarrierArriveMsg, BitmapRequestMsg,
                              BitmapReplyMsg, CompareRequestMsg, BitmapShipMsg, CompareReplyMsg,
-                             BarrierReleaseMsg, ErcUpdateMsg, ErcAckMsg, ShutdownMsg>;
+                             BarrierReleaseMsg, ErcUpdateMsg, ErcAckMsg, HeartbeatProbeMsg,
+                             HeartbeatAckMsg, PeerSuspectMsg, RunAbortMsg, ShutdownMsg>;
 
 struct Message {
   NodeId from = kNoNode;

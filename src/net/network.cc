@@ -15,18 +15,34 @@ uint64_t WallNs() {
                                    .count());
 }
 
-// Retransmission is statistically bounded (per-attempt loss < 1), so hitting
-// this cap means a plan with deterministic total loss — a configuration bug.
-constexpr uint32_t kMaxAttempts = 512;
-
 }  // namespace
 
 Network::Network(int num_nodes) : num_nodes_(num_nodes) {
   CVM_CHECK_GT(num_nodes, 0);
   inboxes_.reserve(num_nodes);
+  dead_.reserve(num_nodes);
   for (int i = 0; i < num_nodes; ++i) {
     inboxes_.push_back(std::make_unique<Inbox>());
+    dead_.push_back(std::make_unique<std::atomic<bool>>(false));
   }
+}
+
+void Network::MarkNodeDead(NodeId node) {
+  CVM_CHECK_GE(node, 0);
+  CVM_CHECK_LT(node, num_nodes_);
+  dead_[static_cast<size_t>(node)]->store(true, std::memory_order_release);
+  // Wake anything blocked in Recv on the dead node so its service loop can
+  // notice the condition instead of parking forever.
+  Inbox& inbox = *inboxes_[static_cast<size_t>(node)];
+  std::lock_guard<std::mutex> lock(inbox.mu);
+  inbox.cv.notify_all();
+}
+
+bool Network::NodeDead(NodeId node) const {
+  if (node < 0 || node >= num_nodes_) {
+    return false;
+  }
+  return dead_[static_cast<size_t>(node)]->load(std::memory_order_acquire);
 }
 
 void Network::AttachObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
@@ -57,6 +73,7 @@ void Network::AttachFaultInjector(const fault::FaultInjector* injector) {
       fault_retransmits_ = metrics_->counter("net.fault.retransmits");
       fault_dup_drops_ = metrics_->counter("net.fault.dup_drops");
       fault_corrupt_ = metrics_->counter("net.fault.corrupt_quarantined");
+      fault_unreachable_ = metrics_->counter("net.peer.unreachable");
       fault_backoff_hist_ = metrics_->histogram("net.fault.backoff_ns");
     }
   }
@@ -137,17 +154,25 @@ void Network::PushInbox(Message message) {
   inbox.cv.notify_all();
 }
 
-double Network::Send(Message message) {
+SendOutcome Network::Send(Message message) {
   CVM_CHECK_GE(message.to, 0);
   CVM_CHECK_LT(message.to, num_nodes_);
   if (closed_.load(std::memory_order_acquire)) {
-    return 0;
+    return SendOutcome{SendOutcome::Status::kClosed, 0, 0};
+  }
+  if (NodeDead(message.from)) {
+    // A dead node's frames die on its NIC; nothing leaves, nothing is billed.
+    return SendOutcome{SendOutcome::Status::kPeerUnreachable, 0, 0};
   }
   if (injector_ != nullptr) {
     return SendReliable(std::move(message));
   }
+  if (NodeDead(message.to)) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    return UnreachableLocked(0, 1);
+  }
   SendDirect(std::move(message));
-  return 0;
+  return SendOutcome{SendOutcome::Status::kDelivered, 0, 1};
 }
 
 void Network::SendDirect(Message message) {
@@ -160,7 +185,17 @@ void Network::SendDirect(Message message) {
   PushInbox(std::move(message));
 }
 
-double Network::SendReliable(Message message) {
+SendOutcome Network::UnreachableLocked(double penalty_ns, uint32_t attempts) {
+  ++fstats_.unreachable;
+  if constexpr (obs::kObsCompiledIn) {
+    if (fault_unreachable_ != nullptr) {
+      fault_unreachable_->Increment();
+    }
+  }
+  return SendOutcome{SendOutcome::Status::kPeerUnreachable, penalty_ns, attempts};
+}
+
+SendOutcome Network::SendReliable(Message message) {
   const NodeId from = message.from;
   const NodeId to = message.to;
   CVM_CHECK_GE(from, 0);
@@ -180,16 +215,28 @@ double Network::SendReliable(Message message) {
       pairs_[static_cast<size_t>(from) * static_cast<size_t>(num_nodes_) +
              static_cast<size_t>(to)];
 
+  const uint32_t max_attempts = std::max<uint32_t>(1, injector_->plan().max_send_attempts);
   std::unique_lock<std::mutex> lock(fault_mu_);
   const uint64_t seq = pair.next_seq++;
   double penalty_ns = 0;
   uint32_t attempt = 0;
   while (true) {
     if (closed_.load(std::memory_order_acquire)) {
-      return penalty_ns;  // Shutdown: the frame dies with the fabric.
+      // Shutdown: the frame dies with the fabric.
+      return SendOutcome{SendOutcome::Status::kClosed, penalty_ns, attempt};
     }
-    CVM_CHECK_LT(attempt, kMaxAttempts)
-        << "fault plan starves " << kind << " " << from << "->" << to << " seq " << seq;
+    if (NodeDead(to) || NodeDead(from)) {
+      // Fail-stopped peer: no ack will ever come. One full retransmission
+      // timeout models the suspicion delay, then the verdict surfaces.
+      penalty_ns += injector_->BackoffNs(~0u);  // Saturates at rto_cap.
+      return UnreachableLocked(penalty_ns, attempt);
+    }
+    if (attempt >= max_attempts) {
+      // Retransmission budget exhausted. Message-level profiles heal far
+      // below this bound, so this is the structural "peer never answers"
+      // signal — surfaced, never a process abort.
+      return UnreachableLocked(penalty_ns, attempt);
+    }
     const fault::FaultDecision decision = injector_->OnSendAttempt(from, to, seq, attempt);
     ++fstats_.data_frames;
     bool acked = false;
@@ -263,7 +310,7 @@ double Network::SendReliable(Message message) {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     stats_.zero_copy_bytes_shared += shared_bytes * message_copies;
   }
-  return penalty_ns;
+  return SendOutcome{SendOutcome::Status::kDelivered, penalty_ns, attempt + 1};
 }
 
 bool Network::DeliverFrameLocked(PairState& pair, Message frame, uint64_t seq,
@@ -414,8 +461,12 @@ fault::FaultStats Network::fault_stats() const {
 }
 
 void Network::ResetStats() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_ = NetworkStats{};
+  // Never hold both: the send path locks fault_mu_ -> stats_mu_, so nesting
+  // them here in the opposite order would invert the documented lock order.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = NetworkStats{};
+  }
   std::lock_guard<std::mutex> fault_lock(fault_mu_);
   fstats_ = fault::FaultStats{};
 }
@@ -424,6 +475,9 @@ void Network::Reset() {
   for (auto& inbox : inboxes_) {
     std::lock_guard<std::mutex> lock(inbox->mu);
     inbox->queue.clear();
+  }
+  for (auto& dead : dead_) {
+    dead->store(false, std::memory_order_release);
   }
   {
     std::lock_guard<std::mutex> lock(fault_mu_);

@@ -55,6 +55,27 @@ struct NetworkStats {
   uint64_t zero_copy_bytes_shared = 0;
 };
 
+// Structured result of one Send. The transport never aborts the process: a
+// send either reaches the receiver's inbox (kDelivered), exhausts its bounded
+// retransmission budget or hits a dead peer (kPeerUnreachable — the
+// peer-suspicion verdict the caller must surface, docs/FAULTS.md "Crash
+// faults & recovery"), or dies with the fabric (kClosed).
+struct SendOutcome {
+  enum class Status : uint8_t {
+    kDelivered,        // In the receiver's inbox (exactly-once FIFO).
+    kPeerUnreachable,  // Peer dead or max_send_attempts exhausted.
+    kClosed,           // Fabric closed mid-send; the frame died with it.
+  };
+  Status status = Status::kDelivered;
+  // Simulated-time penalty (retransmission backoff + injected delay +
+  // suspicion timeout) the sender should charge to its clock.
+  double penalty_ns = 0;
+  uint32_t attempts = 1;  // Transmission attempts made.
+
+  bool delivered() const { return status == Status::kDelivered; }
+  bool unreachable() const { return status == Status::kPeerUnreachable; }
+};
+
 class Network {
  public:
   explicit Network(int num_nodes);
@@ -71,9 +92,16 @@ class Network {
   void AttachFaultInjector(const fault::FaultInjector* injector);
 
   // Sends `message` to message.to; fills in wire_bytes and updates stats.
-  // Returns the simulated-time penalty (retransmission backoff + injected
-  // delay) the sender should charge to its clock; 0 on the clean path.
-  double Send(Message message);
+  // See SendOutcome for the ways a send can finish; on the clean path it is
+  // always kDelivered with zero penalty (or kClosed after Close()).
+  SendOutcome Send(Message message);
+
+  // Fail-stop `node`: frames from it die on its NIC, frames to it are never
+  // acked, so in-flight and future sends to it surface kPeerUnreachable
+  // after a bounded suspicion timeout instead of retransmitting forever.
+  // Cleared by Reset().
+  void MarkNodeDead(NodeId node);
+  bool NodeDead(NodeId node) const;
 
   // Blocking receive for `node`; returns nullopt after Close().
   std::optional<Message> Recv(NodeId node);
@@ -126,8 +154,10 @@ class Network {
 
   // Clean path: the pre-fault send, byte-for-byte.
   void SendDirect(Message message);
-  // Reliable path; returns the simulated penalty for the sender's clock.
-  double SendReliable(Message message);
+  // Reliable path: bounded retransmission, peer-suspicion verdicts.
+  SendOutcome SendReliable(Message message);
+  // Books one abandoned send (fault_mu_ held) and builds its verdict.
+  SendOutcome UnreachableLocked(double penalty_ns, uint32_t attempts);
 
   // Wire accounting + msg.send trace event for one transmission attempt.
   void AccountWire(const Message& message, const char* kind, size_t read_notice_bytes);
@@ -141,6 +171,10 @@ class Network {
 
   const int num_nodes_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
+
+  // Fail-stopped nodes (crash faults). Atomic so the send hot path reads it
+  // without a lock; written only by MarkNodeDead/Reset.
+  std::vector<std::unique_ptr<std::atomic<bool>>> dead_;
 
   // Closed flag is separate from the stats lock so Recv's wait predicate
   // (which runs under the inbox lock) never nests another mutex.
@@ -166,6 +200,7 @@ class Network {
   obs::Counter* fault_retransmits_ = nullptr;
   obs::Counter* fault_dup_drops_ = nullptr;
   obs::Counter* fault_corrupt_ = nullptr;
+  obs::Counter* fault_unreachable_ = nullptr;
   obs::Histogram* fault_backoff_hist_ = nullptr;
 };
 

@@ -69,6 +69,15 @@ class ProtocolHost {
   // Adds `page` to the current interval's write-notice set.
   virtual void NoteWrite(PageId page) = 0;
 
+  // Crash-tolerant epochs: true once the run is being abandoned because a
+  // peer fail-stopped (src/common/abort.h). Blocking protocol waits add it
+  // to their predicates so a survivor parked on a reply from a dead node can
+  // unwind instead of waiting forever.
+  virtual bool run_aborted() const { return false; }
+  // Throws RunAbortError when run_aborted(); no-op otherwise. Call after any
+  // wait whose predicate includes run_aborted().
+  virtual void ThrowIfAborted() {}
+
   virtual void Send(NodeId to, Payload payload) = 0;
   // Charges one message's modeled cost to the node clock, splitting off the
   // read-notice share into the paper's "CVM Mods" bucket.

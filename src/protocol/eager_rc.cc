@@ -36,7 +36,8 @@ void EagerRcInvalidate::OnIntervalPublished(Lk& lk, const IntervalRecord& record
   }
   // One ack round-trip of latency (pushes proceed in parallel).
   host_.timing().Charge(Bucket::kNone, host_.costs().MessageCost(kMessageHeaderBytes + 8));
-  host_.cv().wait(lk, [this] { return tokens_outstanding_.empty(); });
+  host_.cv().wait(lk, [this] { return tokens_outstanding_.empty() || host_.run_aborted(); });
+  host_.ThrowIfAborted();
 }
 
 void EagerRcInvalidate::OnDuplicateRecord(const IntervalRecord& record) {

@@ -108,6 +108,26 @@ void BitmapStore::DiscardThrough(IntervalIndex up_to) {
   }
 }
 
+void BitmapStore::RestorePair(IntervalIndex interval, PageId page,
+                              const PageAccessBitmaps& pair) {
+  bool created = false;
+  PageAccessBitmaps& slot = PairFor(interval, page, &created);
+  if (created) {
+    --total_pairs_;  // A restore is not a new recording.
+  }
+  slot = pair;
+}
+
+void BitmapStore::Clear() {
+  while (!by_interval_.empty()) {
+    PageMap& pages = by_interval_.begin()->second;
+    while (!pages.empty()) {
+      pair_pool_.Release(pages.extract(pages.begin()));
+    }
+    interval_pool_.Release(by_interval_.extract(by_interval_.begin()));
+  }
+}
+
 size_t BitmapStore::RetainedPairs() const {
   size_t n = 0;
   for (const auto& [interval, pages] : by_interval_) {
@@ -169,6 +189,14 @@ void IntervalLog::DiscardDominatedBy(const VectorClock& vc) {
     const IntervalIndex limit = vc.At(static_cast<NodeId>(p));
     auto& node_map = by_node_[p];
     while (!node_map.empty() && node_map.begin()->first <= limit) {
+      record_pool_.Release(node_map.extract(node_map.begin()));
+    }
+  }
+}
+
+void IntervalLog::Clear() {
+  for (auto& node_map : by_node_) {
+    while (!node_map.empty()) {
       record_pool_.Release(node_map.extract(node_map.begin()));
     }
   }

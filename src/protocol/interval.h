@@ -67,6 +67,14 @@ class BitmapStore {
   // check is complete).
   void DiscardThrough(IntervalIndex up_to);
 
+  // Re-inserts one (interval, page) pair verbatim — epoch-checkpoint
+  // rollback restoring the bitmaps retained at the last consistent cut.
+  void RestorePair(IntervalIndex interval, PageId page, const PageAccessBitmaps& pair);
+
+  // Drops every retained pair (rollback clears the torn epoch's bitmaps
+  // before restoring the checkpointed ones). Does not reset total_pairs_.
+  void Clear();
+
   // Number of (interval, page) bitmap pairs currently retained.
   size_t RetainedPairs() const;
 
@@ -129,6 +137,9 @@ class IntervalLog {
   // i <= vc[p]. Used after barrier release, when every node has seen the
   // epoch and its races have been checked (§6.3 consolidation).
   void DiscardDominatedBy(const VectorClock& vc);
+
+  // Drops every record (epoch-checkpoint rollback; re-Insert the snapshot).
+  void Clear();
 
   size_t size() const;
 

@@ -170,6 +170,18 @@ void Scheduler::OnComplete(const std::string& tenant) {
   cv_.notify_all();
 }
 
+void Scheduler::Requeue(WorkloadRequest request) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = tenants_.find(request.tenant);
+  CVM_CHECK(it != tenants_.end()) << "Requeue for unknown tenant " << request.tenant;
+  CVM_CHECK_GT(it->second.running, 0);
+  it->second.running--;
+  it->second.retried++;
+  stats_.retried++;
+  queue_.push_back(std::move(request));
+  cv_.notify_all();
+}
+
 void Scheduler::Shutdown() {
   std::lock_guard<std::mutex> guard(mu_);
   shutdown_ = true;

@@ -47,6 +47,13 @@ struct WorkloadRequest {
   uint64_t seed = 0;       // 0 keeps the app's default input.
   fault::FaultProfile fault_profile = fault::FaultProfile::kOff;
   double fault_drop = -1;  // < 0 keeps the profile's drop rate.
+  // Marks a requested crash as transient: the service disarms the crash on
+  // retry attempts, modeling the node coming back after reboot. A permanent
+  // crash (false) recurs on every retry until the budget is spent.
+  bool fault_crash_reboot = false;
+  // Retry attempt this dispatch represents: 0 on first admission, bumped by
+  // the service each time a crash-failed run is requeued.
+  uint32_t attempt = 0;
   uint64_t submit_seq = 0; // Admission order; the FIFO key.
   std::chrono::steady_clock::time_point submitted_at{};
 };
@@ -56,6 +63,7 @@ struct SchedulerStats {
   uint64_t admitted = 0;
   uint64_t rejected = 0;
   uint64_t completed = 0;
+  uint64_t retried = 0;  // Crash-failed dispatches returned via Requeue().
 };
 
 // Per-tenant accounting, exposed for the service's tables and metrics.
@@ -63,6 +71,7 @@ struct TenantCounts {
   uint64_t admitted = 0;
   uint64_t rejected = 0;
   uint64_t completed = 0;
+  uint64_t retried = 0;
   int running = 0;
 };
 
@@ -94,6 +103,14 @@ class Scheduler {
 
   // Marks one of `tenant`'s running requests finished.
   void OnComplete(const std::string& tenant);
+
+  // Returns a crash-failed dispatch to the queue for another attempt. The
+  // request was already admitted, so admission checks (queue capacity,
+  // tenant-table bound, shutdown) do not reapply and the call never rejects
+  // — a retry is owed, not requested. The tenant's running count drops
+  // without counting a completion. Keeps the original id/submit_seq, so
+  // FIFO still orders the retry by its first admission.
+  void Requeue(WorkloadRequest request);
 
   // Stops admission; queued requests still dispatch (drain semantics).
   void Shutdown();

@@ -1,5 +1,6 @@
 #include "src/svc/service.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "src/apps/app_catalog.h"
@@ -96,6 +97,35 @@ void DsmService::WorkerLoop(int worker_index) {
   while (std::optional<WorkloadRequest> request = scheduler_.Next()) {
     const std::string tenant = request->tenant;
     WorkloadOutcome outcome = Serve(worker_index, system, std::move(*request));
+    if (outcome.recovery.crashed) {
+      // Quarantine: a fabric that hosted a dead node is never Reset()-reused
+      // — the next workload on this worker gets a fresh build.
+      if (system != nullptr) {
+        system.reset();
+        if constexpr (obs::kObsCompiledIn) {
+          if (metrics_ != nullptr) {
+            metrics_->counter("svc.fabric.rebuilds")->Increment();
+          }
+        }
+      }
+      if (static_cast<int>(outcome.request.attempt) < config_.retry_budget) {
+        RecordRetry(outcome);
+        WorkloadRequest retry = outcome.request;
+        retry.attempt++;
+        // Capped exponential backoff before the retry re-enters the queue;
+        // the shift is bounded by the (small) retry budget.
+        const double backoff_s =
+            std::min(config_.retry_backoff_base_s *
+                         static_cast<double>(1u << std::min(retry.attempt, 20u)),
+                     config_.retry_backoff_cap_s);
+        if (backoff_s > 0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+        }
+        scheduler_.Requeue(std::move(retry));
+        continue;  // No outcome, no OnComplete: the workload is still owed.
+      }
+      outcome.failed = true;  // Budget spent; the workload fails for good.
+    }
     RecordOutcome(outcome);
     scheduler_.OnComplete(tenant);
   }
@@ -116,6 +146,13 @@ WorkloadOutcome DsmService::Serve(int worker_index, std::unique_ptr<DsmSystem>& 
                                     request.seed != 0 ? request.seed : 1);
   if (request.fault_drop >= 0) {
     plan.drop_prob = request.fault_drop;
+  }
+  plan.crash_reboot = request.fault_crash_reboot;
+  if (plan.crash_enabled() && plan.crash_reboot && request.attempt > 0) {
+    // Transient failure: the node is back after reboot, so retry attempts
+    // run with the crash disarmed. Permanent crashes keep firing until the
+    // retry budget is spent.
+    plan.crash_epoch = -1;
   }
 
   const bool reuse = config_.warm && system != nullptr;
@@ -153,6 +190,8 @@ WorkloadOutcome DsmService::Serve(int worker_index, std::unique_ptr<DsmSystem>& 
   outcome.races = outcome.region.ScopeReports(std::move(result.races));
   outcome.dispatch_unhandled = result.dispatch_unhandled;
   outcome.fault = result.fault;
+  outcome.recovery = result.recovery;
+  outcome.attempts = request.attempt;
   outcome.sim_time_ns = result.sim_time_ns;
 
   if (!config_.warm) {
@@ -166,11 +205,44 @@ WorkloadOutcome DsmService::Serve(int worker_index, std::unique_ptr<DsmSystem>& 
   return outcome;
 }
 
+void DsmService::RecordRetry(const WorkloadOutcome& outcome) {
+  const std::string& tenant = outcome.request.tenant;
+  if constexpr (obs::kObsCompiledIn) {
+    if (metrics_ != nullptr) {
+      metrics_->counter(TenantMetricName(tenant, "retries"))->Increment();
+      metrics_->counter("svc.retries")->Increment();
+    }
+    if (tracer_ != nullptr) {
+      obs::TraceEvent event;
+      event.name = "workload.retry";
+      event.cat = "svc";
+      event.phase = 'i';
+      event.node = TenantTrack(tenant);
+      event.wall_ts_ns = tracer_->WallNowNs();
+      event.arg_name = "attempt";
+      event.arg_value = outcome.request.attempt;
+      event.arg2_name = "crash_node";
+      event.arg2_value =
+          outcome.recovery.crash_node == kNoNode
+              ? 0
+              : static_cast<uint64_t>(outcome.recovery.crash_node);
+      event.str_arg_name = "app";
+      event.str_arg_value = StableAppName(outcome.request.app);
+      tracer_->Emit(event);
+      tracer_->Drain(event.node);
+    }
+  }
+}
+
 void DsmService::RecordOutcome(const WorkloadOutcome& outcome) {
   const std::string& tenant = outcome.request.tenant;
   if constexpr (obs::kObsCompiledIn) {
     if (metrics_ != nullptr) {
       metrics_->counter(TenantMetricName(tenant, "completed"))->Increment();
+      if (outcome.failed) {
+        metrics_->counter(TenantMetricName(tenant, "failed"))->Increment();
+        metrics_->counter("svc.failed")->Increment();
+      }
       metrics_->counter(TenantMetricName(tenant, "races"))->Add(outcome.races.size());
       metrics_->counter(TenantMetricName(tenant, "unhandled"))
           ->Add(outcome.dispatch_unhandled);

@@ -46,6 +46,14 @@ struct ServiceConfig {
   size_t queue_capacity = 64;
   int per_tenant_cap = 2;
   size_t max_tenants = 8;
+  // Crash recovery (docs/FAULTS.md "Crash faults & recovery"): a workload
+  // whose run ends with recovery.crashed is requeued up to retry_budget
+  // times, with capped exponential backoff between attempts
+  // (min(base << attempt, cap)). The crashed fabric itself is quarantined —
+  // destroyed and rebuilt fresh — never Reset()-reused.
+  int retry_budget = 2;
+  double retry_backoff_base_s = 0.001;
+  double retry_backoff_cap_s = 0.050;
   // Service-level observability: per-tenant counters/latency metrics and one
   // trace track per tenant (workload spans). Independent of any per-run
   // tracing inside the fabrics; no-ops when built with -DCVM_OBS=OFF.
@@ -60,6 +68,14 @@ struct WorkloadOutcome {
   // always in cold mode; true when the fabric was Reset()-reused.
   bool warm_reuse = false;
   bool verified = false;
+  // Crash recovery: the final run's CrashOutcome, how many retry attempts
+  // preceded it, and whether the workload was abandoned with its retry
+  // budget spent. Crashed-and-requeued attempts record no outcome of their
+  // own — only the final attempt lands here (retries are visible through
+  // tenant.<id>.retries / svc.fabric.rebuilds and the scheduler stats).
+  CrashOutcome recovery;
+  uint32_t attempts = 0;  // Retries before this outcome (0 = first try).
+  bool failed = false;    // Crashed with no retry budget left.
   std::vector<RaceReport> races;  // Region-scoped.
   TenantRegion region;
   uint64_t dispatch_unhandled = 0;
@@ -110,6 +126,8 @@ class DsmService {
   WorkloadOutcome Serve(int worker_index, std::unique_ptr<DsmSystem>& system,
                         WorkloadRequest request);
   void RecordOutcome(const WorkloadOutcome& outcome);
+  // Metrics + trace for one crashed-and-about-to-be-requeued attempt.
+  void RecordRetry(const WorkloadOutcome& outcome);
 
   ServiceConfig config_;
   Scheduler scheduler_;

@@ -3,6 +3,7 @@
 // structural faults (partition cut, stall node).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 
 #include "src/fault/fault.h"
@@ -13,7 +14,7 @@ namespace {
 TEST(FaultProfileTest, ParseRoundTripsEveryProfile) {
   for (const FaultProfile profile :
        {FaultProfile::kOff, FaultProfile::kLossy, FaultProfile::kBursty,
-        FaultProfile::kPartition, FaultProfile::kStress}) {
+        FaultProfile::kPartition, FaultProfile::kStress, FaultProfile::kCrash}) {
     const auto parsed = ParseProfile(ProfileName(profile));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, profile);
@@ -24,10 +25,49 @@ TEST(FaultProfileTest, ParseRoundTripsEveryProfile) {
 
 TEST(FaultProfileTest, OnlyOffIsDisabled) {
   EXPECT_FALSE(FaultPlan::FromProfile(FaultProfile::kOff, 1).enabled());
-  for (const FaultProfile profile : {FaultProfile::kLossy, FaultProfile::kBursty,
-                                     FaultProfile::kPartition, FaultProfile::kStress}) {
+  for (const FaultProfile profile :
+       {FaultProfile::kLossy, FaultProfile::kBursty, FaultProfile::kPartition,
+        FaultProfile::kStress, FaultProfile::kCrash}) {
     EXPECT_TRUE(FaultPlan::FromProfile(profile, 1).enabled()) << ProfileName(profile);
   }
+}
+
+TEST(FaultProfileTest, CrashProfileArmsTheCrashAndNothingElse) {
+  const FaultPlan plan = FaultPlan::FromProfile(FaultProfile::kCrash, 9);
+  EXPECT_TRUE(plan.crash_enabled());
+  EXPECT_GE(plan.crash_epoch, 0);
+  // No message-level faults: the crash is the only perturbation, so a
+  // crash run's surviving prefix compares cleanly against the baseline.
+  EXPECT_EQ(plan.drop_prob, 0.0);
+  EXPECT_EQ(plan.dup_prob, 0.0);
+  EXPECT_EQ(plan.corrupt_prob, 0.0);
+  // A disarmed crash on any other profile stays disarmed.
+  EXPECT_FALSE(FaultPlan::FromProfile(FaultProfile::kLossy, 9).crash_enabled());
+  // Arming a crash on an otherwise-off plan still enables the injector (the
+  // reliable transport is what turns a silent peer into a verdict).
+  FaultPlan off = FaultPlan::FromProfile(FaultProfile::kOff, 9);
+  off.crash_epoch = 2;
+  EXPECT_TRUE(off.enabled());
+}
+
+TEST(FaultInjectorTest, CrashVictimIsSeedDeterministicAndPinnable) {
+  const FaultPlan plan = FaultPlan::FromProfile(FaultProfile::kCrash, 123);
+  const FaultInjector a(plan, 8);
+  const FaultInjector b(plan, 8);
+  EXPECT_EQ(a.crash_node(), b.crash_node());
+  EXPECT_GE(a.crash_node(), 0);
+  EXPECT_LT(a.crash_node(), 8);
+  // A pinned victim overrides the seed derivation.
+  FaultPlan pinned = plan;
+  pinned.crash_node = 3;
+  EXPECT_EQ(FaultInjector(pinned, 8).crash_node(), 3);
+  // Different seeds eventually pick different victims.
+  bool differs = false;
+  for (uint64_t seed = 1; seed < 32 && !differs; ++seed) {
+    differs = FaultInjector(FaultPlan::FromProfile(FaultProfile::kCrash, seed), 8)
+                  .crash_node() != a.crash_node();
+  }
+  EXPECT_TRUE(differs);
 }
 
 TEST(FaultInjectorTest, DecisionsArePureFunctionsOfArguments) {
@@ -163,6 +203,31 @@ TEST(FaultInjectorTest, BackoffIsMonotoneAndCapped) {
   }
   EXPECT_EQ(injector.BackoffNs(0), 1000.0);
   EXPECT_EQ(injector.BackoffNs(39), 16000.0);
+}
+
+TEST(FaultInjectorTest, BackoffSaturatesAtCapNearTheAttemptBudget) {
+  // The backoff formula min(rto_base_ns << a, rto_cap_ns) must saturate at
+  // the cap for every attempt up to (and past) the largest configurable
+  // budget — no overflow, no wraparound back to small values. A naive
+  // double-shift of base * 2^attempt overflows long before attempt 512.
+  FaultPlan plan;
+  plan.profile = FaultProfile::kLossy;
+  plan.rto_base_ns = 1000;
+  plan.rto_cap_ns = 64000;
+  plan.max_send_attempts = 1u << 20;  // The CLI's largest accepted budget.
+  const FaultInjector injector(plan, 2);
+  for (const uint32_t attempt :
+       {63u, 64u, 65u, 512u, 1024u, plan.max_send_attempts - 1,
+        plan.max_send_attempts, ~0u}) {
+    const double backoff = injector.BackoffNs(attempt);
+    EXPECT_EQ(backoff, 64000.0) << "attempt " << attempt;
+    EXPECT_TRUE(std::isfinite(backoff)) << "attempt " << attempt;
+  }
+  // The pre-saturation ramp is still exponential.
+  EXPECT_EQ(injector.BackoffNs(0), 1000.0);
+  EXPECT_EQ(injector.BackoffNs(1), 2000.0);
+  EXPECT_EQ(injector.BackoffNs(5), 32000.0);
+  EXPECT_EQ(injector.BackoffNs(6), 64000.0);
 }
 
 TEST(FaultInjectorTest, DelayScalesLinearlyWithHops) {

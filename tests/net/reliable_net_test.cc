@@ -169,7 +169,9 @@ TEST(ReliableNetTest, DisabledPlanKeepsCleanPathAndZeroFaultStats) {
   Network net(2);
   net.AttachFaultInjector(&injector);  // Disabled plan: no-op.
   for (int i = 0; i < 50; ++i) {
-    EXPECT_EQ(net.Send(Make(0, 1, Req(i))), 0.0);
+    const SendOutcome outcome = net.Send(Make(0, 1, Req(i)));
+    EXPECT_TRUE(outcome.delivered());
+    EXPECT_EQ(outcome.penalty_ns, 0.0);
   }
   EXPECT_EQ(net.stats().messages, 50u);
   const fault::FaultStats stats = net.fault_stats();
@@ -186,7 +188,7 @@ TEST(ReliableNetTest, RetransmissionChargesSimulatedPenalty) {
   net.AttachFaultInjector(&injector);
   double total_penalty = 0;
   for (int i = 0; i < 100; ++i) {
-    total_penalty += net.Send(Make(0, 1, Req(i)));
+    total_penalty += net.Send(Make(0, 1, Req(i))).penalty_ns;
   }
   EXPECT_GT(total_penalty, 0.0);
   EXPECT_EQ(total_penalty, net.fault_stats().backoff_ns);
@@ -229,6 +231,48 @@ TEST(ReliableNetTest, ConcurrentSendersKeepPerPairFifo) {
   }
   EXPECT_EQ(next_from_a, kPerSender);
   EXPECT_EQ(next_from_b, kPerSender);
+  EXPECT_FALSE(net.TryRecv(1).has_value());
+}
+
+TEST(ReliableNetTest, DeadPeerSurfacesBoundedUnreachableVerdict) {
+  fault::FaultPlan plan = TestPlan(fault::FaultProfile::kLossy, 9);
+  plan.drop_prob = 0;  // Deterministic: death alone triggers the verdict.
+  const fault::FaultInjector injector(plan, 2);
+  Network net(2);
+  net.AttachFaultInjector(&injector);
+
+  EXPECT_FALSE(net.NodeDead(1));
+  net.MarkNodeDead(1);
+  EXPECT_TRUE(net.NodeDead(1));
+
+  const SendOutcome outcome = net.Send(Make(0, 1, Req(0)));
+  EXPECT_TRUE(outcome.unreachable());
+  EXPECT_FALSE(outcome.delivered());
+  // One suspicion timeout is billed, not an unbounded retransmission storm.
+  EXPECT_GT(outcome.penalty_ns, 0.0);
+  EXPECT_LE(outcome.penalty_ns, plan.rto_cap_ns);
+  EXPECT_EQ(net.fault_stats().unreachable, 1u);
+  EXPECT_FALSE(net.TryRecv(1).has_value());
+
+  // A dead sender's frames go nowhere either.
+  const SendOutcome from_dead = net.Send(Make(1, 0, Req(1)));
+  EXPECT_TRUE(from_dead.unreachable());
+  EXPECT_FALSE(net.TryRecv(0).has_value());
+}
+
+TEST(ReliableNetTest, ExhaustedAttemptBudgetReturnsUnreachableInsteadOfAborting) {
+  fault::FaultPlan plan = TestPlan(fault::FaultProfile::kLossy, 10);
+  plan.drop_prob = 1.0;  // Every data frame lost: the budget must bound retries.
+  plan.max_send_attempts = 4;
+  const fault::FaultInjector injector(plan, 2);
+  Network net(2);
+  net.AttachFaultInjector(&injector);
+
+  const SendOutcome outcome = net.Send(Make(0, 1, Req(0)));
+  EXPECT_TRUE(outcome.unreachable());
+  EXPECT_EQ(outcome.attempts, 4u);
+  EXPECT_EQ(net.fault_stats().drops, 4u);
+  EXPECT_EQ(net.fault_stats().unreachable, 1u);
   EXPECT_FALSE(net.TryRecv(1).has_value());
 }
 

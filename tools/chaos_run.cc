@@ -37,15 +37,20 @@ int Usage() {
       "\n"
       "options:\n"
       "  --apps=A,B,...      fft|sor|tsp|water|lu (default: all five)\n"
-      "  --profiles=P,...    lossy|bursty|partition|stress (default: all four)\n"
+      "  --profiles=P,...    lossy|bursty|partition|stress|crash\n"
+      "                      (default: the four message-fault profiles)\n"
       "  --loss=R,...        frame-loss rates overriding each profile's default\n"
       "                      (default: the profile's own rate)\n"
       "  --nodes=N           processors (default 4)\n"
       "  --seed=N            fault-injection seed (default 1)\n"
       "  --size=N            app scale knob, smaller = faster (default modest)\n"
+      "  --pipeline=P        serial | sharded | distributed barrier-time check\n"
       "\n"
       "Asserts each faulty run verifies and reports the same races as the\n"
-      "fault-free run (docs/FAULTS.md).\n");
+      "fault-free run (docs/FAULTS.md). The crash profile asserts recovery\n"
+      "instead: the crashed run survives (no abort) with its race report a\n"
+      "consistent prefix of the baseline, and a rebooted re-run under the\n"
+      "same seed matches the baseline exactly.\n");
   return 2;
 }
 
@@ -103,6 +108,8 @@ struct RunOutcome {
   bool verified = false;
   std::string exact;       // Per-variable summary with occurrence counts.
   std::string structural;  // Summary with counts reduced to kind flags.
+  std::vector<RaceReport> races;  // Raw reports, for prefix filtering.
+  CrashOutcome recovery;
   fault::FaultStats fstats;
   double sim_ms = 0;
 };
@@ -127,11 +134,12 @@ void Signatures(const std::vector<RaceReport>& races, std::string* exact,
 }
 
 RunOutcome RunOnce(const std::string& app_name, int64_t size, int nodes,
-                   const fault::FaultPlan& plan) {
+                   const fault::FaultPlan& plan, DetectionPipeline pipeline) {
   DsmOptions options;
   options.num_nodes = nodes;
   options.max_shared_bytes = 64ull << 20;
   options.fault_plan = plan;
+  options.detection_pipeline = pipeline;
   auto app = MakeApp(app_name, size);
   DsmSystem system(options);
   app->Setup(system);
@@ -139,9 +147,24 @@ RunOutcome RunOnce(const std::string& app_name, int64_t size, int nodes,
   RunOutcome outcome;
   outcome.verified = app->Verify();
   Signatures(result.races, &outcome.exact, &outcome.structural);
+  outcome.races = std::move(result.races);
+  outcome.recovery = result.recovery;
   outcome.fstats = result.fault;
   outcome.sim_ms = result.sim_time_ns / 1e6;
   return outcome;
+}
+
+// Baseline reports the crashed run could have published: those whose
+// detecting barrier completed at or before the last consistent epoch.
+std::vector<RaceReport> PrefixReports(const std::vector<RaceReport>& races,
+                                      EpochId last_consistent_epoch) {
+  std::vector<RaceReport> prefix;
+  for (const RaceReport& report : races) {
+    if (report.epoch <= last_consistent_epoch) {
+      prefix.push_back(report);
+    }
+  }
+  return prefix;
 }
 
 }  // namespace
@@ -153,8 +176,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return Usage();
   }
-  for (const std::string& key :
-       flags.UnknownKeys({"apps", "profiles", "loss", "nodes", "seed", "size", "help"})) {
+  for (const std::string& key : flags.UnknownKeys(
+           {"apps", "profiles", "loss", "nodes", "seed", "size", "pipeline", "help"})) {
     std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
     return Usage();
   }
@@ -171,11 +194,25 @@ int main(int argc, char** argv) {
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const int64_t size = flags.GetInt("size", -1);
 
+  DetectionPipeline pipeline = DetectionPipeline::kSerial;
+  const std::string pipeline_name = flags.GetString("pipeline", "serial");
+  if (pipeline_name == "serial") {
+    pipeline = DetectionPipeline::kSerial;
+  } else if (pipeline_name == "sharded") {
+    pipeline = DetectionPipeline::kSharded;
+  } else if (pipeline_name == "distributed") {
+    pipeline = DetectionPipeline::kDistributed;
+  } else {
+    std::fprintf(stderr, "error: unknown pipeline '%s'\n", pipeline_name.c_str());
+    return Usage();
+  }
+
   std::vector<fault::FaultProfile> profiles;
   for (const std::string& name : profile_names) {
     const auto profile = fault::ParseProfile(name);
     if (!profile.has_value() || *profile == fault::FaultProfile::kOff) {
-      std::fprintf(stderr, "error: unknown fault profile '%s'\n", name.c_str());
+      std::fprintf(stderr, "error: unknown fault profile '%s' (valid: %s)\n",
+                   name.c_str(), fault::ValidProfileNames());
       return Usage();
     }
     profiles.push_back(*profile);
@@ -202,8 +239,8 @@ int main(int argc, char** argv) {
     // compares the structural signature instead of the exact one.
     const fault::FaultPlan off =
         fault::FaultPlan::FromProfile(fault::FaultProfile::kOff, seed);
-    const RunOutcome clean = RunOnce(app_name, size, nodes, off);
-    const RunOutcome clean2 = RunOnce(app_name, size, nodes, off);
+    const RunOutcome clean = RunOnce(app_name, size, nodes, off, pipeline);
+    const RunOutcome clean2 = RunOnce(app_name, size, nodes, off, pipeline);
     if (!clean.verified || !clean2.verified) {
       std::fprintf(stderr, "error: %s does not verify on the clean fabric\n",
                    app_name.c_str());
@@ -223,6 +260,70 @@ int main(int argc, char** argv) {
                   "-", "-", "-", "-", TablePrinter::Fixed(clean.sim_ms, 1)});
 
     for (const fault::FaultProfile profile : profiles) {
+      if (profile == fault::FaultProfile::kCrash) {
+        // Crash scenario, two acts. Act one: a seed-chosen node fail-stops
+        // at a barrier; the run must survive (reach here at all), declare
+        // the crash, and report exactly the prefix of the baseline that its
+        // last consistent cut covers. Act two: the node "reboots" — the same
+        // seed with the crash disarmed must reproduce the baseline exactly.
+        const fault::FaultPlan crash_plan =
+            fault::FaultPlan::FromProfile(fault::FaultProfile::kCrash, seed);
+        const RunOutcome crashed = RunOnce(app_name, size, nodes, crash_plan, pipeline);
+        std::string prefix_exact;
+        std::string prefix_structural;
+        Signatures(PrefixReports(clean.races, crashed.recovery.last_consistent_epoch),
+                   &prefix_exact, &prefix_structural);
+        const bool prefix_equal =
+            (exact_mode ? crashed.exact : crashed.structural) ==
+            (exact_mode ? prefix_exact : prefix_structural);
+        const bool crash_ok = crashed.recovery.crashed && prefix_equal;
+        if (!crash_ok) {
+          ++divergences;
+          std::fprintf(stderr,
+                       "DIVERGENCE: %s under crash: crashed=%s (node %d, epoch %d, "
+                       "consistent through %d), report %s\n  expected prefix:\n%s  got:\n%s",
+                       app_name.c_str(), crashed.recovery.crashed ? "yes" : "NO",
+                       crashed.recovery.crash_node, crashed.recovery.crash_epoch,
+                       crashed.recovery.last_consistent_epoch,
+                       prefix_equal ? "prefix-consistent" : "differs",
+                       prefix_exact.empty() ? "    (none)\n" : prefix_exact.c_str(),
+                       crashed.exact.empty() ? "    (none)\n" : crashed.exact.c_str());
+        }
+        table.AddRow({app_name, "crash", "-", crashed.recovery.crashed ? "n/a" : "NO",
+                      prefix_equal ? "prefix" : "DIVERGED",
+                      std::to_string(crashed.fstats.data_frames),
+                      std::to_string(crashed.fstats.drops),
+                      std::to_string(crashed.fstats.retransmits),
+                      std::to_string(crashed.fstats.dup_dropped),
+                      TablePrinter::Fixed(crashed.sim_ms, 1)});
+
+        fault::FaultPlan reboot_plan = crash_plan;
+        reboot_plan.crash_epoch = -1;  // The node came back; same seed otherwise.
+        const RunOutcome rebooted = RunOnce(app_name, size, nodes, reboot_plan, pipeline);
+        const std::string& reboot_candidate =
+            exact_mode ? rebooted.exact : rebooted.structural;
+        const bool reboot_equal = reboot_candidate == baseline;
+        const bool reboot_ok =
+            rebooted.verified && reboot_equal && !rebooted.recovery.crashed;
+        if (!reboot_ok) {
+          ++divergences;
+          std::fprintf(stderr,
+                       "DIVERGENCE: %s after reboot: verified=%s, report %s\n"
+                       "  clean:\n%s  rebooted:\n%s",
+                       app_name.c_str(), rebooted.verified ? "yes" : "NO",
+                       reboot_equal ? "identical" : "differs",
+                       baseline.empty() ? "    (none)\n" : baseline.c_str(),
+                       reboot_candidate.empty() ? "    (none)\n" : reboot_candidate.c_str());
+        }
+        table.AddRow({app_name, "reboot", "-", rebooted.verified ? "yes" : "NO",
+                      reboot_equal ? "identical" : "DIVERGED",
+                      std::to_string(rebooted.fstats.data_frames),
+                      std::to_string(rebooted.fstats.drops),
+                      std::to_string(rebooted.fstats.retransmits),
+                      std::to_string(rebooted.fstats.dup_dropped),
+                      TablePrinter::Fixed(rebooted.sim_ms, 1)});
+        continue;
+      }
       std::vector<double> losses;
       if (loss_rates.empty()) {
         losses.push_back(-1);  // Profile default.
@@ -236,7 +337,7 @@ int main(int argc, char** argv) {
         if (loss >= 0) {
           plan.drop_prob = loss;
         }
-        const RunOutcome faulty = RunOnce(app_name, size, nodes, plan);
+        const RunOutcome faulty = RunOnce(app_name, size, nodes, plan, pipeline);
         const std::string& candidate = exact_mode ? faulty.exact : faulty.structural;
         const bool report_equal = candidate == baseline;
         const bool ok = faulty.verified && report_equal;

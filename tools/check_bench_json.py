@@ -15,6 +15,7 @@ Usage: tools/check_bench_json.py BENCH_detector.json
        tools/check_bench_json.py BENCH_fig4.json
        tools/check_bench_json.py BENCH_hotpath.json
        tools/check_bench_json.py BENCH_obs.json
+       tools/check_bench_json.py BENCH_recovery.json
        tools/check_bench_json.py BENCH_service.json
        tools/check_bench_json.py --fig4 FILE   (legacy: force fig4 schema)
 """
@@ -64,6 +65,21 @@ OBS_FIELDS = {
     "overhead_vs_trace": (int, float),
 }
 
+RECOVERY_FIELDS = {
+    "mode": str,
+    "workers": int,
+    "nodes": int,
+    "requests": int,
+    "completed": int,
+    "retried": int,
+    "failed": int,
+    "fabric_rebuilds": int,
+    "workloads_per_sec": (int, float),
+    "total_wall_s": (int, float),
+    "p50_latency_s": (int, float),
+    "mean_latency_s": (int, float),
+}
+
 SERVICE_FIELDS = {
     "mode": str,
     "workers": int,
@@ -92,6 +108,7 @@ HOTPATH_FIELDS = {
 MODES = {"serial", "sharded", "distributed"}
 OBS_MODES = {"off", "trace", "trace+flows"}
 SERVICE_MODES = {"cold", "warm"}
+RECOVERY_MODES = {"clean", "crash_reboot"}
 
 # Headroom over the nominal "flow tracing <= 2x plain tracing" claim: wall
 # times on shared CI runners are noisy and the bench already takes the best
@@ -256,6 +273,56 @@ def check_service(cells):
     return 0
 
 
+def check_recovery(cells):
+    if not cells:
+        return fail("no cells")
+    by_mode = {}
+    for i, cell in enumerate(cells):
+        err = check_fields(cell, i, RECOVERY_FIELDS)
+        if err:
+            return fail(err)
+        if cell["mode"] not in RECOVERY_MODES:
+            return fail(f"cell {i}: unknown mode '{cell['mode']}'")
+        # Recovery never loses work: every request completes, none fail.
+        if cell["completed"] != cell["requests"]:
+            return fail(
+                f"cell {i}: completed {cell['completed']} != requests {cell['requests']}"
+            )
+        if cell["failed"] != 0:
+            return fail(f"cell {i}: {cell['failed']} workload(s) exhausted the retry budget")
+        if cell["workloads_per_sec"] <= 0 or cell["total_wall_s"] <= 0:
+            return fail(f"cell {i}: non-positive throughput/wall time")
+        if cell["p50_latency_s"] <= 0:
+            return fail(f"cell {i}: non-positive p50 latency")
+        by_mode[cell["mode"]] = cell
+    missing = RECOVERY_MODES - set(by_mode)
+    if missing:
+        return fail(f"missing mode(s) {sorted(missing)}")
+    clean, crash = by_mode["clean"], by_mode["crash_reboot"]
+    if clean["retried"] != 0 or clean["fabric_rebuilds"] != 0:
+        return fail("clean mode retried or rebuilt a fabric")
+    # Every crash-mode workload crashes once and reboots: one retry each,
+    # each crashed attempt quarantining (and so rebuilding) its fabric.
+    if crash["retried"] < crash["requests"]:
+        return fail(
+            f"crash mode retried only {crash['retried']} of {crash['requests']} workloads"
+        )
+    if crash["fabric_rebuilds"] <= 0:
+        return fail("crash mode never rebuilt a quarantined fabric")
+    # Recovery is work (a torn attempt + rebuild + backoff per workload), so
+    # it must cost strictly more wall time than the undisturbed run.
+    if crash["total_wall_s"] <= clean["total_wall_s"]:
+        return fail(
+            f"crash-mode wall time {crash['total_wall_s']:.4f}s not above "
+            f"clean {clean['total_wall_s']:.4f}s"
+        )
+    print(
+        f"OK: {len(cells)} recovery cells, {crash['retried']} retries, "
+        f"crash mode costs {crash['total_wall_s'] / clean['total_wall_s']:.2f}x clean"
+    )
+    return 0
+
+
 HOTPATH_TARGETS = {"sse2", "neon", "word"}
 HOTPATH_KERNELS = {"compare", "intersect_bits", "set_bits", "diff_make"}
 # Kernels that must beat the scalar reference outright: the full-scan
@@ -318,6 +385,7 @@ SCHEMAS = {
     "BENCH_fig4.json": check_fig4,
     "BENCH_hotpath.json": check_hotpath,
     "BENCH_obs.json": check_obs,
+    "BENCH_recovery.json": check_recovery,
     "BENCH_service.json": check_service,
 }
 

@@ -30,6 +30,23 @@ BAD_RUN_CASES = [
     (["--app=sor", "--size=16", "--nodes=2", "--pipeline=bogus"], "pipeline"),
     (["--app=sor", "--size=16", "--nodes=2", "--protocol=bogus"], "protocol"),
     (["--app=sor", "--size=16", "--nodes=2", "--fault-profile=bogus"], "fault profile"),
+    # The unknown-profile error must list the valid names (stress stands in
+    # for "the list is actually there").
+    (["--app=sor", "--size=16", "--nodes=2", "--fault-profile=bogus"], "stress"),
+    (["--app=sor", "--size=16", "--nodes=2", "--fault-max-attempts=0"],
+     "fault-max-attempts"),
+    (["--app=sor", "--size=16", "--nodes=2", "--fault-max-attempts=-1"],
+     "fault-max-attempts"),
+    (["--app=sor", "--size=16", "--nodes=2", "--fault-profile=crash",
+      "--fault-crash-node=99"], "fault-crash-node"),
+    (["--app=sor", "--size=16", "--nodes=2", "--fault-profile=crash",
+      "--fault-crash-node=-1"], "fault-crash-node"),
+    # crash-node without an armed crash is a no-op waiting to be mistaken for
+    # coverage; reject it.
+    (["--app=sor", "--size=16", "--nodes=2", "--fault-crash-node=1"],
+     "fault-crash-node"),
+    (["--app=sor", "--size=16", "--nodes=2", "--fault-crash-epoch=-2"],
+     "fault-crash-epoch"),
     (["--app=sor", "--size=16", "--nodes=2", "--fault-profile=lossy",
       "--fault-drop=1.5"], "fault-drop"),
     (["--app=sor", "--size=16", "--nodes=2", "--fault-profile=lossy",
@@ -45,6 +62,10 @@ BAD_RUN_CASES = [
 GOOD_RUN_CASES = [
     ["--app=sor", "--size=16", "--nodes=2"],
     ["--app=sor", "--size=16", "--nodes=2", "--pipeline=sharded", "--detect-shards=2"],
+    # A seeded crash run must complete and exit 0 — recovery, not abort.
+    ["--app=sor", "--size=16", "--nodes=2", "--fault-profile=crash", "--seed=3"],
+    ["--app=sor", "--size=16", "--nodes=2", "--fault-profile=crash",
+     "--fault-crash-node=1", "--fault-crash-epoch=1", "--fault-crash-reboot"],
 ]
 
 BAD_SERVE_CASES = [
@@ -52,6 +73,8 @@ BAD_SERVE_CASES = [
     (["--script=/dev/null", "--policy=round-robin"], "policy"),
     (["--script=/dev/null", "--pipeline=bogus"], "pipeline"),
     (["--script=/dev/null", "--protocol=bogus"], "protocol"),
+    (["--script=/dev/null", "--retry-budget=-1"], "retry-budget"),
+    (["--script=/dev/null", "--retry-budget=1000"], "retry-budget"),
     (["--script=/dev/null", "--frobnicate"], "frobnicate"),
 ]
 

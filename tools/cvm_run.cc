@@ -63,9 +63,16 @@ int Usage() {
       "                       default fault seed); 0 = per-app defaults\n"
       "\n"
       "fault injection (docs/FAULTS.md):\n"
-      "  --fault-profile=P    off | lossy | bursty | partition | stress\n"
+      "  --fault-profile=P    off | lossy | bursty | partition | stress | crash\n"
       "  --fault-seed=N       injection schedule seed (default: --seed, else 1)\n"
       "  --fault-drop=P       override the profile's random frame-loss rate\n"
+      "  --fault-max-attempts=N  per-send retransmission budget before the peer\n"
+      "                       is declared unreachable (default 512, N >= 1)\n"
+      "  --fault-crash-epoch=E  fail-stop a node at barrier epoch E (arms the\n"
+      "                       crash machinery on any profile)\n"
+      "  --fault-crash-node=N crash victim (default: seed-derived)\n"
+      "  --fault-crash-reboot mark the crash transient (service retries run\n"
+      "                       with the crash disarmed)\n"
       "\n"
       "observability (docs/OBSERVABILITY.md):\n"
       "  --trace-json=FILE    write a Chrome/Perfetto trace-event JSON of the run\n"
@@ -120,7 +127,8 @@ int main(int argc, char** argv) {
       "diff-writes", "first-races", "fix-bug", "compare", "record",  "replay",
       "watch",   "watch-epoch", "postmortem", "trace-out", "trace-in", "full-report", "pages",
       "races-json", "trace-json", "metrics-out", "metrics-interval", "trace-sample",
-      "seed", "fault-profile", "fault-seed", "fault-drop",
+      "seed", "fault-profile", "fault-seed", "fault-drop", "fault-max-attempts",
+      "fault-crash-epoch", "fault-crash-node", "fault-crash-reboot",
       "help"};
   for (const std::string& key : flags.UnknownKeys(accepted)) {
     std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
@@ -256,7 +264,8 @@ int main(int argc, char** argv) {
   const std::string profile_name = flags.GetString("fault-profile", "off");
   const auto profile = fault::ParseProfile(profile_name);
   if (!profile.has_value()) {
-    std::fprintf(stderr, "error: unknown fault profile '%s'\n", profile_name.c_str());
+    std::fprintf(stderr, "error: unknown fault profile '%s' (valid: %s)\n",
+                 profile_name.c_str(), fault::ValidProfileNames());
     return Usage();
   }
   options.fault_plan = fault::FaultPlan::FromProfile(*profile, fault_seed);
@@ -271,6 +280,42 @@ int main(int argc, char** argv) {
     }
     options.fault_plan.drop_prob = drop;
   }
+  if (flags.Has("fault-max-attempts")) {
+    const int64_t attempts = flags.GetInt("fault-max-attempts", 0);
+    if (attempts < 1 || attempts > 1u << 20) {
+      std::fprintf(stderr,
+                   "error: --fault-max-attempts=%lld must be in [1, %u] "
+                   "(the retransmission budget before a peer is declared unreachable)\n",
+                   static_cast<long long>(attempts), 1u << 20);
+      return Usage();
+    }
+    options.fault_plan.max_send_attempts = static_cast<uint32_t>(attempts);
+  }
+  if (flags.Has("fault-crash-epoch")) {
+    const int64_t crash_epoch = flags.GetInt("fault-crash-epoch", -1);
+    if (crash_epoch < 0) {
+      std::fprintf(stderr, "error: --fault-crash-epoch=%lld must be a barrier epoch >= 0\n",
+                   static_cast<long long>(crash_epoch));
+      return Usage();
+    }
+    options.fault_plan.crash_epoch = static_cast<EpochId>(crash_epoch);
+  }
+  if (flags.Has("fault-crash-node")) {
+    const int64_t crash_node = flags.GetInt("fault-crash-node", -1);
+    if (crash_node < 0 || crash_node >= options.num_nodes) {
+      std::fprintf(stderr, "error: --fault-crash-node=%lld must name a node in [0, %d)\n",
+                   static_cast<long long>(crash_node), options.num_nodes);
+      return Usage();
+    }
+    if (!options.fault_plan.crash_enabled()) {
+      std::fprintf(stderr,
+                   "error: --fault-crash-node needs an armed crash "
+                   "(--fault-profile=crash or --fault-crash-epoch=E)\n");
+      return Usage();
+    }
+    options.fault_plan.crash_node = static_cast<NodeId>(crash_node);
+  }
+  options.fault_plan.crash_reboot = flags.GetBool("fault-crash-reboot", false);
 
   CatalogRequest catalog;
   catalog.app = app_name;
@@ -297,6 +342,15 @@ int main(int argc, char** argv) {
     std::printf("faults: profile %s, seed %lu, drop %.4f\n",
                 fault::ProfileName(options.fault_plan.profile),
                 static_cast<unsigned long>(fault_seed), options.fault_plan.drop_prob);
+    if (options.fault_plan.crash_enabled()) {
+      std::printf("crash: node %s fail-stops at barrier epoch %d (%s)\n",
+                  options.fault_plan.crash_node >= 0
+                      ? std::to_string(options.fault_plan.crash_node).c_str()
+                      : "(seed-derived)",
+                  options.fault_plan.crash_epoch,
+                  options.fault_plan.crash_reboot ? "transient; reboots on retry"
+                                                  : "permanent");
+    }
   }
 
   DsmSystem system(options);
@@ -321,6 +375,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long>(result.fault.corrupted),
                 static_cast<unsigned long>(result.fault.acks_dropped),
                 result.fault.backoff_ns / 1e6);
+  }
+  if (result.recovery.crashed) {
+    std::printf("crash outcome: node %d died at epoch %d; %zu node(s) rolled back to "
+                "the consistent cut through epoch %d (%zu lock slots recovered, "
+                "largest checkpoint %lu bytes); race reports cover the surviving "
+                "prefix only\n",
+                result.recovery.crash_node, result.recovery.crash_epoch,
+                result.recovery.rollbacks, result.recovery.last_consistent_epoch,
+                result.recovery.locks_recovered,
+                static_cast<unsigned long>(result.recovery.checkpoint_bytes));
   }
 
   if (flags.Has("races-json")) {

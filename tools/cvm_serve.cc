@@ -38,12 +38,15 @@ int Usage() {
       "\n"
       "Reads workload requests from FILE (default: stdin), one per line:\n"
       "  submit tenant=ID app={fft|sor|tsp|water|lu} [size=N] [seed=N]\n"
-      "         [fault={off|lossy|bursty|partition|stress}] [drop=P]\n"
+      "         [fault={off|lossy|bursty|partition|stress|crash}] [drop=P]\n"
+      "         [reboot=0|1]   # crash is transient; retries run crash-free\n"
       "  drain                # wait for everything submitted so far\n"
       "Lines starting with '#' and blank lines are ignored.\n"
       "\n"
       "options:\n"
       "  --workers=N          warm fabrics serving the queue (default 2)\n"
+      "  --retry-budget=N     crash-failed workload retries before giving up\n"
+      "                       (default 2; docs/FAULTS.md)\n"
       "  --nodes=N            DSM nodes per fabric (default 4)\n"
       "  --protocol=P         lazy | multi | eager (default lazy)\n"
       "  --pipeline=P         serial | sharded | distributed (default serial)\n"
@@ -81,10 +84,17 @@ bool ParseSubmit(const std::vector<std::string>& tokens, svc::WorkloadRequest* r
     } else if (key == "fault") {
       const auto profile = fault::ParseProfile(value);
       if (!profile.has_value()) {
-        *error = "unknown fault profile '" + value + "'";
+        *error = "unknown fault profile '" + value + "' (valid: " +
+                 fault::ValidProfileNames() + ")";
         return false;
       }
       request->fault_profile = *profile;
+    } else if (key == "reboot") {
+      if (value != "0" && value != "1") {
+        *error = "reboot=" + value + " must be 0 or 1";
+        return false;
+      }
+      request->fault_crash_reboot = value == "1";
     } else if (key == "drop") {
       char* end = nullptr;
       const double drop = std::strtod(value.c_str(), &end);
@@ -125,8 +135,8 @@ int main(int argc, char** argv) {
   }
   const std::vector<std::string> accepted = {
       "script", "workers", "nodes", "protocol", "pipeline", "policy",
-      "queue-cap", "tenant-cap", "max-tenants", "cold", "metrics-out",
-      "trace-json", "outcomes-json", "help"};
+      "queue-cap", "tenant-cap", "max-tenants", "cold", "retry-budget",
+      "metrics-out", "trace-json", "outcomes-json", "help"};
   for (const std::string& key : flags.UnknownKeys(accepted)) {
     std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
     return Usage();
@@ -148,6 +158,13 @@ int main(int argc, char** argv) {
                          "--max-tenants must all be at least 1\n");
     return Usage();
   }
+  const int64_t retry_budget = flags.GetInt("retry-budget", 2);
+  if (retry_budget < 0 || retry_budget > 64) {
+    std::fprintf(stderr, "error: --retry-budget=%lld must be in [0, 64]\n",
+                 static_cast<long long>(retry_budget));
+    return Usage();
+  }
+  config.retry_budget = static_cast<int>(retry_budget);
 
   const std::string protocol = flags.GetString("protocol", "lazy");
   if (protocol == "lazy") {
@@ -240,13 +257,15 @@ int main(int argc, char** argv) {
   const auto tenants = service.scheduler().tenant_counts();
   const svc::SchedulerStats stats = service.scheduler().stats();
 
-  TablePrinter table({"Tenant", "Admitted", "Rejected", "Completed", "Races",
-                      "Verified", "p50 ms", "Warm"});
+  TablePrinter table({"Tenant", "Admitted", "Rejected", "Completed", "Retried",
+                      "Failed", "Races", "Verified", "p50 ms", "Warm"});
   int unverified = 0;
+  int crash_failed = 0;
   uint64_t unhandled = 0;
   for (const auto& [tenant, counts] : tenants) {
     uint64_t races = 0;
     uint64_t warm = 0;
+    uint64_t failed = 0;
     bool all_verified = true;
     std::vector<double> latencies;
     for (const svc::WorkloadOutcome& outcome : outcomes) {
@@ -255,26 +274,30 @@ int main(int argc, char** argv) {
       }
       races += outcome.races.size();
       warm += outcome.warm_reuse ? 1 : 0;
+      failed += outcome.failed ? 1 : 0;
       all_verified = all_verified && outcome.verified;
       latencies.push_back(outcome.service_s);
     }
     table.AddRow({tenant, std::to_string(counts.admitted), std::to_string(counts.rejected),
-                  std::to_string(counts.completed), std::to_string(races),
+                  std::to_string(counts.completed), std::to_string(counts.retried),
+                  std::to_string(failed), std::to_string(races),
                   all_verified ? "yes" : "NO",
                   std::to_string(Percentile(latencies, 0.5) * 1e3),
                   std::to_string(warm) + "/" + std::to_string(counts.completed)});
   }
   for (const svc::WorkloadOutcome& outcome : outcomes) {
     unverified += outcome.verified ? 0 : 1;
+    crash_failed += outcome.failed ? 1 : 0;
     unhandled += outcome.dispatch_unhandled;
   }
   table.Print();
-  std::printf("served %lu of %lu submitted (%lu rejected, %d bad lines), "
-              "%d unverified, %lu unhandled messages\n",
+  std::printf("served %lu of %lu submitted (%lu rejected, %lu retried, %d bad lines), "
+              "%d unverified, %d crash-failed, %lu unhandled messages\n",
               static_cast<unsigned long>(stats.completed),
               static_cast<unsigned long>(stats.submitted),
-              static_cast<unsigned long>(stats.rejected), bad_lines, unverified,
-              static_cast<unsigned long>(unhandled));
+              static_cast<unsigned long>(stats.rejected),
+              static_cast<unsigned long>(stats.retried), bad_lines, unverified,
+              crash_failed, static_cast<unsigned long>(unhandled));
 
   if (flags.Has("metrics-out") && service.metrics() != nullptr) {
     // The service never snapshots on its own (no shared barrier clock); one
@@ -312,11 +335,13 @@ int main(int argc, char** argv) {
       std::fprintf(f,
                    "  {\"id\": %lu, \"tenant\": \"%s\", \"app\": \"%s\", \"worker\": %d, "
                    "\"warm\": %s, \"verified\": %s, \"races\": %zu, "
+                   "\"attempts\": %u, \"crashed\": %s, \"failed\": %s, "
                    "\"dispatch_unhandled\": %lu, \"queue_s\": %.6f, \"service_s\": %.6f, "
                    "\"total_s\": %.6f, \"sim_time_ns\": %.1f}%s\n",
                    static_cast<unsigned long>(o.request.id), o.request.tenant.c_str(),
                    o.request.app.c_str(), o.worker, o.warm_reuse ? "true" : "false",
-                   o.verified ? "true" : "false", o.races.size(),
+                   o.verified ? "true" : "false", o.races.size(), o.attempts,
+                   o.recovery.crashed ? "true" : "false", o.failed ? "true" : "false",
                    static_cast<unsigned long>(o.dispatch_unhandled), o.queue_s,
                    o.service_s, o.total_s, o.sim_time_ns,
                    i + 1 < outcomes.size() ? "," : "");
