@@ -34,6 +34,56 @@ size_t ReplyEntryRawBytes(const BitmapReplyEntry& e) {
 // trades only a little idle-path chatter against crash-detection latency.
 constexpr std::chrono::milliseconds kSuspicionInterval(25);
 
+// ---- Combine-tree topology (--barrier-tree) ----
+// Heap numbering over node ids: node 0 is the root, node i's children are
+// i*fanout+1 .. i*fanout+fanout (clamped to num_nodes). Parent ids are
+// always smaller than child ids, which TreeLca exploits.
+
+NodeId TreeParent(NodeId id, int fanout) { return (id - 1) / fanout; }
+
+std::vector<NodeId> TreeChildren(NodeId id, int fanout, int num_nodes) {
+  std::vector<NodeId> children;
+  for (int c = 1; c <= fanout; ++c) {
+    const NodeId child = id * fanout + c;
+    if (child >= num_nodes) {
+      break;
+    }
+    children.push_back(child);
+  }
+  return children;
+}
+
+// Lowest common ancestor of two node ids: repeatedly lift whichever is
+// deeper (the larger id — parents are always numerically smaller).
+NodeId TreeLca(NodeId a, NodeId b, int fanout) {
+  while (a != b) {
+    if (a > b) {
+      a = TreeParent(a, fanout);
+    } else {
+      b = TreeParent(b, fanout);
+    }
+  }
+  return a;
+}
+
+// Depth of the deepest node: the number of up-hops from the last node id.
+int TreeHeightOf(int num_nodes, int fanout) {
+  int height = 0;
+  for (NodeId n = num_nodes - 1; n > 0; n = TreeParent(n, fanout)) {
+    ++height;
+  }
+  return height;
+}
+
+// Accumulates master sim time spent inside a detection scope into
+// PipelineStats::detect_ns, whatever exit path is taken.
+struct DetectTimer {
+  const NodeTiming& timing;
+  double start_ns;
+  double* out;
+  ~DetectTimer() { *out += timing.now_ns() - start_ns; }
+};
+
 }  // namespace
 
 BarrierCoordinator::BarrierCoordinator(Node& node) : node_(node) {}
@@ -41,6 +91,8 @@ BarrierCoordinator::BarrierCoordinator(Node& node) : node_(node) {}
 void BarrierCoordinator::RegisterHandlers(MessageDispatcher& dispatcher) {
   dispatcher.Register<BarrierArriveMsg>([this](const Message& msg) { OnBarrierArrive(msg); });
   dispatcher.Register<BarrierReleaseMsg>([this](const Message& msg) { OnBarrierRelease(msg); });
+  dispatcher.Register<BarrierTreeArriveMsg>([this](const Message& msg) { OnTreeArrive(msg); });
+  dispatcher.Register<BarrierTreeReleaseMsg>([this](const Message& msg) { OnTreeRelease(msg); });
   dispatcher.Register<BitmapRequestMsg>([this](const Message& msg) { OnBitmapRequest(msg); });
   dispatcher.Register<BitmapReplyMsg>([this](const Message& msg) { OnBitmapReply(msg); });
   dispatcher.Register<CompareRequestMsg>([this](const Message& msg) { OnCompareRequest(msg); });
@@ -66,10 +118,23 @@ void BarrierCoordinator::InitObservability(obs::MetricsRegistry* metrics) {
   mh_.overlap_saved_ns = metrics->counter("race.overlap.saved_ns");
   mh_.remote_pairs = metrics->counter("race.remote.pairs_compared");
   mh_.remote_reports = metrics->counter("race.remote.reports");
+  mh_.tree_up_bytes = metrics->counter("net.barrier.tree.up_bytes");
+  mh_.tree_down_bytes = metrics->counter("net.barrier.tree.down_bytes");
+  mh_.tree_fragments = metrics->counter("net.barrier.tree.fragments");
+  mh_.tree_height = metrics->counter("net.barrier.tree.height");
+  mh_.batch_rounds = metrics->counter("race.batch.rounds");
+  mh_.batch_epochs = metrics->counter("race.batch.batched_epochs");
+  mh_.intern_hits = metrics->counter("race.intern.hits");
+  mh_.intern_misses = metrics->counter("race.intern.misses");
+  mh_.intern_invalidations = metrics->counter("race.intern.invalidations");
   have_metrics_ = true;
 }
 
 void BarrierCoordinator::RunBarrier(std::unique_lock<std::mutex>& lk, EpochId epoch) {
+  if (node_.opts_.barrier_tree) {
+    TreeRunBarrier(lk, epoch);
+    return;
+  }
   if (node_.id_ == 0) {
     const auto all_arrived = [this, epoch] {
       return arrivals_[epoch].size() == static_cast<size_t>(node_.opts_.num_nodes - 1);
@@ -152,7 +217,14 @@ void BarrierCoordinator::MasterRunBarrier(std::unique_lock<std::mutex>& lk, Epoc
   }
 
   if (node_.opts_.race_detection && node_.opts_.online_detection) {
-    RunRaceDetection(lk, epoch, node_.log_.All());
+    if (node_.opts_.detect_batch > 1) {
+      // Batching retains prior epochs' records in the master log (GC below
+      // is skipped), so the check-list build must see only this epoch's.
+      RunRaceDetection(lk, epoch, CurrentEpochRecords(epoch));
+      MaybeFlushDetectBatch(lk, epoch);
+    } else {
+      RunRaceDetection(lk, epoch, node_.log_.All());
+    }
   }
 
   for (NodeId node = 1; node < node_.opts_.num_nodes; ++node) {
@@ -163,7 +235,11 @@ void BarrierCoordinator::MasterRunBarrier(std::unique_lock<std::mutex>& lk, Epoc
     release.release_time_ns = static_cast<uint64_t>(node_.timing_.now_ns());
     node_.Send(node, std::move(release));
   }
-  node_.GarbageCollectLocked();
+  if (pending_batch_.empty()) {
+    node_.GarbageCollectLocked();
+  }
+  // else: queued epochs still need the log (report provenance) and the
+  // workers' retained bitmaps; everything is collected at the flush barrier.
   if constexpr (obs::kObsCompiledIn) {
     if (node_.metrics_ != nullptr) {
       node_.PublishOverheadLocked();
@@ -208,21 +284,16 @@ void BarrierCoordinator::RunRaceDetection(std::unique_lock<std::mutex>& lk, Epoc
   NodeTiming& timing = node_.timing_;
   // Master sim time spent in the check, whatever exit path is taken — the
   // quantity the pipeline ablation compares across modes.
-  struct DetectTimer {
-    const NodeTiming& timing;
-    double start_ns;
-    double* out;
-    ~DetectTimer() { *out += timing.now_ns() - start_ns; }
-  } detect_timer{timing, timing.now_ns(), &pipeline_stats_.detect_ns};
+  DetectTimer detect_timer{timing, timing.now_ns(), &pipeline_stats_.detect_ns};
   const bool overlapped = opts.detection_pipeline != DetectionPipeline::kSerial;
   const int shards_wanted = overlapped ? DetectShardCount() : 1;
   std::vector<DetectorStats> per_shard;
-  std::vector<CheckPair> pairs;
+  const std::vector<CheckPair>* pairs = nullptr;
   {
     obs::Span overlap_span(node_.tracer_, node_.id_,
                            overlapped ? "detector.shard" : "detector.overlap", "race", timing,
                            epoch);
-    pairs = detector.BuildCheckListSharded(epoch_intervals, shards_wanted, &per_shard);
+    pairs = &detector.BuildCheckListSharded(epoch_intervals, shards_wanted, &per_shard);
     // The parallel critical path: the most loaded shard, plus a fork/join
     // cost per worker actually spawned. One shard degenerates to the serial
     // charge (sum of every comparison, no fork cost).
@@ -237,7 +308,7 @@ void BarrierCoordinator::RunRaceDetection(std::unique_lock<std::mutex>& lk, Epoc
       worst_shard_ns += opts.costs.shard_fork_ns * static_cast<double>(per_shard.size());
     }
     timing.Charge(Bucket::kIntervals, worst_shard_ns);
-    overlap_span.SetArg("pairs", pairs.size());
+    overlap_span.SetArg("pairs", pairs->size());
   }
   if constexpr (obs::kObsCompiledIn) {
     if (have_metrics_) {
@@ -246,40 +317,120 @@ void BarrierCoordinator::RunRaceDetection(std::unique_lock<std::mutex>& lk, Epoc
       mh_.shard_count->Add(per_shard.size());
     }
   }
-  if (pairs.empty()) {
+  if (pairs->empty()) {
     return;
   }
   pipeline_stats_.shards_used = std::max<uint64_t>(pipeline_stats_.shards_used, per_shard.size());
-  ++pipeline_stats_.detect_epochs;
+  DispatchDetection(lk, epoch, *pairs);
+}
 
+std::vector<IntervalRecord> BarrierCoordinator::CurrentEpochRecords(EpochId epoch) const {
+  std::vector<IntervalRecord> all = node_.log_.All();
+  std::vector<IntervalRecord> out;
+  out.reserve(all.size());
+  for (IntervalRecord& r : all) {
+    if (r.epoch == epoch) {
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+void BarrierCoordinator::DispatchDetection(std::unique_lock<std::mutex>& lk, EpochId epoch,
+                                           const std::vector<CheckPair>& pairs) {
+  ++pipeline_stats_.detect_epochs;
   // The check list fixes the distinct (interval, page) bitmaps step 5 needs;
   // every pipeline mode accounts them once here (§4 step 3).
-  const auto needed = RaceDetector::BitmapsNeeded(pairs);
+  std::vector<std::pair<IntervalId, PageId>> needed = RaceDetector::BitmapsNeeded(pairs);
   if constexpr (obs::kObsCompiledIn) {
     if (have_metrics_) {
       mh_.checklist_entries->Add(needed.size());
     }
   }
-
-  if (opts.detection_pipeline == DetectionPipeline::kDistributed) {
-    PublishReports(RunDistributedCompare(lk, epoch, pairs, needed.size()));
+  const DsmOptions& opts = node_.opts_;
+  if (opts.detect_batch > 1) {
+    // Park this epoch's work; the compare rounds run when the batch window
+    // closes. The pairs are copied out of the detector's pooled list, which
+    // the next epoch's build will overwrite.
+    PendingEpoch pending;
+    pending.epoch = epoch;
+    pending.pairs = pairs;
+    pending.needed = std::move(needed);
+    pending_batch_.push_back(std::move(pending));
     return;
   }
+  if (opts.detection_pipeline == DetectionPipeline::kDistributed) {
+    PublishReports(RunDistributedCompare(lk, epoch, epoch, pairs, needed.size()));
+    return;
+  }
+  const std::vector<EpochCheckView> work{{epoch, &pairs, &needed}};
+  CompareEpochsSerial(lk, epoch, work);
+}
 
-  obs::Span bitmaps_span(node_.tracer_, node_.id_, "detector.bitmaps", "race", timing, epoch);
+void BarrierCoordinator::MaybeFlushDetectBatch(std::unique_lock<std::mutex>& lk, EpochId epoch) {
+  const DsmOptions& opts = node_.opts_;
+  if (opts.detect_batch <= 1 || pending_batch_.empty()) {
+    return;
+  }
+  const bool boundary = (epoch + 1) % opts.detect_batch == 0;
+  if (!boundary && !node_.final_barrier_) {
+    return;
+  }
+  NodeTiming& timing = node_.timing_;
+  DetectTimer detect_timer{timing, timing.now_ns(), &pipeline_stats_.detect_ns};
+  ++pipeline_stats_.batch_rounds;
+  pipeline_stats_.batched_epochs += pending_batch_.size();
+  if constexpr (obs::kObsCompiledIn) {
+    if (have_metrics_) {
+      mh_.batch_rounds->Add(1);
+      mh_.batch_epochs->Add(pending_batch_.size());
+    }
+  }
+  if (opts.detection_pipeline == DetectionPipeline::kDistributed) {
+    // One distributed round per queued epoch, oldest first. The messages
+    // carry the flush barrier's epoch (constituents reject anything older
+    // than their current barrier); only the reports are stamped with the
+    // epoch the pairs came from.
+    for (const PendingEpoch& pending : pending_batch_) {
+      PublishReports(
+          RunDistributedCompare(lk, epoch, pending.epoch, pending.pairs, pending.needed.size()));
+    }
+  } else {
+    std::vector<EpochCheckView> work;
+    work.reserve(pending_batch_.size());
+    for (const PendingEpoch& pending : pending_batch_) {
+      work.push_back(EpochCheckView{pending.epoch, &pending.pairs, &pending.needed});
+    }
+    CompareEpochsSerial(lk, epoch, work);
+  }
+  pending_batch_.clear();
+}
+
+void BarrierCoordinator::CompareEpochsSerial(std::unique_lock<std::mutex>& lk, EpochId msg_epoch,
+                                             const std::vector<EpochCheckView>& work) {
+  RaceDetector& detector = node_.system_->detector();
+  const DsmOptions& opts = node_.opts_;
+  NodeTiming& timing = node_.timing_;
+  const bool overlapped = opts.detection_pipeline != DetectionPipeline::kSerial;
+
+  obs::Span bitmaps_span(node_.tracer_, node_.id_, "detector.bitmaps", "race", timing, msg_epoch);
 
   // Bitmap-retrieval round (§4 step 4): ask each constituent node for the
   // word bitmaps of its listed intervals; the master's own resolve locally.
+  // A batched flush runs ONE combined round over every queued epoch's needs
+  // (interval indices are globally monotonic, so entries never collide).
   collected_bitmaps_.clear();
   std::map<NodeId, std::vector<CheckEntry>> by_node;
-  for (const auto& [interval, page] : needed) {
-    if (interval.node == node_.id_) {
-      const PageAccessBitmaps* local = node_.bitmaps_.Find(interval.index, page);
-      if (local != nullptr) {
-        collected_bitmaps_.emplace(std::make_pair(interval, page), *local);
+  for (const EpochCheckView& w : work) {
+    for (const auto& [interval, page] : *w.needed) {
+      if (interval.node == node_.id_) {
+        const PageAccessBitmaps* local = node_.bitmaps_.Find(interval.index, page);
+        if (local != nullptr) {
+          collected_bitmaps_.emplace(std::make_pair(interval, page), *local);
+        }
+      } else {
+        by_node[interval.node].push_back(CheckEntry{interval, page});
       }
-    } else {
-      by_node[interval.node].push_back(CheckEntry{interval, page});
     }
   }
   CVM_CHECK_EQ(bitmap_replies_pending_, 0);
@@ -288,7 +439,7 @@ void BarrierCoordinator::RunRaceDetection(std::unique_lock<std::mutex>& lk, Epoc
   bitmap_round_raw_bytes_ = 0;
   for (auto& [node, entries] : by_node) {
     BitmapRequestMsg request;
-    request.epoch = epoch;
+    request.epoch = msg_epoch;
     request.entries = std::move(entries);
     node_.Send(node, std::move(request));
   }
@@ -315,7 +466,13 @@ void BarrierCoordinator::RunRaceDetection(std::unique_lock<std::mutex>& lk, Epoc
     auto it = collected_bitmaps_.find(std::make_pair(interval, page));
     return it == collected_bitmaps_.end() ? nullptr : &it->second;
   };
-  std::vector<RaceReport> reports = detector.CompareBitmaps(pairs, lookup, epoch, needed.size());
+  std::vector<std::vector<RaceReport>> all_reports;
+  all_reports.reserve(work.size());
+  size_t total_reports = 0;
+  for (const EpochCheckView& w : work) {
+    all_reports.push_back(detector.CompareBitmaps(*w.pairs, lookup, w.epoch, w.needed->size()));
+    total_reports += all_reports.back().size();
+  }
   const uint64_t compared = detector.stats().bitmap_pairs_compared - compared_before;
   const double chunks = static_cast<double>((opts.page_size / kWordSize + 63) / 64);
   const double compare_ns = opts.costs.bitmap_cmp_word_ns * chunks * static_cast<double>(compared);
@@ -341,23 +498,25 @@ void BarrierCoordinator::RunRaceDetection(std::unique_lock<std::mutex>& lk, Epoc
   if constexpr (obs::kObsCompiledIn) {
     if (have_metrics_) {
       mh_.bitmap_pairs_compared->Add(compared);
-      mh_.races_reported->Add(reports.size());
+      mh_.races_reported->Add(total_reports);
       mh_.bitmap_bytes_wire->Add(bitmap_round_bytes_);
       mh_.bitmap_bytes_raw->Add(bitmap_round_raw_bytes_);
       mh_.bitmap_bytes_saved->Add(bitmap_round_raw_bytes_ - bitmap_round_bytes_);
     }
   }
-  PublishReports(std::move(reports));
+  for (std::vector<RaceReport>& reports : all_reports) {
+    PublishReports(std::move(reports));
+  }
   collected_bitmaps_.clear();
 }
 
 std::vector<RaceReport> BarrierCoordinator::RunDistributedCompare(
-    std::unique_lock<std::mutex>& lk, EpochId epoch, const std::vector<CheckPair>& pairs,
-    size_t checklist_entries) {
+    std::unique_lock<std::mutex>& lk, EpochId msg_epoch, EpochId report_epoch,
+    const std::vector<CheckPair>& pairs, size_t checklist_entries) {
   RaceDetector& detector = node_.system_->detector();
   const DsmOptions& opts = node_.opts_;
   NodeTiming& timing = node_.timing_;
-  obs::Span span(node_.tracer_, node_.id_, "detector.compare.remote", "race", timing, epoch);
+  obs::Span span(node_.tracer_, node_.id_, "detector.compare.remote", "race", timing, msg_epoch);
 
   // Assign every check pair to one of its two member nodes. The master owns
   // any pair it participates in (its bitmaps never leave node 0); remaining
@@ -428,7 +587,7 @@ std::vector<RaceReport> BarrierCoordinator::RunDistributedCompare(
   compare_replies_pending_ = static_cast<int>(requests.size());
   const uint64_t request_time = static_cast<uint64_t>(timing.now_ns());
   for (auto& [node, request] : requests) {
-    request.epoch = epoch;
+    request.epoch = msg_epoch;
     request.request_time_ns = request_time;
     auto it = ship_sources.find(node);
     request.expected_ship_msgs =
@@ -456,8 +615,9 @@ std::vector<RaceReport> BarrierCoordinator::RunDistributedCompare(
   uint64_t master_compared = 0;
   std::vector<std::pair<uint32_t, RaceReport>> tagged;
   for (const OwnedPair& owned : master_pairs) {
-    std::vector<RaceReport> pair_reports = RaceDetector::CompareOnePair(
-        owned.pair->a.id, owned.pair->b.id, owned.pair->pages, lookup, epoch, &master_compared);
+    std::vector<RaceReport> pair_reports =
+        RaceDetector::CompareOnePair(owned.pair->a.id, owned.pair->b.id, owned.pair->pages,
+                                     lookup, report_epoch, &master_compared);
     for (RaceReport& report : pair_reports) {
       tagged.emplace_back(owned.index, std::move(report));
     }
@@ -489,7 +649,7 @@ std::vector<RaceReport> BarrierCoordinator::RunDistributedCompare(
       report.word = e.word;
       report.interval_a = e.interval_a;
       report.interval_b = e.interval_b;
-      report.epoch = epoch;
+      report.epoch = report_epoch;
       tagged.emplace_back(e.pair_index, std::move(report));
     }
   }
@@ -545,6 +705,393 @@ void BarrierCoordinator::ProbeMissingArrivalsLocked(EpochId epoch) {
   }
 }
 
+void BarrierCoordinator::TreeRunBarrier(std::unique_lock<std::mutex>& lk, EpochId epoch) {
+  const DsmOptions& opts = node_.opts_;
+  NodeTiming& timing = node_.timing_;
+  const int fanout = opts.barrier_fanout;
+  const std::vector<NodeId> children = TreeChildren(node_.id_, fanout, opts.num_nodes);
+  const bool detecting = opts.race_detection && opts.online_detection;
+
+  // Combine phase: wait for every child subtree's arrival.
+  if (!children.empty()) {
+    const auto kids_arrived = [this, epoch, &children] {
+      return tree_arrivals_[epoch].size() == children.size();
+    };
+    if (!node_.system_->crash_armed()) {
+      node_.cv_.wait(lk, kids_arrived);
+    } else {
+      // Watchful wait, per tree edge: probe the children still missing. A
+      // dead child surfaces kPeerUnreachable right here; a death elsewhere
+      // is caught the same way by the dead node's own parent, whose abort
+      // broadcast unblocks this wait too.
+      while (!kids_arrived() && !node_.aborted_) {
+        if (node_.cv_.wait_for(lk, kSuspicionInterval,
+                               [&] { return kids_arrived() || node_.aborted_; })) {
+          break;
+        }
+        const auto& arrived = tree_arrivals_[epoch];
+        for (NodeId child : children) {
+          if (arrived.find(child) == arrived.end()) {
+            node_.Send(child, HeartbeatProbeMsg{epoch, ++probe_token_});
+            if (node_.aborted_) {
+              break;
+            }
+          }
+        }
+      }
+      node_.ThrowIfAbortedLocked();
+    }
+  }
+  std::map<NodeId, TreeArrival> arrivals = std::move(tree_arrivals_[epoch]);
+  tree_arrivals_.erase(epoch);
+
+  // Fold each child subtree into this node: log records, max/min clocks,
+  // page interest, and the check-list fragments claimed further down.
+  VectorClock min_vc = node_.vc_;
+  const int num_pages = node_.pages_.num_pages();
+  Bitmap interest(static_cast<uint32_t>(num_pages));
+  for (PageId page = 0; page < num_pages; ++page) {
+    // Interested in any page this node ever cached: a usable copy or a
+    // retained stale one (data survives invalidation). Valid copies alone
+    // are not enough — a node holding a momentarily-invalidated copy of a
+    // working-set page still needs write notices to keep its
+    // probable-owner hint fresh, or its next refetch pays extra
+    // forwarding hops. Hints alone are deliberately NOT enough: every
+    // page starts with a home hint, so keying on them would mark the
+    // whole address space interesting and gut the filter.
+    //
+    // Pages this node is HOME for are always interesting, cached or not:
+    // this bitmap is a snapshot taken at barrier arrival, but the service
+    // thread keeps serving page requests from stragglers during the
+    // barrier, and the home is where a never-touched page can be lazily
+    // materialized to serve such a fetch. Under single-writer, granting
+    // ownership away retains a stale-able read copy — one the shipped
+    // snapshot does not cover, so without the home clause its
+    // invalidation gets filtered and the next epoch reads stale data.
+    // Every other mid-barrier state change happens on pages the node
+    // already held data for (fetching requires the app thread, which is
+    // parked in the barrier). Homes are 1/n of the address space per
+    // node, so the clause keeps the down-leg sub-quadratic. The mapping
+    // mirrors CoherenceProtocol::HomeOf (page % num_nodes).
+    const PageEntry& entry = node_.pages_.entry(page);
+    const bool is_home = (page % node_.opts_.num_nodes) == node_.id_;
+    if (is_home || entry.state != PageState::kInvalid || !entry.data.empty()) {
+      interest.Set(static_cast<uint32_t>(page));
+    }
+  }
+  std::vector<TreeFragmentPair> fragments;
+  tree_child_state_.clear();
+  for (auto& [child, info] : arrivals) {
+    timing.ObserveAtLeast(static_cast<double>(info.msg.arrive_time_ns) +
+                          opts.costs.MessageCost(info.wire_bytes - info.read_notice_bytes));
+    if (info.read_notice_bytes > 0) {
+      timing.Charge(Bucket::kCvmMods,
+                    opts.costs.per_byte_ns * static_cast<double>(info.read_notice_bytes));
+    }
+    // Tree-hop cost: merging one child's combined log into this node's.
+    timing.Charge(Bucket::kNone, opts.costs.tree_merge_ns);
+    node_.ApplyIntervalRecordsLocked(info.msg.intervals);
+    node_.vc_.MergeWith(info.msg.vc);
+    for (int n = 0; n < min_vc.size(); ++n) {
+      min_vc.Set(n, std::min(min_vc.At(n), info.msg.min_vc.At(n)));
+    }
+    TreeChildState state;
+    state.min_vc = std::move(info.msg.min_vc);
+    state.interest = Bitmap(static_cast<uint32_t>(num_pages));
+    for (PageId page : info.msg.interest) {
+      state.interest.Set(static_cast<uint32_t>(page));
+      interest.Set(static_cast<uint32_t>(page));
+    }
+    for (TreeFragmentPair& fragment : info.msg.fragments) {
+      fragments.push_back(std::move(fragment));
+    }
+    tree_child_state_.emplace(child, std::move(state));
+  }
+
+  // Claim the check pairs whose members' LCA is this node: both records
+  // first co-locate here, so this is the unique tree node allowed to emit
+  // them (no pair is claimed twice, none is missed).
+  DetectorStats claim_stats;
+  std::vector<CheckPair> claimed;
+  if (detecting) {
+    const double claim_start_ns = timing.now_ns();
+    const std::vector<IntervalRecord> epoch_records = CurrentEpochRecords(epoch);
+    uint64_t index_entries = 0;
+    obs::Span span(node_.tracer_, node_.id_, "detector.tree.claim", "race", timing, epoch);
+    RaceDetector::BuildClaimedPairs(
+        epoch_records, opts.overlap_method, num_pages,
+        [this, fanout](NodeId a, NodeId b) { return TreeLca(a, b, fanout) == node_.id_; },
+        &tree_scratch_, &claimed, &claim_stats, &index_entries);
+    timing.Charge(Bucket::kIntervals,
+                  opts.costs.interval_cmp_ns * static_cast<double>(claim_stats.interval_comparisons) +
+                      opts.costs.page_overlap_ns * static_cast<double>(claim_stats.page_overlap_probes) +
+                      opts.costs.page_index_ns * static_cast<double>(index_entries));
+    span.SetArg("pairs", claimed.size());
+    if (node_.id_ == 0) {
+      // The root's claim build is part of the master detect path (the flat
+      // master's build is timed inside RunRaceDetection); interior nodes'
+      // builds run off the master clock and are deliberately not folded.
+      pipeline_stats_.detect_ns += timing.now_ns() - claim_start_ns;
+    }
+  }
+
+  if (node_.id_ == 0) {
+    if constexpr (obs::kObsCompiledIn) {
+      if (have_metrics_ && epoch == 0) {
+        mh_.tree_height->Add(static_cast<uint64_t>(TreeHeightOf(opts.num_nodes, fanout)));
+      }
+    }
+    if (detecting) {
+      {
+        DetectTimer detect_timer{timing, timing.now_ns(), &pipeline_stats_.detect_ns};
+        node_.system_->detector().AccumulateBuild(claim_stats);
+        // Rehydrate the subtree fragments from the merged log (every record
+        // reaches the root) and interleave the root's own claims; (a.id, b.id)
+        // order is exactly the flat serial scan's emission order, so the
+        // merged check list — and with it every downstream report — is
+        // byte-identical to the flat pipeline's.
+        std::vector<CheckPair> pairs = std::move(claimed);
+        pairs.reserve(pairs.size() + fragments.size());
+        for (const TreeFragmentPair& fragment : fragments) {
+          const IntervalRecord* a = node_.log_.Find(fragment.a);
+          const IntervalRecord* b = node_.log_.Find(fragment.b);
+          CVM_CHECK(a != nullptr) << "fragment interval missing from the merged log";
+          CVM_CHECK(b != nullptr) << "fragment interval missing from the merged log";
+          pairs.push_back(CheckPair{*a, *b, fragment.pages});
+        }
+        std::sort(pairs.begin(), pairs.end(), [](const CheckPair& x, const CheckPair& y) {
+          return x.a.id == y.a.id ? x.b.id < y.b.id : x.a.id < y.a.id;
+        });
+        if constexpr (obs::kObsCompiledIn) {
+          if (have_metrics_) {
+            mh_.check_pairs->Add(pairs.size());
+          }
+        }
+        if (!pairs.empty()) {
+          DispatchDetection(lk, epoch, pairs);
+        }
+      }
+      // Outside the timer: the flush charges its own detect_ns.
+      MaybeFlushDetectBatch(lk, epoch);
+    }
+    SendTreeReleasesLocked(epoch, children);
+    if (pending_batch_.empty()) {
+      node_.GarbageCollectLocked();
+    }
+    if constexpr (obs::kObsCompiledIn) {
+      if (node_.metrics_ != nullptr) {
+        node_.PublishOverheadLocked();
+        const int interval = std::max(1, node_.opts_.trace.metrics_interval);
+        if ((epoch + 1) % interval == 0) {
+          node_.metrics_->SnapshotEpoch(epoch, node_.timing_.now_ns());
+        }
+      }
+    }
+    return;
+  }
+
+  // Interior/leaf: forward the combined arrival one hop up.
+  BarrierTreeArriveMsg up;
+  up.epoch = epoch;
+  up.node = node_.id_;
+  up.intervals = node_.log_.All();
+  up.vc = node_.vc_;
+  up.min_vc = std::move(min_vc);
+  up.fragments = std::move(fragments);
+  if (detecting) {
+    up.fragments.reserve(up.fragments.size() + claimed.size());
+    for (CheckPair& pair : claimed) {
+      up.fragments.push_back(TreeFragmentPair{pair.a.id, pair.b.id, std::move(pair.pages)});
+    }
+  }
+  for (uint32_t bit : interest.SetBits()) {
+    up.interest.push_back(static_cast<PageId>(bit));
+  }
+  up.arrive_time_ns = static_cast<uint64_t>(timing.now_ns());
+  // Publish this epoch's overhead before arriving so the root's snapshot
+  // (taken once the whole tree has combined) sees a consistent view.
+  node_.PublishOverheadLocked();
+  const NodeId parent = TreeParent(node_.id_, fanout);
+  node_.Send(parent, std::move(up));
+
+  // Release phase: wait for the parent's tailored release.
+  const auto released = [this, epoch] {
+    return tree_release_.has_value() && tree_release_->msg.epoch == epoch;
+  };
+  if (!node_.system_->crash_armed()) {
+    node_.cv_.wait(lk, released);
+  } else {
+    while (!released() && !node_.aborted_) {
+      if (node_.cv_.wait_for(lk, kSuspicionInterval,
+                             [&] { return released() || node_.aborted_; })) {
+        break;
+      }
+      // Probe the parent directly; a dead parent surfaces kPeerUnreachable
+      // here and initiates the abort.
+      node_.Send(parent, HeartbeatProbeMsg{epoch, ++probe_token_});
+    }
+    node_.ThrowIfAbortedLocked();
+  }
+  TreeRelease release = std::move(*tree_release_);
+  tree_release_.reset();
+  timing.ObserveAtLeast(static_cast<double>(release.msg.release_time_ns) +
+                        opts.costs.MessageCost(release.wire_bytes - release.read_notice_bytes));
+  if (release.read_notice_bytes > 0) {
+    timing.Charge(Bucket::kCvmMods,
+                  opts.costs.per_byte_ns * static_cast<double>(release.read_notice_bytes));
+  }
+  node_.ApplyIntervalRecordsLocked(release.msg.intervals);
+  node_.vc_.MergeWith(release.msg.merged_vc);
+  // Re-tailor and forward down before collecting: the forwarding reads this
+  // node's log, and a child's interest is a subset of this subtree's, so
+  // every record a child needs is guaranteed to be here.
+  SendTreeReleasesLocked(epoch, children);
+  node_.GarbageCollectLocked();
+}
+
+void BarrierCoordinator::SendTreeReleasesLocked(EpochId epoch,
+                                                const std::vector<NodeId>& children) {
+  for (NodeId child : children) {
+    auto it = tree_child_state_.find(child);
+    CVM_CHECK(it != tree_child_state_.end());
+    const TreeChildState& state = it->second;
+    BarrierTreeReleaseMsg release;
+    release.epoch = epoch;
+    release.merged_vc = node_.vc_;
+    // Interest filtering is what keeps the release wave sub-quadratic: a
+    // record whose write notices miss every valid copy in the child subtree
+    // would be applied as a pure no-op there (invalidating an invalid page)
+    // and then garbage-collected immediately — so it never travels. The
+    // no-op claim leans on the interest fold including each node's home
+    // pages (see TreeRunBarrier): copies materialized mid-barrier to serve
+    // stragglers appear only at homes, so they are covered despite
+    // postdating the snapshot. Read notices are stripped for the same
+    // reason records are: below the root they only feed the (already
+    // finished) race check.
+    for (IntervalRecord& record : node_.log_.UnseenBy(state.min_vc)) {
+      bool relevant = false;
+      for (PageId page : record.write_pages) {
+        if (state.interest.Test(static_cast<uint32_t>(page))) {
+          relevant = true;
+          break;
+        }
+      }
+      if (!relevant) {
+        continue;
+      }
+      record.read_pages.clear();
+      release.intervals.push_back(std::move(record));
+    }
+    release.release_time_ns = static_cast<uint64_t>(node_.timing_.now_ns());
+    node_.Send(child, std::move(release));
+  }
+  tree_child_state_.clear();
+}
+
+void BarrierCoordinator::OnTreeArrive(const Message& msg) {
+  const auto& arrive = std::get<BarrierTreeArriveMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(node_.mu_);
+  if (arrive.epoch < node_.epoch_) {
+    return;  // This epoch's combine already ran here: stale re-delivery.
+  }
+  if constexpr (obs::kObsCompiledIn) {
+    if (have_metrics_) {
+      mh_.tree_up_bytes->Add(msg.wire_bytes);
+      mh_.tree_fragments->Add(arrive.fragments.size());
+    }
+  }
+  TreeArrival info;
+  info.msg = arrive;
+  info.wire_bytes = msg.wire_bytes;
+  info.read_notice_bytes = PayloadReadNoticeBytes(msg.payload);
+  tree_arrivals_[arrive.epoch][arrive.node] = std::move(info);
+  node_.cv_.notify_all();
+}
+
+void BarrierCoordinator::OnTreeRelease(const Message& msg) {
+  const auto& release = std::get<BarrierTreeReleaseMsg>(msg.payload);
+  std::lock_guard<std::mutex> guard(node_.mu_);
+  if (tree_release_.has_value() || release.epoch < node_.epoch_) {
+    return;  // This epoch's release already landed: stale re-delivery.
+  }
+  if constexpr (obs::kObsCompiledIn) {
+    if (have_metrics_) {
+      mh_.tree_down_bytes->Add(msg.wire_bytes);
+    }
+  }
+  TreeRelease info;
+  info.msg = release;
+  info.wire_bytes = msg.wire_bytes;
+  info.read_notice_bytes = PayloadReadNoticeBytes(msg.payload);
+  tree_release_ = std::move(info);
+  node_.cv_.notify_all();
+}
+
+EncodedBitmap BarrierCoordinator::EncodeMaybeInterned(NodeId dest, PageId page, bool is_write,
+                                                      const Bitmap& bitmap) {
+  if (!node_.opts_.intern_bitmaps) {
+    return BitmapCodec::Encode(bitmap, node_.opts_.compress_bitmaps);
+  }
+  const InternKey key{dest, page, is_write};
+  auto it = intern_out_.find(key);
+  if (it != intern_out_.end() && it->second.content == bitmap) {
+    // The destination's mirror already holds identical content: send the
+    // 'same as epoch E' token instead of the payload.
+    ++intern_stats_.hits;
+    if constexpr (obs::kObsCompiledIn) {
+      if (have_metrics_) {
+        mh_.intern_hits->Add(1);
+      }
+    }
+    EncodedBitmap token;
+    token.encoding = BitmapEncoding::kInterned;
+    token.num_bits = bitmap.size();
+    token.generation = it->second.generation;
+    return token;
+  }
+  if (it == intern_out_.end()) {
+    ++intern_stats_.misses;
+    if constexpr (obs::kObsCompiledIn) {
+      if (have_metrics_) {
+        mh_.intern_misses->Add(1);
+      }
+    }
+    it = intern_out_.emplace(key, InternSlot{}).first;
+  } else {
+    // The page was redirtied with a different pattern since the cached
+    // shipment: the stale slot is replaced and its generation bumped.
+    ++intern_stats_.invalidations;
+    if constexpr (obs::kObsCompiledIn) {
+      if (have_metrics_) {
+        mh_.intern_invalidations->Add(1);
+      }
+    }
+  }
+  it->second.content = bitmap;
+  ++it->second.generation;
+  EncodedBitmap full = BitmapCodec::Encode(bitmap, node_.opts_.compress_bitmaps);
+  full.generation = it->second.generation;
+  return full;
+}
+
+Bitmap BarrierCoordinator::DecodeMaybeInterned(NodeId src, PageId page, bool is_write,
+                                               const EncodedBitmap& encoded) {
+  if (encoded.encoding == BitmapEncoding::kInterned) {
+    auto it = intern_in_.find(InternKey{src, page, is_write});
+    CVM_CHECK(it != intern_in_.end()) << "interned bitmap with no cached predecessor";
+    CVM_CHECK_EQ(it->second.generation, encoded.generation)
+        << "interning caches out of step (reordered shipment?)";
+    return it->second.content;
+  }
+  Bitmap bitmap = BitmapCodec::Decode(encoded);
+  if (node_.opts_.intern_bitmaps) {
+    InternSlot& slot = intern_in_[InternKey{src, page, is_write}];
+    slot.content = bitmap;
+    slot.generation = encoded.generation;
+  }
+  return bitmap;
+}
+
 void BarrierCoordinator::OnBarrierArrive(const Message& msg) {
   const auto& arrive = std::get<BarrierArriveMsg>(msg.payload);
   std::lock_guard<std::mutex> guard(node_.mu_);
@@ -584,8 +1131,8 @@ void BarrierCoordinator::OnBitmapRequest(const Message& msg) {
     }
     entries.push_back(
         BitmapReplyEntry{entry.interval, entry.page,
-                         BitmapCodec::Encode(bitmaps->read, node_.opts_.compress_bitmaps),
-                         BitmapCodec::Encode(bitmaps->write, node_.opts_.compress_bitmaps)});
+                         EncodeMaybeInterned(msg.from, entry.page, false, bitmaps->read),
+                         EncodeMaybeInterned(msg.from, entry.page, true, bitmaps->write)});
   }
   BitmapReplyMsg reply;
   reply.epoch = request.epoch;
@@ -601,9 +1148,10 @@ void BarrierCoordinator::OnBitmapReply(const Message& msg) {
   for (const BitmapReplyEntry& entry : *reply.entries) {
     wire_entry_bytes += ReplyEntryWireBytes(entry);
     raw_entry_bytes += ReplyEntryRawBytes(entry);
-    collected_bitmaps_.emplace(std::make_pair(entry.interval, entry.page),
-                               PageAccessBitmaps{BitmapCodec::Decode(entry.read),
-                                                 BitmapCodec::Decode(entry.write)});
+    collected_bitmaps_.emplace(
+        std::make_pair(entry.interval, entry.page),
+        PageAccessBitmaps{DecodeMaybeInterned(msg.from, entry.page, false, entry.read),
+                          DecodeMaybeInterned(msg.from, entry.page, true, entry.write)});
   }
   bitmap_round_bytes_ += msg.wire_bytes;
   bitmap_round_raw_bytes_ += msg.wire_bytes + (raw_entry_bytes - wire_entry_bytes);
@@ -643,8 +1191,8 @@ void BarrierCoordinator::OnCompareRequest(const Message& msg) {
     }
     entries.push_back(
         BitmapReplyEntry{ship.interval, ship.page,
-                         BitmapCodec::Encode(bitmaps->read, node_.opts_.compress_bitmaps),
-                         BitmapCodec::Encode(bitmaps->write, node_.opts_.compress_bitmaps)});
+                         EncodeMaybeInterned(ship.dest, ship.page, false, bitmaps->read),
+                         EncodeMaybeInterned(ship.dest, ship.page, true, bitmaps->write)});
   }
   for (auto& [dest, entries] : by_dest) {
     for (const BitmapReplyEntry& entry : entries) {
@@ -672,9 +1220,10 @@ void BarrierCoordinator::OnBitmapShip(const Message& msg) {
     for (const BitmapReplyEntry& entry : *ship.entries) {
       master_ship_bytes_wire_ += ReplyEntryWireBytes(entry);
       master_ship_bytes_raw_ += ReplyEntryRawBytes(entry);
-      collected_bitmaps_.emplace(std::make_pair(entry.interval, entry.page),
-                                 PageAccessBitmaps{BitmapCodec::Decode(entry.read),
-                                                   BitmapCodec::Decode(entry.write)});
+      collected_bitmaps_.emplace(
+          std::make_pair(entry.interval, entry.page),
+          PageAccessBitmaps{DecodeMaybeInterned(msg.from, entry.page, false, entry.read),
+                            DecodeMaybeInterned(msg.from, entry.page, true, entry.write)});
     }
     master_ship_target_ns_ =
         std::max(master_ship_target_ns_, static_cast<double>(ship.send_time_ns) +
@@ -693,9 +1242,10 @@ void BarrierCoordinator::OnBitmapShip(const Message& msg) {
   node_.timing_.ObserveAtLeast(static_cast<double>(ship.send_time_ns) +
                                node_.opts_.costs.MessageCost(msg.wire_bytes));
   for (const BitmapReplyEntry& entry : *ship.entries) {
-    state.shipped.emplace(std::make_pair(entry.interval, entry.page),
-                          PageAccessBitmaps{BitmapCodec::Decode(entry.read),
-                                            BitmapCodec::Decode(entry.write)});
+    state.shipped.emplace(
+        std::make_pair(entry.interval, entry.page),
+        PageAccessBitmaps{DecodeMaybeInterned(msg.from, entry.page, false, entry.read),
+                          DecodeMaybeInterned(msg.from, entry.page, true, entry.write)});
   }
   ++state.ships_received;
   TryFinishRemoteCompare(ship.epoch);

@@ -12,9 +12,11 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <tuple>
 #include <utility>
 #include <vector>
 
+#include "src/common/bitmap.h"
 #include "src/common/types.h"
 #include "src/net/dispatch.h"
 #include "src/net/message.h"
@@ -40,6 +42,18 @@ struct PipelineStats {
   double overlap_saved_ns = 0;         // Sim ns saved by overlapping round+compare.
   uint64_t remote_pairs_compared = 0;  // Bitmap pairs compared off-master.
   uint64_t remote_reports = 0;         // Race reports shipped back by peers.
+  uint64_t batch_rounds = 0;           // Detection flushes run (detect_batch > 1).
+  uint64_t batched_epochs = 0;         // Epochs whose check lists rode a flush.
+};
+
+// Hit/miss accounting for the bitmap-interning cache (--intern-bitmaps): a
+// hit replaces a full bitmap shipment with a 'same as before' token; an
+// invalidation is a re-shipment because the page's bitmap changed since the
+// cached epoch (page redirtied differently).
+struct InternStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;
 };
 
 class BarrierCoordinator {
@@ -65,6 +79,10 @@ class BarrierCoordinator {
   // Meaningful on node 0 only (the barrier master runs the pipeline).
   const PipelineStats& pipeline_stats() const { return pipeline_stats_; }
 
+  // This node's sender-side interning accounting (zeros unless
+  // --intern-bitmaps; every node that ships bitmaps contributes).
+  const InternStats& intern_stats() const { return intern_stats_; }
+
   // Master-side health check (node mutex held): heartbeat-probes every node
   // that has not arrived for `epoch`. A live node acks and is left alone; a
   // dead one surfaces kPeerUnreachable at this sender, which initiates the
@@ -76,10 +94,63 @@ class BarrierCoordinator {
   void MasterRunBarrier(std::unique_lock<std::mutex>& lk, EpochId epoch);
   void RunRaceDetection(std::unique_lock<std::mutex>& lk, EpochId epoch,
                         const std::vector<IntervalRecord>& epoch_intervals);
+
+  // ---- Hierarchical (k-ary combine tree) barrier (--barrier-tree) ----
+  // The node's barrier body in tree mode: wait for the child subtrees, merge
+  // their logs / clocks / check-list fragments, build the pairs whose LCA is
+  // this node, then either forward the combined arrival up (interior/leaf)
+  // or run detection and start the release wave (root).
+  void TreeRunBarrier(std::unique_lock<std::mutex>& lk, EpochId epoch);
+  // Sends each child subtree its tailored release: records unseen by the
+  // subtree's min VC whose write notices intersect the subtree's page
+  // interest, read notices stripped (node mutex held, log not yet GC'd).
+  void SendTreeReleasesLocked(EpochId epoch, const std::vector<NodeId>& children);
+
+  // ---- Epoch-batched detection (--detect-batch=N) ----
+  // This epoch's records only — the detection input when prior epochs' logs
+  // are intentionally retained (batching) or merged (tree).
+  std::vector<IntervalRecord> CurrentEpochRecords(EpochId epoch) const;
+  // Shared detection tail for the flat and tree masters: computes the bitmap
+  // entries the pairs need, then runs the compare round now (batch <= 1) or
+  // parks the epoch's work on pending_batch_.
+  void DispatchDetection(std::unique_lock<std::mutex>& lk, EpochId epoch,
+                         const std::vector<CheckPair>& pairs);
+  // Runs queued epochs' compare rounds if `epoch` closes a batch window (or
+  // is the run's final barrier); no-op otherwise. Master/root only.
+  void MaybeFlushDetectBatch(std::unique_lock<std::mutex>& lk, EpochId epoch);
+  // Borrowed view of one epoch's detection work; the immediate path points
+  // at the detector's pooled check list, the flush path at pending_batch_.
+  struct EpochCheckView {
+    EpochId epoch = -1;
+    const std::vector<CheckPair>* pairs = nullptr;
+    const std::vector<std::pair<IntervalId, PageId>>* needed = nullptr;
+  };
+  // Serial/sharded step-5 tail shared by the immediate and batched paths:
+  // one combined bitmap-retrieval round over every listed epoch's needs,
+  // then the per-epoch word compares, oldest epoch first. `msg_epoch` rides
+  // the request messages (= the constituents' current barrier epoch).
+  void CompareEpochsSerial(std::unique_lock<std::mutex>& lk, EpochId msg_epoch,
+                           const std::vector<EpochCheckView>& work);
+
+  // ---- Bitmap interning (--intern-bitmaps) ----
+  // Encodes one side of a reply/ship entry through the per-destination
+  // cache: returns a kInterned token when `dest` already holds identical
+  // content, a full (cache-updating) encoding otherwise.
+  EncodedBitmap EncodeMaybeInterned(NodeId dest, PageId page, bool is_write,
+                                    const Bitmap& bitmap);
+  // Inverse: resolves kInterned tokens against the mirror of what `src`
+  // last sent us and keeps the mirror current on full shipments.
+  Bitmap DecodeMaybeInterned(NodeId src, PageId page, bool is_write,
+                             const EncodedBitmap& encoded);
+
   // kDistributed step 5: partition the check pairs over their member nodes,
   // orchestrate the ship/compare/reply round, merge remote reports back into
-  // serial order. Returns the merged, ordered reports.
-  std::vector<RaceReport> RunDistributedCompare(std::unique_lock<std::mutex>& lk, EpochId epoch,
+  // serial order. Returns the merged, ordered reports. `msg_epoch` rides the
+  // messages (it must match the constituents' current barrier epoch);
+  // `report_epoch` stamps the reports — the two differ when a batched flush
+  // replays an earlier epoch's pairs.
+  std::vector<RaceReport> RunDistributedCompare(std::unique_lock<std::mutex>& lk,
+                                                EpochId msg_epoch, EpochId report_epoch,
                                                 const std::vector<CheckPair>& pairs,
                                                 size_t checklist_entries);
   // Emits reports (addr/symbol resolution + trace) and hands them to the
@@ -93,6 +164,8 @@ class BarrierCoordinator {
 
   void OnBarrierArrive(const Message& msg);
   void OnBarrierRelease(const Message& msg);
+  void OnTreeArrive(const Message& msg);
+  void OnTreeRelease(const Message& msg);
   void OnBitmapRequest(const Message& msg);
   void OnBitmapReply(const Message& msg);
   void OnCompareRequest(const Message& msg);
@@ -103,6 +176,55 @@ class BarrierCoordinator {
 
   // Worker-side release slot.
   std::optional<BarrierReleaseMsg> barrier_release_;
+
+  // ---- Combine-tree state ----
+  struct TreeArrival {
+    BarrierTreeArriveMsg msg;
+    size_t wire_bytes = 0;
+    size_t read_notice_bytes = 0;
+  };
+  std::map<EpochId, std::map<NodeId, TreeArrival>> tree_arrivals_;
+  // Non-root release slot (parent -> this subtree).
+  struct TreeRelease {
+    BarrierTreeReleaseMsg msg;
+    size_t wire_bytes = 0;
+    size_t read_notice_bytes = 0;
+  };
+  std::optional<TreeRelease> tree_release_;
+  // Per-child release-tailoring state for the barrier in flight: the child
+  // subtree's min VC and page-interest set, captured from its arrival.
+  struct TreeChildState {
+    VectorClock min_vc;
+    Bitmap interest;
+  };
+  std::map<NodeId, TreeChildState> tree_child_state_;
+
+  // ---- Batched-detection state (master/root only) ----
+  struct PendingEpoch {
+    EpochId epoch = -1;
+    std::vector<CheckPair> pairs;
+    std::vector<std::pair<IntervalId, PageId>> needed;
+  };
+  std::vector<PendingEpoch> pending_batch_;
+
+  // Dense-probe scratch for this node's claimed-pair builds (tree mode);
+  // interior nodes build concurrently, so the shared detector's arenas are
+  // off limits here.
+  OverlapScratch tree_scratch_;
+
+  // ---- Interning caches ----
+  // Sender side: what each destination currently holds for (page, is_write),
+  // with a generation stamp bumped on every content change. Receiver side:
+  // the mirror of what each source last sent. Both sides process entries in
+  // message order, so the caches stay in lock-step.
+  struct InternSlot {
+    Bitmap content;
+    uint32_t generation = 0;
+  };
+  using InternKey = std::tuple<NodeId, PageId, bool>;
+  std::map<InternKey, InternSlot> intern_out_;
+  std::map<InternKey, InternSlot> intern_in_;
+  InternStats intern_stats_;
 
   // Barrier master state.
   struct ArrivalInfo {
@@ -165,6 +287,15 @@ class BarrierCoordinator {
     obs::Counter* overlap_saved_ns = nullptr;
     obs::Counter* remote_pairs = nullptr;
     obs::Counter* remote_reports = nullptr;
+    obs::Counter* tree_up_bytes = nullptr;
+    obs::Counter* tree_down_bytes = nullptr;
+    obs::Counter* tree_fragments = nullptr;
+    obs::Counter* tree_height = nullptr;
+    obs::Counter* batch_rounds = nullptr;
+    obs::Counter* batch_epochs = nullptr;
+    obs::Counter* intern_hits = nullptr;
+    obs::Counter* intern_misses = nullptr;
+    obs::Counter* intern_invalidations = nullptr;
   };
   MetricHandles mh_;
   bool have_metrics_ = false;

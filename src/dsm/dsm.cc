@@ -179,7 +179,9 @@ RunResult DsmSystem::Run(const std::function<void(NodeContext&)>& app) {
       try {
         app(node);
         // Implicit final barrier: the last epoch's accesses get race-checked
-        // (the system only discards trace data after checking it).
+        // (the system only discards trace data after checking it). Marked
+        // final so a mid-batch detection queue flushes here.
+        node.MarkFinalBarrier();
         node.Barrier();
       } catch (const RunAbortError& err) {
         // A node died this run (this one, if err.self_crash). Discard the
@@ -240,6 +242,10 @@ RunResult DsmSystem::Run(const std::function<void(NodeContext&)>& app) {
   for (const auto& node : nodes_) {
     result.access.Accumulate(node->access_counters());
     result.dispatch_unhandled += node->dispatcher().unhandled();
+    const InternStats& intern = node->barrier_coordinator().intern_stats();
+    result.intern.hits += intern.hits;
+    result.intern.misses += intern.misses;
+    result.intern.invalidations += intern.invalidations;
     result.intervals_total += node->intervals_created();
     result.page_faults += node->page_faults();
     result.bitmap_pairs_recorded += node->bitmap_pairs_recorded();

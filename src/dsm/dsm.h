@@ -58,6 +58,9 @@ struct RunResult {
   // distributed compares) — all-zero under the serial default with raw
   // encoding, except detect_epochs/shards_used.
   PipelineStats pipeline;
+  // Bitmap interning cache outcome, summed over all nodes' send-side caches
+  // (all-zero unless --intern-bitmaps).
+  InternStats intern;
   AccessCounters access;
   // Messages that arrived with no registered dispatch handler, summed over
   // all nodes. Nonzero means a protocol wiring bug; the service's tenant

@@ -64,6 +64,30 @@ struct DsmOptions {
   // Worker count for the sharded check-list build (kSharded/kDistributed).
   // 0 = derive from std::thread::hardware_concurrency(), clamped to [1, 8].
   int detect_shards = 0;
+  // Hierarchical barrier: arrivals combine up a k-ary tree (heap numbering,
+  // node 0 at the root) instead of every worker sending straight to the
+  // master, and releases flow back down the same tree. Interior nodes merge
+  // child interval logs and VC maxima and pre-reduce check-list fragments,
+  // so the master's per-epoch work and wire bytes stop growing with the
+  // square of the cluster size. Off by default: the flat barrier is the
+  // paper's 8-node configuration and stays byte-identical to prior builds.
+  bool barrier_tree = false;
+  // Combine-tree fan-out (children per interior node); used only when
+  // barrier_tree is set. Must be in [1, num_nodes].
+  int barrier_fanout = 4;
+  // Batch the barrier-time race check across N epochs: the check list is
+  // still built eagerly every epoch (records are fresh and cheap to scan),
+  // but the bitmap-retrieval round and word-level compares run once per N
+  // epochs over the accumulated lists, amortizing round setup. 1 = the
+  // paper's check-every-barrier behavior. Reports are identical to batch=1
+  // and still emitted in epoch order.
+  int detect_batch = 1;
+  // Generation-stamped bitmap interning: senders remember the last bitmap
+  // content shipped per (destination, page, read/write) and replace repeat
+  // shipments with a 'same-as-before' token the receiver resolves from its
+  // mirror cache. Saves wire bytes when steady-state epochs redirty the
+  // same words; invalidated the moment the content changes.
+  bool intern_bitmaps = false;
   // Encode bitmap-round payloads with the sparse/run-length codec instead of
   // shipping raw page bitmaps. Off by default so the serial baseline keeps
   // the paper's byte accounting.

@@ -19,6 +19,17 @@ size_t IntervalsReadNoticeBytes(const std::vector<IntervalRecord>& records) {
   return n;
 }
 
+// The combine-tree messages ship interval records with their vector clocks
+// modeled run-length-encoded (barrier-time clocks are near-uniform), so one
+// record costs O(runs) instead of O(nodes) on a tree edge.
+size_t RleIntervalsByteSize(const std::vector<IntervalRecord>& records) {
+  size_t n = sizeof(uint32_t);
+  for (const IntervalRecord& r : records) {
+    n += r.ByteSize() - r.vc.ByteSize() + r.vc.RleByteSize();
+  }
+  return n;
+}
+
 struct SizeVisitor {
   size_t operator()(const PageRequestMsg&) const { return 13; }
   size_t operator()(const PageReplyMsg& m) const { return 8 + m.data.size(); }
@@ -79,6 +90,18 @@ struct SizeVisitor {
   size_t operator()(const PeerSuspectMsg&) const { return 8; }
   size_t operator()(const RunAbortMsg&) const { return 8; }
   size_t operator()(const ShutdownMsg&) const { return 0; }
+  size_t operator()(const BarrierTreeArriveMsg& m) const {
+    size_t n = 16 + m.vc.RleByteSize() + m.min_vc.RleByteSize() + RleIntervalsByteSize(m.intervals);
+    n += sizeof(uint32_t) + m.interest.size() * sizeof(PageId);
+    n += sizeof(uint32_t);
+    for (const TreeFragmentPair& f : m.fragments) {
+      n += 2 * sizeof(IntervalId) + sizeof(uint32_t) + f.pages.size() * sizeof(PageId);
+    }
+    return n;
+  }
+  size_t operator()(const BarrierTreeReleaseMsg& m) const {
+    return 16 + m.merged_vc.RleByteSize() + RleIntervalsByteSize(m.intervals);
+  }
 };
 
 struct SharedBytesVisitor {
@@ -104,6 +127,12 @@ struct ReadNoticeVisitor {
   size_t operator()(const BarrierReleaseMsg& m) const {
     return IntervalsReadNoticeBytes(m.intervals);
   }
+  size_t operator()(const BarrierTreeArriveMsg& m) const {
+    return IntervalsReadNoticeBytes(m.intervals);
+  }
+  size_t operator()(const BarrierTreeReleaseMsg& m) const {
+    return IntervalsReadNoticeBytes(m.intervals);
+  }
   template <typename T>
   size_t operator()(const T&) const {
     return 0;
@@ -116,7 +145,8 @@ constexpr const char* kPayloadKindNames[kNumPayloadKinds] = {
     "LockRequest", "LockGrant",      "BarrierArrive", "BitmapRequest",
     "BitmapReply", "CompareRequest", "BitmapShip", "CompareReply",
     "BarrierRelease", "ErcUpdate",   "ErcAck",     "HeartbeatProbe",
-    "HeartbeatAck", "PeerSuspect",   "RunAbort",   "Shutdown",
+    "HeartbeatAck", "PeerSuspect",   "RunAbort",   "BarrierTreeArrive",
+    "BarrierTreeRelease", "Shutdown",
 };
 
 }  // namespace

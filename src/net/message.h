@@ -178,6 +178,49 @@ struct BarrierReleaseMsg {
   uint64_t release_time_ns = 0;
 };
 
+// ---- Hierarchical (k-ary combine tree) barrier ----
+
+// One pre-reduced check-list pair, produced at the tree node that is the
+// LCA of the two intervals' owners: both full records are known there, so
+// only the ids and the overlapping pages travel up the tree. The root
+// rehydrates the records from its merged log.
+struct TreeFragmentPair {
+  IntervalId a;
+  IntervalId b;
+  std::vector<PageId> pages;
+};
+
+// Child subtree -> parent, one per barrier: the subtree's merged interval
+// records, its element-wise max VC (what the subtree has seen) and min VC
+// (what every member has seen — the parent tailors releases with it), and
+// the check-list fragments claimed inside the subtree. Vector clocks are
+// modeled run-length-encoded on the wire (barrier-time clocks are
+// near-uniform), which is what keeps combine traffic sub-quadratic.
+struct BarrierTreeArriveMsg {
+  EpochId epoch = -1;
+  NodeId node = kNoNode;  // The subtree root sending this.
+  std::vector<IntervalRecord> intervals;
+  VectorClock vc;      // Element-wise max over the subtree.
+  VectorClock min_vc;  // Element-wise min over the subtree.
+  std::vector<TreeFragmentPair> fragments;
+  // Pages for which some subtree member holds a valid copy. The parent
+  // forwards a release record down this edge only if one of its write
+  // notices intersects the set — an absent page means every member's copy is
+  // already invalid, so the notice would be a no-op there.
+  std::vector<PageId> interest;
+  uint64_t arrive_time_ns = 0;
+};
+
+// Parent -> child subtree root: the records unseen by the child subtree's
+// min VC plus the fully merged clock. Interior nodes re-tailor the payload
+// per grandchild subtree before forwarding it down.
+struct BarrierTreeReleaseMsg {
+  EpochId epoch = -1;
+  std::vector<IntervalRecord> intervals;
+  VectorClock merged_vc;
+  uint64_t release_time_ns = 0;
+};
+
 // ---- Eager-RC traffic: notices pushed at release ----
 
 struct ErcUpdateMsg {
@@ -226,7 +269,8 @@ using Payload = std::variant<PageRequestMsg, PageReplyMsg, DiffFlushMsg, DiffFlu
                              LockRequestMsg, LockGrantMsg, BarrierArriveMsg, BitmapRequestMsg,
                              BitmapReplyMsg, CompareRequestMsg, BitmapShipMsg, CompareReplyMsg,
                              BarrierReleaseMsg, ErcUpdateMsg, ErcAckMsg, HeartbeatProbeMsg,
-                             HeartbeatAckMsg, PeerSuspectMsg, RunAbortMsg, ShutdownMsg>;
+                             HeartbeatAckMsg, PeerSuspectMsg, RunAbortMsg, BarrierTreeArriveMsg,
+                             BarrierTreeReleaseMsg, ShutdownMsg>;
 
 struct Message {
   NodeId from = kNoNode;

@@ -17,6 +17,8 @@ const char* BitmapEncodingName(BitmapEncoding encoding) {
       return "sparse";
     case BitmapEncoding::kRuns:
       return "runs";
+    case BitmapEncoding::kInterned:
+      return "interned";
   }
   return "?";
 }
@@ -102,8 +104,10 @@ Bitmap BitmapCodec::Decode(const EncodedBitmap& encoded) {
       }
       return bitmap;
     }
+    case BitmapEncoding::kInterned:
+      break;  // Only the interning cache layer can resolve these.
   }
-  CVM_CHECK(false) << "unknown bitmap encoding";
+  CVM_CHECK(false) << "bitmap encoding not decodable without cache context";
   return Bitmap();
 }
 

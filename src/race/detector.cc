@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <unordered_map>
 
 #include "src/common/bitmap.h"
 #include "src/common/check.h"
@@ -89,12 +90,13 @@ bool PagesOverlap(OverlapMethod method, int num_pages, const IntervalRecord& a,
 }
 
 // The inner pair loop for the rows of the triangle assigned to one shard:
-// row i is compared against every j > i. Appends row i's pairs to rows[i]
-// (in ascending-j order, as the serial loop would emit them).
+// row i is compared against every j > i. Emits row i's pairs into rows[i]
+// (in ascending-j order, as the serial loop would emit them), overwriting
+// pooled slots from earlier epochs in place where possible.
 void BuildRowsForShard(const std::vector<IntervalRecord>& intervals, OverlapMethod method,
                        int num_pages, int shard, int num_shards,
-                       std::vector<std::vector<CheckPair>>* rows, OverlapScratch* scratch,
-                       DetectorStats* stats) {
+                       std::vector<std::vector<CheckPair>>* rows, std::vector<size_t>* row_used,
+                       OverlapScratch* scratch, DetectorStats* stats) {
   for (size_t i = static_cast<size_t>(shard); i < intervals.size();
        i += static_cast<size_t>(num_shards)) {
     for (size_t j = i + 1; j < intervals.size(); ++j) {
@@ -114,19 +116,19 @@ void BuildRowsForShard(const std::vector<IntervalRecord>& intervals, OverlapMeth
       ++stats->overlapping_pairs;
       // Copy (not move) the overlap so the scratch keeps its capacity for
       // the next pair; the CheckPair needs its own storage regardless.
-      (*rows)[i].push_back(CheckPair{a, b, scratch->overlap});
+      EmitCheckPair(a, b, scratch->overlap, &(*rows)[i], &(*row_used)[i]);
     }
   }
 }
 
 }  // namespace
 
-std::vector<CheckPair> RaceDetector::BuildCheckList(
+const std::vector<CheckPair>& RaceDetector::BuildCheckList(
     const std::vector<IntervalRecord>& epoch_intervals) {
   return BuildCheckListSharded(epoch_intervals, 1, nullptr);
 }
 
-std::vector<CheckPair> RaceDetector::BuildCheckListSharded(
+const std::vector<CheckPair>& RaceDetector::BuildCheckListSharded(
     const std::vector<IntervalRecord>& epoch_intervals, int num_shards,
     std::vector<DetectorStats>* per_shard) {
   num_shards = std::max(1, num_shards);
@@ -134,22 +136,29 @@ std::vector<CheckPair> RaceDetector::BuildCheckListSharded(
   if (static_cast<size_t>(num_shards) > epoch_intervals.size()) {
     num_shards = std::max<int>(1, static_cast<int>(epoch_intervals.size()));
   }
-  std::vector<std::vector<CheckPair>> rows(epoch_intervals.size());
+  // The staging rows persist across epochs: grow to the interval count but
+  // never shrink, and reset only the used counters, so retired CheckPair
+  // slots (and their page vectors) are overwritten in place next epoch.
+  if (rows_.size() < epoch_intervals.size()) {
+    rows_.resize(epoch_intervals.size());
+    row_used_.resize(epoch_intervals.size());
+  }
+  std::fill(row_used_.begin(), row_used_.end(), size_t{0});
   std::vector<DetectorStats> shard_stats(static_cast<size_t>(num_shards));
   if (shard_scratch_.size() < static_cast<size_t>(num_shards)) {
     shard_scratch_.resize(static_cast<size_t>(num_shards));
   }
 
   if (num_shards == 1) {
-    BuildRowsForShard(epoch_intervals, method_, num_pages_, 0, 1, &rows, &shard_scratch_[0],
-                      &shard_stats[0]);
+    BuildRowsForShard(epoch_intervals, method_, num_pages_, 0, 1, &rows_, &row_used_,
+                      &shard_scratch_[0], &shard_stats[0]);
   } else {
     std::vector<std::thread> workers;
     workers.reserve(static_cast<size_t>(num_shards));
     for (int shard = 0; shard < num_shards; ++shard) {
-      workers.emplace_back([this, &epoch_intervals, shard, num_shards, &rows, &shard_stats] {
-        BuildRowsForShard(epoch_intervals, method_, num_pages_, shard, num_shards, &rows,
-                          &shard_scratch_[static_cast<size_t>(shard)],
+      workers.emplace_back([this, &epoch_intervals, shard, num_shards, &shard_stats] {
+        BuildRowsForShard(epoch_intervals, method_, num_pages_, shard, num_shards, &rows_,
+                          &row_used_, &shard_scratch_[static_cast<size_t>(shard)],
                           &shard_stats[static_cast<size_t>(shard)]);
       });
     }
@@ -159,15 +168,20 @@ std::vector<CheckPair> RaceDetector::BuildCheckListSharded(
   }
 
   // Deterministic merge: row order = outer-loop order of the serial scan, so
-  // the sharded check list is byte-identical to BuildCheckList's.
-  std::vector<CheckPair> pairs;
+  // the sharded check list is byte-identical to BuildCheckList's. The merged
+  // list is the pooled checklist_ arena, overwritten in place.
+  size_t merged = 0;
   std::set<IntervalId> in_overlap;
-  for (std::vector<CheckPair>& row : rows) {
-    for (CheckPair& pair : row) {
+  for (size_t i = 0; i < epoch_intervals.size(); ++i) {
+    for (size_t k = 0; k < row_used_[i]; ++k) {
+      const CheckPair& pair = rows_[i][k];
       in_overlap.insert(pair.a.id);
       in_overlap.insert(pair.b.id);
-      pairs.push_back(std::move(pair));
+      EmitCheckPair(pair.a, pair.b, pair.pages, &checklist_, &merged);
     }
+  }
+  if (checklist_.size() > merged) {
+    checklist_.resize(merged);  // Drop only the tail slots this epoch left unused.
   }
 
   stats_.intervals_total += epoch_intervals.size();
@@ -182,7 +196,72 @@ std::vector<CheckPair> RaceDetector::BuildCheckListSharded(
   if (per_shard != nullptr) {
     *per_shard = std::move(shard_stats);
   }
-  return pairs;
+  return checklist_;
+}
+
+void RaceDetector::BuildClaimedPairs(const std::vector<IntervalRecord>& intervals,
+                                     OverlapMethod method, int num_pages,
+                                     const std::function<bool(NodeId, NodeId)>& claim,
+                                     OverlapScratch* scratch, std::vector<CheckPair>* out,
+                                     DetectorStats* stats, uint64_t* index_entries) {
+  // Page index: which interval indices write / access each page. Candidate
+  // pairs fall out of the per-page writer x accessor cross products, so the
+  // pair population is linear in actual sharing instead of quadratic in the
+  // interval count.
+  std::unordered_map<PageId, std::pair<std::vector<uint32_t>, std::vector<uint32_t>>> by_page;
+  uint64_t entries = 0;
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    for (PageId p : intervals[i].write_pages) {
+      auto& lists = by_page[p];
+      lists.first.push_back(static_cast<uint32_t>(i));
+      lists.second.push_back(static_cast<uint32_t>(i));
+      ++entries;
+    }
+    for (PageId p : intervals[i].read_pages) {
+      by_page[p].second.push_back(static_cast<uint32_t>(i));
+      ++entries;
+    }
+  }
+  if (index_entries != nullptr) {
+    *index_entries += entries;
+  }
+
+  std::vector<std::pair<uint32_t, uint32_t>> candidates;
+  for (const auto& [page, lists] : by_page) {
+    for (uint32_t w : lists.first) {
+      for (uint32_t x : lists.second) {
+        if (w == x) {
+          continue;
+        }
+        candidates.emplace_back(std::min(w, x), std::max(w, x));
+      }
+    }
+  }
+  // (i, j) index order over the IntervalId-sorted input == the serial
+  // triangle scan's (a.id, b.id) emission order.
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+  for (const auto& [ci, cj] : candidates) {
+    const IntervalRecord& a = intervals[ci];
+    const IntervalRecord& b = intervals[cj];
+    if (a.id.node == b.id.node) {
+      continue;  // Program order; never concurrent.
+    }
+    if (!claim(a.id.node, b.id.node)) {
+      continue;  // Another tree node owns this pair.
+    }
+    ++stats->interval_comparisons;
+    if (!IntervalsConcurrent(a.id, a.vc, b.id, b.vc)) {
+      continue;
+    }
+    ++stats->concurrent_pairs;
+    if (!PagesOverlap(method, num_pages, a, b, scratch, stats)) {
+      continue;
+    }
+    ++stats->overlapping_pairs;
+    out->push_back(CheckPair{a, b, scratch->overlap});
+  }
 }
 
 std::vector<std::pair<IntervalId, PageId>> RaceDetector::BitmapsNeeded(

@@ -102,7 +102,14 @@ class RaceDetector {
   // keep those whose page accesses overlap in a W/W or R/W fashion.
   // Intervals on the same node are never compared (program order), and the
   // vector-timestamp test prunes synchronized pairs in constant time.
-  std::vector<CheckPair> BuildCheckList(const std::vector<IntervalRecord>& epoch_intervals);
+  //
+  // The returned reference points at detector-owned scratch (the check list
+  // and its per-row staging vectors persist across epochs, so steady-state
+  // builds reuse every element's heap storage instead of reallocating). It
+  // is valid until the next Build* call; callers that keep pairs across
+  // epochs (e.g. the batched master) must copy.
+  const std::vector<CheckPair>& BuildCheckList(
+      const std::vector<IntervalRecord>& epoch_intervals);
 
   // Same result, same order, but the pair loop runs on `num_shards` worker
   // threads (row i of the triangle goes to shard i % num_shards, which keeps
@@ -110,9 +117,26 @@ class RaceDetector {
   // one DetectorStats per shard, so the caller can charge simulated time for
   // the *largest* shard (the parallel critical path) rather than the sum.
   // num_shards <= 1 degenerates to the serial loop on the calling thread.
-  std::vector<CheckPair> BuildCheckListSharded(
+  const std::vector<CheckPair>& BuildCheckListSharded(
       const std::vector<IntervalRecord>& epoch_intervals, int num_shards,
       std::vector<DetectorStats>* per_shard = nullptr);
+
+  // Check-list pairs among `intervals` that `claim` accepts, built via a
+  // page -> accessing-intervals index instead of the all-pairs scan: only
+  // pairs that share a page with at least one writer are candidates, which
+  // is exactly the population PagesOverlap can accept. `intervals` must be
+  // IntervalId-sorted (IntervalLog::All() order); the output is sorted by
+  // (a.id, b.id) with a.id < b.id — the serial scan's emission order — so
+  // fragments built at different tree nodes under disjoint claims merge
+  // into a byte-identical serial check list. Static and free of detector
+  // state: interior combine-tree nodes run it concurrently, each with its
+  // own scratch and stats. `index_entries` (optional) receives the number
+  // of page-index insertions, for per-entry cost charging.
+  static void BuildClaimedPairs(const std::vector<IntervalRecord>& intervals,
+                                OverlapMethod method, int num_pages,
+                                const std::function<bool(NodeId, NodeId)>& claim,
+                                OverlapScratch* scratch, std::vector<CheckPair>* out,
+                                DetectorStats* stats, uint64_t* index_entries = nullptr);
 
   // Distinct (interval, page) entries whose bitmaps step 5 needs.
   static std::vector<std::pair<IntervalId, PageId>> BitmapsNeeded(
@@ -146,6 +170,13 @@ class RaceDetector {
     stats_.bitmap_pairs_compared += bitmap_pairs_compared;
   }
 
+  // Folds build-side counters produced outside this detector into the run
+  // totals. The combine tree's root folds in its own claimed build; interior
+  // nodes' builds run concurrently on other threads and are deliberately not
+  // folded (the detector has no lock), so tree-mode build counters reflect
+  // the root's share only.
+  void AccumulateBuild(const DetectorStats& build_stats) { stats_.Accumulate(build_stats); }
+
   const DetectorStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DetectorStats{}; }
 
@@ -157,7 +188,34 @@ class RaceDetector {
   // check-list builds allocate nothing. Grown (never shrunk) on demand;
   // shard i is the exclusive user of shard_scratch_[i] during a build.
   std::vector<OverlapScratch> shard_scratch_;
+  // Persistent check-list arenas: rows_ stages per-row results during the
+  // (possibly sharded) pair loop, checklist_ holds the merged output that
+  // Build* returns by reference. Both grow but never shrink their element
+  // storage — row_used_ tracks the live prefix of each row, so a new epoch
+  // overwrites slots in place (IntervalRecord / page-vector assignment
+  // reuses heap capacity) instead of destroying and reallocating them.
+  std::vector<std::vector<CheckPair>> rows_;
+  std::vector<size_t> row_used_;
+  std::vector<CheckPair> checklist_;
 };
+
+// Assigns a check pair into a pooled slot: overwrites `row`[*used] in place
+// when a retired slot exists (element assignment reuses the slot's heap
+// storage), appends otherwise. Shared by the serial/sharded row loop and the
+// tree fragment builder so both benefit from the persistent arenas.
+inline void EmitCheckPair(const IntervalRecord& a, const IntervalRecord& b,
+                          const std::vector<PageId>& pages, std::vector<CheckPair>* row,
+                          size_t* used) {
+  if (*used < row->size()) {
+    CheckPair& slot = (*row)[*used];
+    slot.a = a;
+    slot.b = b;
+    slot.pages = pages;
+  } else {
+    row->push_back(CheckPair{a, b, pages});
+  }
+  ++*used;
+}
 
 }  // namespace cvm
 

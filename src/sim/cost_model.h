@@ -45,6 +45,14 @@ struct CostParams {
   // cache warm-up, result hand-back). Charged per shard actually used, so
   // over-sharding a small epoch visibly costs more than it saves.
   double shard_fork_ns = 2500;
+  // Hierarchical-barrier costs. tree_merge_ns is the software cost of
+  // folding one child's combine message into the parent's state (log merge
+  // + VC max), charged per child per barrier at every interior node of the
+  // combine tree. page_index_ns is the per-entry cost of building the
+  // page -> accessing-intervals index the tree's fragment builder uses in
+  // place of the all-pairs scan.
+  double tree_merge_ns = 1800;
+  double page_index_ns = 20;
 
   // Network (155 Mbit ATM with user-level UDP protocols). Latency is set at
   // the optimistic end so that, at our scaled-down input sizes, the

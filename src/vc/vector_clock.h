@@ -4,6 +4,8 @@
 #ifndef CVM_VC_VECTOR_CLOCK_H_
 #define CVM_VC_VECTOR_CLOCK_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -68,6 +70,23 @@ class VectorClock {
 
   // Wire size, for byte-accurate message accounting.
   size_t ByteSize() const { return entries_.size() * sizeof(IntervalIndex); }
+
+  // Wire size under run-length encoding: (value, count) pairs for maximal
+  // runs of equal entries, plus a 4-byte run count. Barrier-time clocks are
+  // near-uniform (every node has seen almost the same frontier), so this is
+  // O(runs) instead of O(nodes) — the encoding the hierarchical barrier's
+  // combine messages use so tree traffic stays sub-quadratic in cluster
+  // size. Never larger than the flat encoding plus the run-count header.
+  size_t RleByteSize() const {
+    size_t runs = 0;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (i == 0 || entries_[i] != entries_[i - 1]) {
+        ++runs;
+      }
+    }
+    const size_t rle = sizeof(uint32_t) + runs * (sizeof(IntervalIndex) + sizeof(uint32_t));
+    return std::min(rle, sizeof(uint32_t) + ByteSize());
+  }
 
  private:
   std::vector<IntervalIndex> entries_;

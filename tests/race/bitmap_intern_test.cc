@@ -1,0 +1,119 @@
+// Generation-stamped bitmap interning (--intern-bitmaps): when a page's
+// access bitmap is unchanged since the last epoch it crossed the wire, the
+// sender ships a 'same as before' token instead of the full payload. The
+// cache must be invisible to the detector — identical race reports with the
+// flag on and off — and its hit/miss/invalidation accounting must follow
+// the workload's redirty pattern.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/dsm/dsm.h"
+#include "src/dsm/handles.h"
+
+namespace cvm {
+namespace {
+
+constexpr uint64_t kPageSize = 256;
+constexpr int kWordsPerPage = static_cast<int>(kPageSize / sizeof(int32_t));
+constexpr int kNodes = 6;
+constexpr int kEpochs = 4;
+
+// steady: every epoch each node touches exactly the same words of its
+// neighbor's page, so from the second epoch on the shipped bitmaps are
+// byte-identical to the cached ones (hits). drifting: the racing word
+// moves every epoch, so re-shipments find a stale cache entry
+// (invalidations).
+enum class Redirty { kSteady, kDrifting };
+
+RunResult RunHalo(Redirty redirty, bool intern,
+                  DetectionPipeline pipeline = DetectionPipeline::kSerial) {
+  DsmOptions options;
+  options.num_nodes = kNodes;
+  options.page_size = kPageSize;
+  options.max_shared_bytes = kNodes * kPageSize + (1 << 16);
+  options.intern_bitmaps = intern;
+  options.detection_pipeline = pipeline;
+  DsmSystem system(options);
+  auto data = SharedArray<int32_t>::Alloc(
+      system, "halo", static_cast<size_t>(kNodes) * kWordsPerPage);
+  return system.Run([&](NodeContext& ctx) {
+    const int id = ctx.id();
+    const size_t own = static_cast<size_t>(id) * kWordsPerPage;
+    const size_t next =
+        static_cast<size_t>((id + 1) % kNodes) * kWordsPerPage;
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      const int race_word =
+          redirty == Redirty::kSteady ? 2 : 2 + epoch;  // Drift moves the bit.
+      for (int w = 0; w < 2 + kEpochs; ++w) {  // Covers every drifted target.
+        data.Set(ctx, own + w, id * 100 + epoch * 10 + w);
+      }
+      data.Set(ctx, next + race_word, id);  // W/W race with the owner.
+      if (epoch + 1 < kEpochs) {
+        ctx.Barrier();
+      }
+    }
+  });
+}
+
+std::vector<std::string> ReportKey(const RunResult& result) {
+  std::vector<std::string> key;
+  key.reserve(result.races.size());
+  for (const RaceReport& report : result.races) {
+    key.push_back(report.ToString());
+  }
+  return key;
+}
+
+TEST(BitmapInternTest, ReportsIdenticalWithAndWithoutInterning) {
+  for (Redirty redirty : {Redirty::kSteady, Redirty::kDrifting}) {
+    const RunResult off = RunHalo(redirty, false);
+    const RunResult on = RunHalo(redirty, true);
+    EXPECT_EQ(off.races.size(), static_cast<size_t>(kNodes) * kEpochs);
+    EXPECT_EQ(ReportKey(on), ReportKey(off));
+    // The cache only elides bytes, never comparisons.
+    EXPECT_EQ(on.pipeline.bitmap_bytes_raw, off.pipeline.bitmap_bytes_raw);
+    EXPECT_LE(on.pipeline.bitmap_bytes_wire, off.pipeline.bitmap_bytes_wire);
+  }
+}
+
+TEST(BitmapInternTest, SteadyRedirtyHitsAfterFirstEpoch) {
+  const RunResult result = RunHalo(Redirty::kSteady, true);
+  // First shipment of each (node, page, rw) slot is a miss; identical
+  // re-shipments in later epochs are hits; nothing ever changes shape.
+  EXPECT_GT(result.intern.misses, 0u);
+  EXPECT_GT(result.intern.hits, 0u);
+  EXPECT_EQ(result.intern.invalidations, 0u);
+  // Hits shaved real wire bytes off the bitmap rounds.
+  const RunResult baseline = RunHalo(Redirty::kSteady, false);
+  EXPECT_LT(result.pipeline.bitmap_bytes_wire, baseline.pipeline.bitmap_bytes_wire);
+}
+
+TEST(BitmapInternTest, DriftingRedirtyInvalidates) {
+  const RunResult result = RunHalo(Redirty::kDrifting, true);
+  // The racing bit moves every epoch: each re-shipment of a write bitmap
+  // finds stale cached content and replaces it.
+  EXPECT_GT(result.intern.misses, 0u);
+  EXPECT_GT(result.intern.invalidations, 0u);
+}
+
+TEST(BitmapInternTest, InterningOffKeepsCountersZero) {
+  const RunResult result = RunHalo(Redirty::kSteady, false);
+  EXPECT_EQ(result.intern.hits, 0u);
+  EXPECT_EQ(result.intern.misses, 0u);
+  EXPECT_EQ(result.intern.invalidations, 0u);
+}
+
+TEST(BitmapInternTest, WorksAcrossPipelines) {
+  const auto expected = ReportKey(RunHalo(Redirty::kSteady, false));
+  for (DetectionPipeline pipeline :
+       {DetectionPipeline::kSharded, DetectionPipeline::kDistributed}) {
+    const RunResult result = RunHalo(Redirty::kSteady, true, pipeline);
+    EXPECT_EQ(ReportKey(result), expected)
+        << "pipeline " << static_cast<int>(pipeline);
+  }
+}
+
+}  // namespace
+}  // namespace cvm

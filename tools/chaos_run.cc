@@ -45,6 +45,8 @@ int Usage() {
       "  --seed=N            fault-injection seed (default 1)\n"
       "  --size=N            app scale knob, smaller = faster (default modest)\n"
       "  --pipeline=P        serial | sharded | distributed barrier-time check\n"
+      "  --barrier-tree      k-ary combine-tree barrier (default: flat)\n"
+      "  --barrier-fanout=K  combine-tree fanout (default 4)\n"
       "\n"
       "Asserts each faulty run verifies and reports the same races as the\n"
       "fault-free run (docs/FAULTS.md). The crash profile asserts recovery\n"
@@ -134,12 +136,15 @@ void Signatures(const std::vector<RaceReport>& races, std::string* exact,
 }
 
 RunOutcome RunOnce(const std::string& app_name, int64_t size, int nodes,
-                   const fault::FaultPlan& plan, DetectionPipeline pipeline) {
+                   const fault::FaultPlan& plan, DetectionPipeline pipeline,
+                   bool barrier_tree, int barrier_fanout) {
   DsmOptions options;
   options.num_nodes = nodes;
   options.max_shared_bytes = 64ull << 20;
   options.fault_plan = plan;
   options.detection_pipeline = pipeline;
+  options.barrier_tree = barrier_tree;
+  options.barrier_fanout = barrier_fanout;
   auto app = MakeApp(app_name, size);
   DsmSystem system(options);
   app->Setup(system);
@@ -177,7 +182,8 @@ int main(int argc, char** argv) {
     return Usage();
   }
   for (const std::string& key : flags.UnknownKeys(
-           {"apps", "profiles", "loss", "nodes", "seed", "size", "pipeline", "help"})) {
+           {"apps", "profiles", "loss", "nodes", "seed", "size", "pipeline", "barrier-tree",
+            "barrier-fanout", "help"})) {
     std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
     return Usage();
   }
@@ -204,6 +210,12 @@ int main(int argc, char** argv) {
     pipeline = DetectionPipeline::kDistributed;
   } else {
     std::fprintf(stderr, "error: unknown pipeline '%s'\n", pipeline_name.c_str());
+    return Usage();
+  }
+  const bool barrier_tree = flags.GetBool("barrier-tree", false);
+  const int barrier_fanout = static_cast<int>(flags.GetInt("barrier-fanout", 4));
+  if (barrier_fanout < 1) {
+    std::fprintf(stderr, "error: --barrier-fanout=%d must be at least 1\n", barrier_fanout);
     return Usage();
   }
 
@@ -239,8 +251,8 @@ int main(int argc, char** argv) {
     // compares the structural signature instead of the exact one.
     const fault::FaultPlan off =
         fault::FaultPlan::FromProfile(fault::FaultProfile::kOff, seed);
-    const RunOutcome clean = RunOnce(app_name, size, nodes, off, pipeline);
-    const RunOutcome clean2 = RunOnce(app_name, size, nodes, off, pipeline);
+    const RunOutcome clean = RunOnce(app_name, size, nodes, off, pipeline, barrier_tree, barrier_fanout);
+    const RunOutcome clean2 = RunOnce(app_name, size, nodes, off, pipeline, barrier_tree, barrier_fanout);
     if (!clean.verified || !clean2.verified) {
       std::fprintf(stderr, "error: %s does not verify on the clean fabric\n",
                    app_name.c_str());
@@ -268,7 +280,7 @@ int main(int argc, char** argv) {
         // seed with the crash disarmed must reproduce the baseline exactly.
         const fault::FaultPlan crash_plan =
             fault::FaultPlan::FromProfile(fault::FaultProfile::kCrash, seed);
-        const RunOutcome crashed = RunOnce(app_name, size, nodes, crash_plan, pipeline);
+        const RunOutcome crashed = RunOnce(app_name, size, nodes, crash_plan, pipeline, barrier_tree, barrier_fanout);
         std::string prefix_exact;
         std::string prefix_structural;
         Signatures(PrefixReports(clean.races, crashed.recovery.last_consistent_epoch),
@@ -299,7 +311,7 @@ int main(int argc, char** argv) {
 
         fault::FaultPlan reboot_plan = crash_plan;
         reboot_plan.crash_epoch = -1;  // The node came back; same seed otherwise.
-        const RunOutcome rebooted = RunOnce(app_name, size, nodes, reboot_plan, pipeline);
+        const RunOutcome rebooted = RunOnce(app_name, size, nodes, reboot_plan, pipeline, barrier_tree, barrier_fanout);
         const std::string& reboot_candidate =
             exact_mode ? rebooted.exact : rebooted.structural;
         const bool reboot_equal = reboot_candidate == baseline;
@@ -337,7 +349,7 @@ int main(int argc, char** argv) {
         if (loss >= 0) {
           plan.drop_prob = loss;
         }
-        const RunOutcome faulty = RunOnce(app_name, size, nodes, plan, pipeline);
+        const RunOutcome faulty = RunOnce(app_name, size, nodes, plan, pipeline, barrier_tree, barrier_fanout);
         const std::string& candidate = exact_mode ? faulty.exact : faulty.structural;
         const bool report_equal = candidate == baseline;
         const bool ok = faulty.verified && report_equal;

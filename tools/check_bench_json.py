@@ -16,11 +16,13 @@ Usage: tools/check_bench_json.py BENCH_detector.json
        tools/check_bench_json.py BENCH_hotpath.json
        tools/check_bench_json.py BENCH_obs.json
        tools/check_bench_json.py BENCH_recovery.json
+       tools/check_bench_json.py BENCH_scaling.json
        tools/check_bench_json.py BENCH_service.json
        tools/check_bench_json.py --fig4 FILE   (legacy: force fig4 schema)
 """
 
 import json
+import math
 import os
 import sys
 
@@ -103,6 +105,19 @@ HOTPATH_FIELDS = {
     "active_ns": (int, float),
     "speedup": (int, float),
     "identical_output": bool,
+}
+
+SCALING_FIELDS = {
+    "nodes": int,
+    "races": int,
+    "reports_match": bool,
+    "flat_detect_ns_per_epoch": (int, float),
+    "tree_detect_ns_per_epoch": (int, float),
+    "batch_detect_ns_per_epoch": (int, float),
+    "flat_wire_bytes_per_epoch": (int, float),
+    "tree_wire_bytes_per_epoch": (int, float),
+    "batch_wire_bytes_per_epoch": (int, float),
+    "intern_hits": int,
 }
 
 MODES = {"serial", "sharded", "distributed"}
@@ -379,6 +394,53 @@ def check_hotpath(cells):
     return 0
 
 
+# The tentpole acceptance bar for the combine-tree barrier: sub-quadratic
+# growth. Log-log slope between consecutive swept sizes must stay below 2
+# on the tree curves (flat is O(n^2) by construction and is not held to it).
+SCALING_EXPONENT_LIMIT = 2.0
+
+
+def check_scaling(cells):
+    if len(cells) < 2:
+        return fail("need at least two swept sizes")
+    for i, cell in enumerate(cells):
+        err = check_fields(cell, i, SCALING_FIELDS)
+        if err:
+            return fail(err)
+        if cell["nodes"] <= 0:
+            return fail(f"cell {i}: non-positive node count")
+        if not cell["reports_match"]:
+            return fail(
+                f"cell {i} ({cell['nodes']} nodes): race reports diverge "
+                "between flat and tree/batched pipelines"
+            )
+        if cell["races"] <= 0:
+            return fail(f"cell {i}: workload reported no races")
+        for name in ("tree_detect_ns_per_epoch", "tree_wire_bytes_per_epoch"):
+            if cell[name] <= 0:
+                return fail(f"cell {i}: non-positive {name}")
+    if [c["nodes"] for c in cells] != sorted(c["nodes"] for c in cells):
+        return fail("cells not sorted by node count")
+    worst = 0.0
+    for prev, cur in zip(cells, cells[1:]):
+        ratio = math.log(cur["nodes"] / prev["nodes"])
+        for name in ("tree_detect_ns_per_epoch", "tree_wire_bytes_per_epoch"):
+            exponent = math.log(cur[name] / prev[name]) / ratio
+            worst = max(worst, exponent)
+            if exponent >= SCALING_EXPONENT_LIMIT:
+                return fail(
+                    f"{name} grows with exponent {exponent:.2f} from "
+                    f"{prev['nodes']} to {cur['nodes']} nodes (bar: < "
+                    f"{SCALING_EXPONENT_LIMIT})"
+                )
+    print(
+        f"OK: {len(cells)} scaling cells "
+        f"({cells[0]['nodes']}..{cells[-1]['nodes']} nodes), reports "
+        f"identical everywhere, worst tree exponent {worst:.2f}"
+    )
+    return 0
+
+
 # Basename -> validator. Every BENCH_*.json a bench writes must appear here.
 SCHEMAS = {
     "BENCH_detector.json": check_detector,
@@ -386,6 +448,7 @@ SCHEMAS = {
     "BENCH_hotpath.json": check_hotpath,
     "BENCH_obs.json": check_obs,
     "BENCH_recovery.json": check_recovery,
+    "BENCH_scaling.json": check_scaling,
     "BENCH_service.json": check_service,
 }
 

@@ -57,6 +57,15 @@ BAD_RUN_CASES = [
       "--trace-json=/dev/null"], "trace-sample"),
     (["--app=nosuchapp"], "app"),
     (["--app=sor", "--size=16", "--nodes=2", "--frobnicate"], "frobnicate"),
+    # Hierarchical-barrier / batched-detection flags: shard and fanout counts
+    # are bounded by the cluster size; a batch of zero epochs is meaningless.
+    (["--app=sor", "--size=16", "--nodes=2", "--detect-shards=9"], "detect-shards"),
+    (["--app=sor", "--size=16", "--nodes=2", "--detect-batch=0"], "detect-batch"),
+    (["--app=sor", "--size=16", "--nodes=2", "--detect-batch=-4"], "detect-batch"),
+    (["--app=sor", "--size=16", "--nodes=2", "--barrier-tree",
+      "--barrier-fanout=0"], "barrier-fanout"),
+    (["--app=sor", "--size=16", "--nodes=2", "--barrier-tree",
+      "--barrier-fanout=9"], "barrier-fanout"),
 ]
 
 GOOD_RUN_CASES = [
@@ -66,6 +75,11 @@ GOOD_RUN_CASES = [
     ["--app=sor", "--size=16", "--nodes=2", "--fault-profile=crash", "--seed=3"],
     ["--app=sor", "--size=16", "--nodes=2", "--fault-profile=crash",
      "--fault-crash-node=1", "--fault-crash-epoch=1", "--fault-crash-reboot"],
+    # The tree barrier with batching and interning on a legal fanout; the
+    # default fanout (4) must also pass at 2 nodes (degenerates to a star).
+    ["--app=sor", "--size=16", "--nodes=2", "--barrier-tree", "--barrier-fanout=2",
+     "--detect-batch=2", "--intern-bitmaps"],
+    ["--app=sor", "--size=16", "--nodes=2", "--barrier-tree"],
 ]
 
 BAD_SERVE_CASES = [
@@ -76,10 +90,19 @@ BAD_SERVE_CASES = [
     (["--script=/dev/null", "--retry-budget=-1"], "retry-budget"),
     (["--script=/dev/null", "--retry-budget=1000"], "retry-budget"),
     (["--script=/dev/null", "--frobnicate"], "frobnicate"),
+    (["--script=/dev/null", "--nodes=2", "--detect-shards=9"], "detect-shards"),
+    (["--script=/dev/null", "--nodes=2", "--detect-shards=0"], "detect-shards"),
+    (["--script=/dev/null", "--nodes=2", "--detect-batch=0"], "detect-batch"),
+    (["--script=/dev/null", "--nodes=2", "--barrier-tree", "--barrier-fanout=0"],
+     "barrier-fanout"),
+    (["--script=/dev/null", "--nodes=2", "--barrier-tree", "--barrier-fanout=9"],
+     "barrier-fanout"),
 ]
 
 GOOD_SERVE_CASES = [
     ["--script=/dev/null", "--workers=1", "--nodes=2"],
+    ["--script=/dev/null", "--workers=1", "--nodes=2", "--barrier-tree",
+     "--barrier-fanout=2", "--detect-batch=2", "--intern-bitmaps"],
 ]
 
 

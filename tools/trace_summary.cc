@@ -192,6 +192,48 @@ int SummarizeMetrics(const std::string& path) {
                   "(distributed mode).\n");
     }
   }
+
+  // Scaling table: combine-tree barrier traffic, epoch-batched detection
+  // rounds, and the bitmap interning cache. Printed only for runs that used
+  // at least one of the scaling knobs (--barrier-tree / --detect-batch /
+  // --intern-bitmaps).
+  if (column.count("net.barrier.tree.up_bytes") != 0) {
+    in.clear();
+    in.seekg(0);
+    std::getline(in, line);  // Header.
+    TablePrinter scaling_table({"Epoch", "Tree up B", "Tree down B", "Fragments",
+                                "Batch rounds", "Batched ep", "Intern hit", "Intern miss",
+                                "Intern inval"});
+    bool any_activity = false;
+    while (std::getline(in, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      const std::vector<std::string> cells = SplitCsvLine(line);
+      const double up = cell_value(cells, "net.barrier.tree.up_bytes");
+      const double down = cell_value(cells, "net.barrier.tree.down_bytes");
+      const double rounds = cell_value(cells, "race.batch.rounds");
+      const double hits = cell_value(cells, "race.intern.hits");
+      const double misses = cell_value(cells, "race.intern.misses");
+      any_activity = any_activity || up > 0 || down > 0 || rounds > 0 || hits > 0 || misses > 0;
+      scaling_table.AddRow(
+          {std::to_string(static_cast<long long>(cell_value(cells, "epoch"))),
+           TablePrinter::Fixed(up, 0), TablePrinter::Fixed(down, 0),
+           TablePrinter::Fixed(cell_value(cells, "net.barrier.tree.fragments"), 0),
+           TablePrinter::Fixed(rounds, 0),
+           TablePrinter::Fixed(cell_value(cells, "race.batch.batched_epochs"), 0),
+           TablePrinter::Fixed(hits, 0), TablePrinter::Fixed(misses, 0),
+           TablePrinter::Fixed(cell_value(cells, "race.intern.invalidations"), 0)});
+    }
+    if (any_activity) {
+      std::printf("\nper-epoch barrier/detection scaling (see docs/ARCHITECTURE.md):\n\n");
+      scaling_table.Print();
+      std::printf("\n'Tree up/down B' is combine-tree barrier traffic; 'Batch rounds' are\n"
+                  "detection flushes covering 'Batched ep' queued epochs; the intern\n"
+                  "columns count bitmap-cache hits ('same-as-last-epoch' tokens sent),\n"
+                  "first-send misses, and invalidations after a page was redirtied.\n");
+    }
+  }
   return 0;
 }
 
